@@ -1,0 +1,161 @@
+package skydiver
+
+// bench_test.go holds one testing.B benchmark per table and figure of the
+// paper's evaluation section, each driving the corresponding experiment
+// runner at a reduced scale (the full sweeps are run by cmd/skybench, whose
+// -scale flag goes up to the paper cardinalities). A handful of
+// end-to-end API benchmarks follows.
+
+import (
+	"testing"
+
+	"skydiver/internal/exp"
+)
+
+// benchEnv returns an experiment environment scaled for benchmarking: every
+// dataset clamps to the ~1000-point floor so one iteration stays in the
+// millisecond-to-second range.
+func benchEnv() *exp.Env {
+	e := exp.NewEnv()
+	e.Scale = 0.002
+	return e
+}
+
+// runExperiment executes one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := exp.Lookup(id)
+	if r == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		// A fresh env per iteration so dataset preparation is measured too
+		// and memoization cannot short-circuit the work.
+		env := benchEnv()
+		tables, err := r.Run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (k-max-coverage vs k-dispersion).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig2 regenerates the Figure 2 MSDP/MMDP illustration.
+func BenchmarkFig2(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig8 regenerates Figure 8 (signature-generation time vs t).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (signature generation vs cardinality
+// and dimensionality).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (runtime vs dimensionality).
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11 (runtime vs k).
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12 (quality vs k).
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13 (LSH vs MinHash memory/quality).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkSparsity regenerates the Section 3.2 sparsity measurement.
+func BenchmarkSparsity(b *testing.B) { runExperiment(b, "sparsity") }
+
+// BenchmarkAblation runs the design-choice ablations (selection seeding
+// strategy, MinHash estimate error vs signature size).
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// --- end-to-end public API benchmarks ------------------------------------
+
+func benchDataset(b *testing.B, dist Distribution, n, d int) *Dataset {
+	b.Helper()
+	ds, err := Generate(dist, n, d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ds.Skyline(); err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkDiversifyMH measures the MinHash pipeline end to end (skyline
+// pre-computed) on IND 20K 4D.
+func BenchmarkDiversifyMH(b *testing.B) {
+	ds := benchDataset(b, Independent, 20000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Diversify(Options{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiversifyLSH measures the LSH pipeline on IND 20K 4D.
+func BenchmarkDiversifyLSH(b *testing.B) {
+	ds := benchDataset(b, Independent, 20000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Diversify(Options{K: 10, Algorithm: LSH}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiversifySG measures the Simple-Greedy baseline on IND 20K 4D —
+// orders of magnitude slower than MH/LSH, as in the paper.
+func BenchmarkDiversifySG(b *testing.B) {
+	ds := benchDataset(b, Independent, 20000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Diversify(Options{K: 10, Algorithm: Greedy}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkylineANT measures skyline computation (BBS) setup cost on a
+// skyline-heavy anticorrelated dataset.
+func BenchmarkSkylineANT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := Generate(Anticorrelated, 20000, 4, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ds.Skyline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiversifyGraph measures coordinate-free diversification over an
+// explicit dominance graph.
+func BenchmarkDiversifyGraph(b *testing.B) {
+	gamma := make([][]int, 200)
+	for j := range gamma {
+		for r := j * 37; r < j*37+500; r++ {
+			gamma[j] = append(gamma[j], r%5000)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DiversifyGraph(gamma, 10, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamic runs the continuous-diversification extension experiment.
+func BenchmarkDynamic(b *testing.B) { runExperiment(b, "dynamic") }
+
+// BenchmarkParallel runs the parallel fingerprinting extension experiment.
+func BenchmarkParallel(b *testing.B) { runExperiment(b, "parallel") }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skydiver/internal/data"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range []string{"ind", "ant", "corr", "clust", "fc", "rec"} {
+		ds, err := generate(kind, 200, 3, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if ds.Len() != 200 {
+			t.Errorf("%s: n = %d", kind, ds.Len())
+		}
+	}
+	if _, err := generate("zipf", 10, 2, 2, 1); err == nil {
+		t.Error("expected unknown distribution error")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.sky")
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-dist", "ind", "-n", "500", "-d", "2", "-out", path}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "n=500 d=2") {
+		t.Errorf("output: %s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := data.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 500 || ds.Dims() != 2 {
+		t.Error("round trip broken")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-dist", "ind"}, &out, &errBuf); code != 2 {
+		t.Errorf("missing -out must exit 2, got %d", code)
+	}
+	errBuf.Reset()
+	if code := run([]string{"-dist", "zipf", "-out", "/tmp/x"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad dist must exit 2, got %d", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag must exit 2, got %d", code)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, id := range []string{"table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sparsity", "ablation", "parallel", "dynamic"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("missing %s in -list output", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown experiment") {
+		t.Error("missing error message")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunFig2Markdown(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-exp", "fig2"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "max-min") || !strings.Contains(out.String(), "|") {
+		t.Errorf("markdown output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunFig2CSVAndPlot(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-exp", "fig2", "-format", "csv"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "objective,selected") {
+		t.Errorf("csv output malformed:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-exp", "sparsity", "-plot", "-v"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "+---") {
+		t.Errorf("plot output missing:\n%s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "finished") {
+		t.Error("verbose log missing")
+	}
+}

@@ -1,0 +1,261 @@
+// Command skydiver computes the k most diverse skyline points of a dataset.
+//
+// Input is either a CSV file of numeric rows or a built-in synthetic
+// generator. Preferences default to minimization on every dimension; pass
+// -prefs to mix (e.g. -prefs min,max for cheap-and-good).
+//
+// Examples:
+//
+//	skydiver -gen ant -n 100000 -d 4 -k 10
+//	skydiver -in hotels.csv -prefs min,max -k 5 -algo sg
+//	skydiver -gen fc -d 5 -k 10 -algo lsh -verbose
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"skydiver"
+)
+
+func main() {
+	var (
+		input   = flag.String("in", "", "input file: CSV of numeric rows, or a binary .sky file from datagen (mutually exclusive with -gen)")
+		gen     = flag.String("gen", "", "synthetic generator: ind, ant, corr, fc, rec")
+		n       = flag.Int("n", 100000, "cardinality for -gen")
+		d       = flag.Int("d", 4, "dimensionality for -gen")
+		k       = flag.Int("k", 5, "number of diverse skyline points")
+		algo    = flag.String("algo", "mh", "algorithm: mh, lsh, sg, bf")
+		tSig    = flag.Int("t", 100, "MinHash signature size")
+		useIdx  = flag.Bool("index", false, "use index-based fingerprinting (SigGen-IB)")
+		workers = flag.Int("workers", 1, "parallel fingerprinting workers (index-free mode; <0 = all CPUs)")
+		topk    = flag.Int("topk", 0, "also print the top-k dominating points")
+		prefs   = flag.String("prefs", "", "comma-separated min/max per dimension (default all min)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("verbose", false, "print cost accounting")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*input, *gen, *n, *d, *prefs, *seed)
+	if err != nil {
+		fail(err)
+	}
+	m, err := ds.SkylineSize()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dataset %s: n=%d d=%d skyline=%d\n", ds.Name(), ds.Len(), ds.Dims(), m)
+
+	algorithm, err := parseAlgo(*algo)
+	if err != nil {
+		fail(err)
+	}
+	res, err := ds.Diversify(skydiver.Options{
+		K:             *k,
+		Algorithm:     algorithm,
+		SignatureSize: *tSig,
+		UseIndex:      *useIdx,
+		Workers:       *workers,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%d most diverse skyline points (%s):\n", *k, algorithm)
+	for rank, idx := range res.Indexes {
+		score, err := ds.DominationScore(idx)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %2d. row %-8d |Γ|=%-7d %v\n", rank+1, idx, score, res.Points[rank])
+	}
+	div, err := ds.ExactDiversity(res.Indexes)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("exact diversity (min pairwise Jaccard distance): %.4f\n", div)
+	if *verbose {
+		fmt.Printf("cpu=%v io=%v faults=%d memory=%dB objective=%.4f\n",
+			res.CPUTime, res.IOTime, res.PageFaults, res.MemoryBytes, res.ObjectiveValue)
+	}
+	if *topk > 0 {
+		idx, scores, err := ds.TopKDominating(*topk)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("top-%d dominating points:\n", *topk)
+		for r := range idx {
+			fmt.Printf("  %2d. row %-8d |Γ|=%-7d %v\n", r+1, idx[r], scores[r], ds.Point(idx[r]))
+		}
+	}
+}
+
+func parseAlgo(s string) (skydiver.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "mh", "minhash":
+		return skydiver.MinHash, nil
+	case "lsh":
+		return skydiver.LSH, nil
+	case "sg", "greedy":
+		return skydiver.Greedy, nil
+	case "bf", "exact":
+		return skydiver.Exact, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want mh, lsh, sg or bf)", s)
+	}
+}
+
+func parseDist(s string) (skydiver.Distribution, error) {
+	switch strings.ToLower(s) {
+	case "ind":
+		return skydiver.Independent, nil
+	case "ant":
+		return skydiver.Anticorrelated, nil
+	case "corr":
+		return skydiver.Correlated, nil
+	case "fc":
+		return skydiver.ForestCover, nil
+	case "rec":
+		return skydiver.Recipes, nil
+	default:
+		return 0, fmt.Errorf("unknown generator %q (want ind, ant, corr, fc or rec)", s)
+	}
+}
+
+func parsePrefs(s string, dims int) ([]skydiver.Pref, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != dims {
+		return nil, fmt.Errorf("-prefs has %d entries, dataset has %d dimensions", len(parts), dims)
+	}
+	out := make([]skydiver.Pref, dims)
+	for i, p := range parts {
+		switch strings.TrimSpace(strings.ToLower(p)) {
+		case "min":
+			out[i] = skydiver.Min
+		case "max":
+			out[i] = skydiver.Max
+		default:
+			return nil, fmt.Errorf("invalid preference %q (want min or max)", p)
+		}
+	}
+	return out, nil
+}
+
+func loadDataset(input, gen string, n, d int, prefSpec string, seed int64) (*skydiver.Dataset, error) {
+	switch {
+	case input != "" && gen != "":
+		return nil, fmt.Errorf("-in and -gen are mutually exclusive")
+	case gen != "":
+		dist, err := parseDist(gen)
+		if err != nil {
+			return nil, err
+		}
+		return skydiver.Generate(dist, n, d, seed)
+	case input != "":
+		if isBinaryDataset(input) {
+			f, err := os.Open(input)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			ds, err := skydiver.LoadDataset(f, nil)
+			if err != nil {
+				return nil, err
+			}
+			if prefSpec == "" {
+				return ds, nil
+			}
+			// Re-wrap with explicit preferences.
+			prefs, err := parsePrefs(prefSpec, ds.Dims())
+			if err != nil {
+				return nil, err
+			}
+			rows := make([][]float64, ds.Len())
+			for i := range rows {
+				rows[i] = append([]float64{}, ds.Point(i)...)
+			}
+			return skydiver.NewDataset(input, rows, prefs)
+		}
+		rows, err := readCSV(input)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("%s: no numeric rows", input)
+		}
+		prefs, err := parsePrefs(prefSpec, len(rows[0]))
+		if err != nil {
+			return nil, err
+		}
+		return skydiver.NewDataset(input, rows, prefs)
+	default:
+		return nil, fmt.Errorf("either -in or -gen is required")
+	}
+}
+
+// isBinaryDataset sniffs the 4-byte magic of the repository's binary
+// dataset format ("SKYD" little-endian).
+func isBinaryDataset(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	magic := make([]byte, 4)
+	if _, err := f.Read(magic); err != nil {
+		return false
+	}
+	return magic[0] == 0x44 && magic[1] == 0x59 && magic[2] == 0x4b && magic[3] == 0x53
+}
+
+// readCSV reads numeric rows, skipping a header line if the first field is
+// not parseable as a number.
+func readCSV(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		row := make([]float64, len(parts))
+		ok := true
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			row[i] = v
+		}
+		if !ok {
+			if lineNo == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("%s:%d: non-numeric row", path, lineNo)
+		}
+		rows = append(rows, row)
+	}
+	return rows, sc.Err()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "skydiver: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package skydiver_test
+
+import (
+	"fmt"
+	"sort"
+
+	"skydiver"
+)
+
+// The hotel scenario: minimize price, maximize rating, then pick the two
+// most diverse skyline hotels.
+func ExampleDataset_Diversify() {
+	hotels := [][]float64{
+		{49, 2.8},  // cheap, modest
+		{90, 4.5},  // balanced — dominates the two overpriced rooms below
+		{200, 5.0}, // premium
+		{120, 4.0}, // dominated by the balanced one
+		{95, 4.2},  // dominated by the balanced one
+	}
+	ds, _ := skydiver.NewDataset("hotels", hotels, []skydiver.Pref{skydiver.Min, skydiver.Max})
+	res, _ := ds.Diversify(skydiver.Options{K: 2, Seed: 1})
+	// The balanced hotel has the highest domination score and seeds the
+	// selection; the second pick maximizes Jaccard distance to it.
+	idx := append([]int{}, res.Indexes...)
+	sort.Ints(idx)
+	fmt.Println(idx)
+	// Output: [0 1]
+}
+
+// Skyline returns every Pareto-optimal row.
+func ExampleDataset_Skyline() {
+	rows := [][]float64{{1, 9}, {4, 4}, {9, 1}, {5, 6}, {9, 9}}
+	ds, _ := skydiver.NewDataset("points", rows, nil)
+	sky, _ := ds.Skyline()
+	fmt.Println(sky)
+	// Output: [0 1 2]
+}
+
+// The paper's Figure 1: diversify a bare dominance graph with no
+// coordinates. Max-coverage would return (b, c); SkyDiver returns (c, a).
+func ExampleDiversifyGraph() {
+	gamma := [][]int{
+		{0},                    // a
+		{1, 2, 3, 4, 5, 6},     // b
+		{4, 5, 6, 7, 8, 9, 10}, // c
+		{7, 8, 9},              // d
+	}
+	selected, _ := skydiver.DiversifyGraph(gamma, 2, skydiver.Options{SignatureSize: 256, Seed: 3})
+	names := []string{"a", "b", "c", "d"}
+	for _, s := range selected {
+		fmt.Print(names[s], " ")
+	}
+	// Output: c a
+}
+
+// Categorical attributes with a partial preference order: no Lp distance
+// exists, but dominance-based diversification still works.
+func ExampleNewMixedDataset() {
+	condition := skydiver.Chain("new", "used")
+	ds, _ := skydiver.NewMixedDataset([]skydiver.MixedAttr{
+		{Name: "price"},
+		{Name: "condition", Order: condition},
+	})
+	ds.AppendRow(100.0, "new")
+	ds.AppendRow(80.0, "used")
+	ds.AppendRow(120.0, "new") // dominated: pricier, same condition
+	fmt.Println(ds.Skyline())
+	// Output: [0 1]
+}
+
+// Top-k dominating points rank by |Γ(p)| and may include non-skyline points.
+func ExampleDataset_TopKDominating() {
+	rows := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}, {9, 0}}
+	ds, _ := skydiver.NewDataset("chain", rows, nil)
+	idx, scores, _ := ds.TopKDominating(2)
+	fmt.Println(idx, scores)
+	// Output: [0 1] [3 2]
+}

@@ -1,0 +1,77 @@
+// Categorical: skyline diversification over a partially ordered domain.
+//
+// A second-hand marketplace lists cameras with a price (numeric, lower is
+// better), a condition (totally ordered: new ≻ like-new ≻ used) and a lens
+// mount ecosystem whose preference order is only partial — professionals
+// consider "pro" glass better than "standard", and "vintage" glass better
+// than "standard", but "pro" and "vintage" serve different tastes and are
+// incomparable.
+//
+// No Lp distance exists over {new, like-new, used} × {pro, vintage,
+// standard}, so the distance-based diversification techniques the paper
+// compares against cannot run here at all. SkyDiver's dominance-based
+// diversity needs nothing beyond the dominance relation itself, and the
+// index-free pipeline needs no multidimensional index — which could not be
+// built for this data anyway (Section 4.1.1).
+//
+// Run with: go run ./examples/categorical
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"skydiver"
+)
+
+func main() {
+	condition := skydiver.Chain("new", "like-new", "used")
+	mount, err := skydiver.NewOrderBuilder().
+		Prefer("pro", "standard").
+		Prefer("vintage", "standard").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ds, err := skydiver.NewMixedDataset([]skydiver.MixedAttr{
+		{Name: "price"},
+		{Name: "condition", Order: condition},
+		{Name: "mount", Order: mount},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A synthetic marketplace: 20,000 listings. Pro glass is pricey, vintage
+	// is mid-range, standard is cheap; condition shifts price.
+	rng := rand.New(rand.NewSource(99))
+	conds := []string{"new", "like-new", "used"}
+	mounts := []string{"pro", "vintage", "standard"}
+	base := map[string]float64{"pro": 1800, "vintage": 700, "standard": 350}
+	condMul := map[string]float64{"new": 1.0, "like-new": 0.8, "used": 0.55}
+	for i := 0; i < 20000; i++ {
+		c := conds[rng.Intn(3)]
+		mt := mounts[rng.Intn(3)]
+		price := base[mt] * condMul[c] * (0.6 + rng.Float64())
+		if err := ds.AppendRow(price, c, mt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sky := ds.Skyline()
+	fmt.Printf("marketplace: %d listings, %d on the skyline\n\n", ds.Len(), len(sky))
+
+	picked, err := ds.Diversify(4, skydiver.Options{SignatureSize: 128, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("4 most diverse skyline listings:")
+	fmt.Printf("  %-9s %-10s %s\n", "price", "condition", "mount")
+	for _, row := range picked {
+		fmt.Printf("  $%-8.0f %-10v %v\n", ds.Cell(row, 0), ds.Cell(row, 1), ds.Cell(row, 2))
+	}
+	fmt.Println("\nThe selection spans the incomparable mount branches and the")
+	fmt.Println("condition chain — trade-offs no Euclidean embedding could rank.")
+}

@@ -1,0 +1,94 @@
+// Products: a four-criteria catalog with mixed preferences, comparing
+// algorithms.
+//
+// A shopping site wants to show a handful of laptops from the Pareto
+// frontier of (price ↓, weight ↓, battery ↑, review score ↑). The full
+// skyline is too large to show, and the criteria mix units (dollars, kilos,
+// hours, stars), so any Lp-distance diversification would be dominated by
+// whichever dimension has the widest scale. SkyDiver's dominance-based
+// diversity is scale-free by construction.
+//
+// The example contrasts the fast MinHash pipeline with the exact
+// Simple-Greedy baseline and shows the cost accounting for both.
+//
+// Run with: go run ./examples/products
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"skydiver"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2013))
+	// A synthetic catalog: 50,000 laptops with realistic trade-offs — cheap
+	// machines are heavy with poor batteries, premium ones are light and
+	// long-lived, and review score loosely tracks build quality.
+	const n = 50000
+	rows := make([][]float64, n)
+	for i := range rows {
+		tier := rng.Float64() // 0 = budget, 1 = premium
+		price := 300 + 2200*tier + rng.NormFloat64()*150
+		weight := 2.9 - 1.6*tier + rng.NormFloat64()*0.3
+		battery := 4 + 12*tier + rng.NormFloat64()*2.5
+		review := 3 + 1.8*tier + rng.NormFloat64()*0.6
+		rows[i] = []float64{
+			clamp(price, 200, 4000),
+			clamp(weight, 0.8, 4.5),
+			clamp(battery, 2, 20),
+			clamp(review, 1, 5),
+		}
+	}
+	prefs := []skydiver.Pref{skydiver.Min, skydiver.Min, skydiver.Max, skydiver.Max}
+	ds, err := skydiver.NewDataset("laptops", rows, prefs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := ds.SkylineSize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d laptops, %d on the Pareto frontier — far too many to show\n\n", n, m)
+
+	const k = 5
+	for _, cfg := range []struct {
+		name string
+		opts skydiver.Options
+	}{
+		{"SkyDiver-MH (signatures, index-free pass)", skydiver.Options{K: k, Algorithm: skydiver.MinHash}},
+		{"SkyDiver-LSH (banded signatures)", skydiver.Options{K: k, Algorithm: skydiver.LSH}},
+		{"Simple-Greedy (exact Jaccard via R-tree range queries)", skydiver.Options{K: k, Algorithm: skydiver.Greedy}},
+	} {
+		res, err := ds.Diversify(cfg.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		div, err := ds.ExactDiversity(res.Indexes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", cfg.name)
+		fmt.Printf("  %-9s %-8s %-9s %-7s\n", "price", "weight", "battery", "review")
+		for _, p := range res.Points {
+			fmt.Printf("  $%-8.0f %-5.1fkg  %-6.1fh   %.1f★\n", p[0], p[1], p[2], p[3])
+		}
+		fmt.Printf("  exact diversity %.3f | cpu %v | simulated I/O %v (%d faults)\n\n",
+			div, res.CPUTime.Round(1e6), res.IOTime, res.PageFaults)
+	}
+	fmt.Println("Note how each selection spans the budget/premium spectrum instead of")
+	fmt.Println("clustering on one corner of the frontier: points whose dominated sets")
+	fmt.Println("barely overlap are, by construction, different kinds of best.")
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

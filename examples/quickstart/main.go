@@ -1,0 +1,68 @@
+// Quickstart: compute a skyline and pick its k most diverse points.
+//
+// The scenario is the classic one from the skyline literature: hotels with a
+// price (lower is better) and a rating (higher is better). The skyline holds
+// every hotel not beaten on both criteria; SkyDiver then picks the k skyline
+// hotels whose dominated sets overlap least — the ones that represent truly
+// different trade-offs, not near-duplicates on the skyline contour.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skydiver"
+)
+
+func main() {
+	hotels := [][]float64{
+		// price ($), rating (stars)
+		{49, 2.8},  // Budget Inn
+		{55, 3.1},  // Roadside Lodge
+		{79, 3.9},  // Central Hotel
+		{85, 3.7},  // Station Rooms
+		{110, 4.3}, // Park View
+		{130, 4.2}, // Old Mill
+		{180, 4.8}, // Grand Plaza
+		{240, 4.9}, // The Meridian
+		{260, 4.7}, // Harbor House
+		{95, 3.0},  // Transit Hotel
+	}
+	names := []string{
+		"Budget Inn", "Roadside Lodge", "Central Hotel", "Station Rooms",
+		"Park View", "Old Mill", "Grand Plaza", "The Meridian",
+		"Harbor House", "Transit Hotel",
+	}
+
+	// Minimize price, maximize rating.
+	ds, err := skydiver.NewDataset("hotels", hotels, []skydiver.Pref{skydiver.Min, skydiver.Max})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sky, err := ds.Skyline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Skyline (no hotel is cheaper AND better rated):")
+	for _, idx := range sky {
+		fmt.Printf("  %-15s $%-4.0f %.1f stars\n", names[idx], hotels[idx][0], hotels[idx][1])
+	}
+
+	res, err := ds.Diversify(skydiver.Options{K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n3 most diverse skyline hotels (SkyDiver-MH):")
+	for rank, idx := range res.Indexes {
+		fmt.Printf("  %d. %-15s $%-4.0f %.1f stars\n", rank+1, names[idx], hotels[idx][0], hotels[idx][1])
+	}
+
+	div, err := ds.ExactDiversity(res.Indexes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact diversity (min pairwise Jaccard distance of dominated sets): %.3f\n", div)
+}

@@ -1,0 +1,143 @@
+package skydiver
+
+import "testing"
+
+func TestDiversifyRelativePublic(t *testing.T) {
+	// Candidate plans judged by the workload points they improve (dominate).
+	candidates := [][]float64{
+		{0.10, 0.10}, // best on the left cluster
+		{5.10, 0.01}, // best on the right cluster
+		{0.15, 0.12}, // redundant with candidate 0
+	}
+	var reference [][]float64
+	for i := 0; i < 60; i++ {
+		reference = append(reference, []float64{0.2 + float64(i%6)/10, 0.2 + float64(i/6)/100})
+	}
+	for i := 0; i < 40; i++ {
+		reference = append(reference, []float64{5.2 + float64(i%5)/10, 0.02 + float64(i/5)/1000})
+	}
+	sel, err := DiversifyRelative(candidates, reference, nil, 2, Options{SignatureSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != 0 || sel[1] != 1 {
+		t.Errorf("selected %v, want [0 1]", sel)
+	}
+	// With max preferences the orientation flips: negate expectations by
+	// giving the mirrored data.
+	if _, err := DiversifyRelative(candidates, [][]float64{{1, 2, 3}}, nil, 1, Options{}); err == nil {
+		t.Error("expected dims mismatch error")
+	}
+}
+
+func TestDiversifyParallelWorkersIdentical(t *testing.T) {
+	ds, err := Generate(Anticorrelated, 5000, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ds.Diversify(Options{K: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ds.Diversify(Options{K: 5, Seed: 4, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Indexes {
+		if seq.Indexes[i] != par.Indexes[i] {
+			t.Fatalf("parallel fingerprinting changed the selection: %v vs %v", seq.Indexes, par.Indexes)
+		}
+	}
+}
+
+func TestMixedDatasetPublic(t *testing.T) {
+	condition := Chain("new", "used")
+	ds, err := NewMixedDataset([]MixedAttr{
+		{Name: "price"},
+		{Name: "condition", Order: condition},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		price float64
+		cond  string
+	}{
+		{100, "new"},  // 0: skyline
+		{80, "used"},  // 1: skyline (cheaper, worse condition)
+		{120, "new"},  // 2: dominated by 0
+		{90, "used"},  // 3: dominated by 1
+		{150, "used"}, // 4: dominated by everyone cheaper
+	}
+	for _, r := range rows {
+		if err := ds.AppendRow(r.price, r.cond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sky := ds.Skyline()
+	if len(sky) != 2 || sky[0] != 0 || sky[1] != 1 {
+		t.Fatalf("skyline = %v", sky)
+	}
+	picked, err := ds.Diversify(2, Options{SignatureSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picked) != 2 {
+		t.Fatal("wrong selection size")
+	}
+	if ds.Cell(0, 1) != "new" || ds.Cell(0, 0) != 100.0 {
+		t.Error("Cell broken")
+	}
+	if ds.Len() != 5 {
+		t.Error("Len broken")
+	}
+	if _, err := NewMixedDataset(nil); err == nil {
+		t.Error("expected schema error")
+	}
+	if _, err := ds.Diversify(0, Options{}); err == nil {
+		t.Error("expected k error")
+	}
+}
+
+func TestStreamMonitorPublic(t *testing.T) {
+	prefs := []Pref{Min, Max}
+	mon, err := NewStreamMonitor(2, 3, 1, prefs, Options{SignatureSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// price min, rating max.
+	mon.Add([]float64{100, 4.0})
+	mon.Add([]float64{120, 3.0}) // dominated
+	mon.Add([]float64{90, 4.5})  // dominates both
+	sky, err := mon.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sky) != 1 || sky[0].Seq != 2 {
+		t.Fatalf("skyline = %v", sky)
+	}
+	// Points come back in original orientation.
+	if sky[0].Point[1] != 4.5 {
+		t.Errorf("orientation not restored: %v", sky[0].Point)
+	}
+	// Eviction: adding two more evicts the dominator.
+	mon.Add([]float64{200, 1.0})
+	mon.Add([]float64{210, 1.1})
+	if mon.Len() != 3 || mon.Seen() != 5 {
+		t.Fatal("window bookkeeping broken")
+	}
+	deals, err := mon.Diverse()
+	if err != nil || len(deals) != 1 {
+		t.Fatalf("diverse: %v %v", deals, err)
+	}
+	// Validation paths.
+	if _, err := NewStreamMonitor(2, 3, 1, []Pref{Min}, Options{}); err == nil {
+		t.Error("expected prefs validation error")
+	}
+	if _, err := NewStreamMonitor(2, 0, 1, nil, Options{}); err == nil {
+		t.Error("expected capacity error")
+	}
+	if _, err := mon.Add([]float64{1}); err == nil {
+		t.Error("expected dims error")
+	}
+}

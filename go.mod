@@ -1,0 +1,3 @@
+module skydiver
+
+go 1.22

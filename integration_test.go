@@ -1,0 +1,164 @@
+package skydiver
+
+import (
+	"testing"
+)
+
+// TestIntegrationAllFamilies drives the complete public pipeline — generate,
+// index, skyline, diversify with every algorithm, evaluate exact quality —
+// on each dataset family the paper evaluates, checking the cross-algorithm
+// invariants that define the system's behaviour.
+func TestIntegrationAllFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	families := []struct {
+		dist Distribution
+		n, d int
+	}{
+		{Independent, 4000, 3},
+		{Anticorrelated, 3000, 3},
+		{Correlated, 6000, 3},
+		{ForestCover, 4000, 5},
+		{Recipes, 4000, 5},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.dist.String(), func(t *testing.T) {
+			ds, err := Generate(fam.dist, fam.n, fam.d, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sky, err := ds.Skyline()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sky) == 0 {
+				t.Fatal("empty skyline")
+			}
+			k := 5
+			if k > len(sky) {
+				k = len(sky)
+			}
+			type outcome struct {
+				name string
+				div  float64
+			}
+			var outs []outcome
+			for _, algo := range []Algorithm{MinHash, LSH, Greedy} {
+				res, err := ds.Diversify(Options{K: k, Algorithm: algo, Seed: 3})
+				if err != nil {
+					t.Fatalf("%v: %v", algo, err)
+				}
+				// Every selected point is on the skyline.
+				onSky := map[int]bool{}
+				for _, s := range sky {
+					onSky[s] = true
+				}
+				for _, idx := range res.Indexes {
+					if !onSky[idx] {
+						t.Fatalf("%v selected non-skyline point %d", algo, idx)
+					}
+				}
+				div, err := ds.ExactDiversity(res.Indexes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				outs = append(outs, outcome{algo.String(), div})
+			}
+			// SG (exact distances) must not be materially worse than the
+			// estimated pipelines: allow a small estimator-luck margin.
+			sg := outs[2].div
+			for _, o := range outs[:2] {
+				if sg < o.div-0.15 {
+					t.Errorf("SG quality %.3f far below %s's %.3f", sg, o.name, o.div)
+				}
+			}
+			// The seed point must be a maximum-domination-score skyline point
+			// in every pipeline (checked via the public DominationScore).
+			res, err := ds.Diversify(Options{K: 1, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seedScore, err := ds.DominationScore(res.Indexes[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range sky {
+				sc, err := ds.DominationScore(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sc > seedScore {
+					t.Fatalf("seed score %d beaten by skyline point %d (%d)", seedScore, s, sc)
+				}
+			}
+			// Streaming and external skylines agree with the cached BBS one.
+			ext, passes, err := ds.SkylineExternal(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if passes < 1 || len(ext) != len(sky) {
+				t.Fatalf("external skyline %d points in %d passes, want %d", len(ext), passes, len(sky))
+			}
+			for i := range sky {
+				if ext[i] != sky[i] {
+					t.Fatal("external skyline disagrees with BBS")
+				}
+			}
+			stream, err := ds.SkylineStreaming(16, 40, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			onSky := map[int]bool{}
+			for _, s := range sky {
+				onSky[s] = true
+			}
+			for _, s := range stream.Indexes {
+				if !onSky[s] {
+					t.Fatalf("streaming skyline produced false positive %d", s)
+				}
+			}
+			if stream.Complete && len(stream.Indexes) != len(sky) {
+				t.Fatal("complete streaming run missed skyline points")
+			}
+		})
+	}
+}
+
+// TestIntegrationTopKVsDiversify: on every family, the top-k dominating set
+// concentrates on high-score points while the diverse set spreads — the
+// coverage-versus-diversity contrast of Table 1 through the public API.
+func TestIntegrationTopKVsDiversify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ds, err := Generate(Independent, 6000, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	topIdx, topScores, err := ds.TopKDominating(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divRes, err := ds.Diversify(Options{K: k, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diversify selects only skyline points; top-k may not. Both share the
+	// global maximum, by the seeding rule.
+	if topIdx[0] != divRes.Indexes[0] {
+		t.Errorf("top-1 dominating %d != diversify seed %d", topIdx[0], divRes.Indexes[0])
+	}
+	if topScores[0] < topScores[k-1] {
+		t.Error("top-k scores not sorted")
+	}
+}
+
+func TestSkylineStreamingValidation(t *testing.T) {
+	ds, _ := Generate(Independent, 500, 2, 1)
+	if _, err := ds.SkylineStreaming(8, 0, 1); err == nil {
+		t.Error("expected maxPasses validation error")
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"skydiver/internal/data"
+	"skydiver/internal/dispersion"
+	"skydiver/internal/lsh"
+	"skydiver/internal/minhash"
+	"skydiver/internal/pager"
+	"skydiver/internal/rtree"
+)
+
+// FingerprintMode selects how Phase 1 generates signatures.
+type FingerprintMode int
+
+// Fingerprinting modes.
+const (
+	// IndexFree runs SigGen-IF: one sequential pass over the data file.
+	IndexFree FingerprintMode = iota
+	// IndexBased runs SigGen-IB over the aggregate R*-tree.
+	IndexBased
+)
+
+// String names the mode as the paper does (IF/IB).
+func (m FingerprintMode) String() string {
+	if m == IndexBased {
+		return "IB"
+	}
+	return "IF"
+}
+
+// Config parameterizes a SkyDiver run.
+type Config struct {
+	// K is the number of diverse skyline points to select.
+	K int
+	// SignatureSize is t, the number of MinHash slots (default 100, the
+	// paper's default after Figure 8/12).
+	SignatureSize int
+	// Mode selects index-free or index-based fingerprinting.
+	Mode FingerprintMode
+	// Seed drives the hash family and LSH zone keys.
+	Seed int64
+	// LSHThreshold is ξ; used by SkyDiverLSH only (default 0.2).
+	LSHThreshold float64
+	// LSHBuckets is B, the buckets per zone; used by SkyDiverLSH only
+	// (default 20).
+	LSHBuckets int
+	// Workers parallelizes index-free fingerprinting across goroutines
+	// (0 or 1 = sequential; <0 = GOMAXPROCS). Output is identical to the
+	// sequential pass. Ignored in IndexBased mode.
+	Workers int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.SignatureSize == 0 {
+		c.SignatureSize = 100
+	}
+	if c.LSHThreshold == 0 {
+		c.LSHThreshold = 0.2
+	}
+	if c.LSHBuckets == 0 {
+		c.LSHBuckets = 20
+	}
+	return c
+}
+
+func (c Config) validate(m int) error {
+	if c.K < 1 {
+		return fmt.Errorf("core: non-positive k %d", c.K)
+	}
+	if c.K > m {
+		return fmt.Errorf("core: k %d exceeds skyline size %d", c.K, m)
+	}
+	return nil
+}
+
+// Input bundles what every pipeline needs: the dataset, its skyline (dataset
+// indexes) and, for index-based operation, the aggregate R*-tree.
+type Input struct {
+	Data *data.Dataset
+	Sky  []int
+	Tree *rtree.Tree // required for IndexBased fingerprinting, SG and BF
+}
+
+func (in Input) dataIndexes(selected []int) []int {
+	out := make([]int, len(selected))
+	for i, s := range selected {
+		out[i] = in.Sky[s]
+	}
+	return out
+}
+
+// fingerprint runs Phase 1 according to the config.
+func fingerprint(in Input, cfg Config) (*Fingerprint, error) {
+	fam, err := minhash.NewFamily(cfg.SignatureSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mode == IndexBased {
+		if in.Tree == nil {
+			return nil, fmt.Errorf("core: index-based fingerprinting requires a tree")
+		}
+		return SigGenIB(in.Tree, in.Data, in.Sky, fam)
+	}
+	if cfg.Workers != 0 && cfg.Workers != 1 {
+		return SigGenIFParallel(in.Data, in.Sky, fam, cfg.Workers)
+	}
+	return SigGenIF(in.Data, in.Sky, fam)
+}
+
+// SkyDiverMH is the full MinHash pipeline (Section 4.2.1): fingerprint, then
+// greedily select k points under the estimated Jaccard distance, seeding
+// with the point of maximum domination score and breaking ties by score.
+func SkyDiverMH(in Input, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(len(in.Sky)); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	fp, err := fingerprint(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fpTime := time.Since(start)
+
+	start = time.Now()
+	dist := func(i, j int) float64 { return fp.Matrix.EstimateJd(i, j) }
+	selected, err := dispersion.SelectDiverseSet(len(in.Sky), cfg.K, dist, fp.DomScore)
+	if err != nil {
+		return nil, err
+	}
+	obj := dispersion.MinPairwise(selected, dist)
+	selTime := time.Since(start)
+
+	return &Result{
+		Selected:       selected,
+		DataIndexes:    in.dataIndexes(selected),
+		ObjectiveValue: obj,
+		Stats: Stats{
+			Fingerprint: fpTime,
+			Select:      selTime,
+			IO:          fp.IO,
+			Model:       pager.DefaultCostModel(),
+			MemoryBytes: fp.Matrix.MemoryBytes(),
+		},
+	}, nil
+}
+
+// SkyDiverLSH is the LSH pipeline (Section 4.2.2): fingerprint, band the
+// signatures into bucket bit-vectors, then select greedily under the
+// Hamming distance of the bit-vectors.
+func SkyDiverLSH(in Input, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(len(in.Sky)); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	fp, err := fingerprint(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	params, err := lsh.ChooseParams(cfg.SignatureSize, cfg.LSHThreshold, cfg.LSHBuckets)
+	if err != nil {
+		return nil, err
+	}
+	vectors, err := lsh.Build(fp.Matrix, params, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	fpTime := time.Since(start)
+
+	start = time.Now()
+	dist := func(i, j int) float64 { return float64(vectors.Hamming(i, j)) }
+	selected, err := dispersion.SelectDiverseSet(len(in.Sky), cfg.K, dist, fp.DomScore)
+	if err != nil {
+		return nil, err
+	}
+	obj := dispersion.MinPairwise(selected, dist)
+	selTime := time.Since(start)
+
+	return &Result{
+		Selected:       selected,
+		DataIndexes:    in.dataIndexes(selected),
+		ObjectiveValue: obj,
+		Stats: Stats{
+			Fingerprint: fpTime,
+			Select:      selTime,
+			IO:          fp.IO,
+			Model:       pager.DefaultCostModel(),
+			MemoryBytes: vectors.MemoryBytes(),
+		},
+	}, nil
+}
+
+// SimpleGreedy is the baseline of Section 3.2: the same greedy selection,
+// but every distance evaluation issues exact range-count queries on the
+// R*-tree (one common-dominance count per pair, plus one dominance count per
+// skyline point for the scores). Its cost is dominated by this query I/O.
+func SimpleGreedy(in Input, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(len(in.Sky)); err != nil {
+		return nil, err
+	}
+	if in.Tree == nil {
+		return nil, fmt.Errorf("core: Simple-Greedy requires a tree")
+	}
+	before := in.Tree.Stats()
+	start := time.Now()
+	oracle := NewExactOracle(in.Tree, in.Data, in.Sky)
+	scores, err := oracle.DomScores()
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	dist := func(i, j int) float64 {
+		d, err := oracle.Jd(i, j)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return d
+	}
+	selected, err := dispersion.SelectDiverseSet(len(in.Sky), cfg.K, dist, scores)
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	obj := dispersion.MinPairwise(selected, dist)
+	elapsed := time.Since(start)
+	after := in.Tree.Stats()
+
+	return &Result{
+		Selected:       selected,
+		DataIndexes:    in.dataIndexes(selected),
+		ObjectiveValue: obj,
+		Stats: Stats{
+			Select: elapsed,
+			IO:     ioDelta(before, after),
+			Model:  pager.DefaultCostModel(),
+		},
+	}, nil
+}
+
+// BruteForce is the exhaustive baseline of Section 3.2: all pairwise exact
+// Jaccard distances, then enumeration of all C(m, k) subsets for the optimal
+// k-MMDP value. Exponential in k; only run it on small skylines.
+func BruteForce(in Input, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(len(in.Sky)); err != nil {
+		return nil, err
+	}
+	if in.Tree == nil {
+		return nil, fmt.Errorf("core: Brute-Force requires a tree")
+	}
+	before := in.Tree.Stats()
+	start := time.Now()
+	oracle := NewExactOracle(in.Tree, in.Data, in.Sky)
+	m := len(in.Sky)
+	// Materialize the full distance matrix (the O(m²) cost of Section 3.2).
+	dmat := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d, err := oracle.Jd(i, j)
+			if err != nil {
+				return nil, err
+			}
+			dmat[i*m+j] = d
+			dmat[j*m+i] = d
+		}
+	}
+	dist := func(i, j int) float64 { return dmat[i*m+j] }
+	selected, obj, err := dispersion.BruteForce(m, cfg.K, dist, dispersion.MaxMin)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	after := in.Tree.Stats()
+
+	return &Result{
+		Selected:       selected,
+		DataIndexes:    in.dataIndexes(selected),
+		ObjectiveValue: obj,
+		Stats: Stats{
+			Select: elapsed,
+			IO:     ioDelta(before, after),
+			Model:  pager.DefaultCostModel(),
+		},
+	}, nil
+}
+
+// DiversifySets runs the framework on an explicit dominance graph: lists[j]
+// holds the row ids dominated by skyline point j, and no coordinates are
+// needed (Figure 1's setting). Selection uses MinHash signature distances.
+func DiversifySets(lists [][]int, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(len(lists)); err != nil {
+		return nil, err
+	}
+	fam, err := minhash.NewFamily(cfg.SignatureSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	fp, err := SigGenSets(lists, fam)
+	if err != nil {
+		return nil, err
+	}
+	fpTime := time.Since(start)
+	start = time.Now()
+	dist := func(i, j int) float64 { return fp.Matrix.EstimateJd(i, j) }
+	selected, err := dispersion.SelectDiverseSet(len(lists), cfg.K, dist, fp.DomScore)
+	if err != nil {
+		return nil, err
+	}
+	obj := dispersion.MinPairwise(selected, dist)
+	selTime := time.Since(start)
+	return &Result{
+		Selected:       selected,
+		DataIndexes:    selected,
+		ObjectiveValue: obj,
+		Stats: Stats{
+			Fingerprint: fpTime,
+			Select:      selTime,
+			Model:       pager.DefaultCostModel(),
+			MemoryBytes: fp.Matrix.MemoryBytes(),
+		},
+	}, nil
+}
+
+func ioDelta(before, after pager.Stats) pager.Stats {
+	return pager.Stats{
+		Reads:  after.Reads - before.Reads,
+		Hits:   after.Hits - before.Hits,
+		Faults: after.Faults - before.Faults,
+		Writes: after.Writes - before.Writes,
+	}
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"skydiver/internal/coverage"
+	"skydiver/internal/data"
+	"skydiver/internal/minhash"
+	"skydiver/internal/rtree"
+	"skydiver/internal/skyline"
+)
+
+// testInput builds a dataset, its skyline and its R*-tree.
+func testInput(t testing.TB, ds *data.Dataset) Input {
+	t.Helper()
+	tr, err := rtree.BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky, err := skyline.ComputeBBS(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Reopen(0.2)
+	return Input{Data: ds, Sky: sky, Tree: tr}
+}
+
+func TestFingerprintModeString(t *testing.T) {
+	if IndexFree.String() != "IF" || IndexBased.String() != "IB" {
+		t.Error("mode strings")
+	}
+}
+
+func TestSigGenIFMatchesExplicitSets(t *testing.T) {
+	// SigGen-IF assigns dataset indexes as row ids, so fingerprinting the
+	// explicitly materialized Γ lists with the same family must produce the
+	// exact same signature matrix.
+	ds := data.Independent(3000, 3, 4)
+	in := testInput(t, ds)
+	fam, _ := minhash.NewFamily(64, 9)
+	fp, err := SigGenIF(ds, in.Sky, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := coverage.BuildPostings(ds, in.Sky)
+	lists := make([][]int, len(post.Lists))
+	for j, l := range post.Lists {
+		for _, r := range l {
+			lists[j] = append(lists[j], int(r))
+		}
+	}
+	fam2, _ := minhash.NewFamily(64, 9)
+	fp2, err := SigGenSets(lists, fam2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range in.Sky {
+		a, b := fp.Matrix.Column(j), fp2.Matrix.Column(j)
+		for s := range a {
+			if a[s] != b[s] {
+				t.Fatalf("column %d slot %d: %d != %d", j, s, a[s], b[s])
+			}
+		}
+		if fp.DomScore[j] != float64(len(lists[j])) {
+			t.Fatalf("column %d DomScore %v != |Γ| %d", j, fp.DomScore[j], len(lists[j]))
+		}
+	}
+	if fp.IO.Faults == 0 {
+		t.Error("IF must charge sequential-scan faults")
+	}
+}
+
+func TestSigGenIBDomScoresMatchIF(t *testing.T) {
+	for _, ds := range []*data.Dataset{
+		data.Independent(4000, 3, 5),
+		data.Anticorrelated(3000, 3, 5),
+		data.SyntheticForestCover(3000, 5),
+	} {
+		in := testInput(t, ds)
+		fam, _ := minhash.NewFamily(32, 3)
+		ifp, err := SigGenIF(ds, in.Sky, fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fam2, _ := minhash.NewFamily(32, 3)
+		ibp, err := SigGenIB(in.Tree, ds, in.Sky, fam2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range in.Sky {
+			if ifp.DomScore[j] != ibp.DomScore[j] {
+				t.Fatalf("%s: column %d dom score IF %v != IB %v", ds.Name(), j, ifp.DomScore[j], ibp.DomScore[j])
+			}
+		}
+		if ibp.IO.Reads == 0 {
+			t.Error("IB must charge tree I/O")
+		}
+	}
+}
+
+// TestSigGenEstimatesTrackExactJaccard: both generators' estimated distances
+// should be close to the exact Jaccard distance of the Γ sets.
+func TestSigGenEstimatesTrackExactJaccard(t *testing.T) {
+	ds := data.Independent(5000, 3, 12)
+	in := testInput(t, ds)
+	post := coverage.BuildPostings(ds, in.Sky)
+	const tSig = 400
+	fam, _ := minhash.NewFamily(tSig, 8)
+	ifp, err := SigGenIF(ds, in.Sky, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam2, _ := minhash.NewFamily(tSig, 8)
+	ibp, err := SigGenIB(in.Tree, ds, in.Sky, fam2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(in.Sky)
+	maxErrIF, maxErrIB := 0.0, 0.0
+	pairs := 0
+	for i := 0; i < m && pairs < 300; i += 3 {
+		for j := i + 1; j < m && pairs < 300; j += 5 {
+			exact := post.Jaccard(i, j)
+			if e := math.Abs(ifp.Matrix.EstimateJd(i, j) - exact); e > maxErrIF {
+				maxErrIF = e
+			}
+			if e := math.Abs(ibp.Matrix.EstimateJd(i, j) - exact); e > maxErrIB {
+				maxErrIB = e
+			}
+			pairs++
+		}
+	}
+	// Standard error at t=400 is ~0.025; allow generous 6σ for the max over
+	// 300 pairs.
+	if maxErrIF > 0.15 {
+		t.Errorf("IF max estimation error %v", maxErrIF)
+	}
+	if maxErrIB > 0.15 {
+		t.Errorf("IB max estimation error %v", maxErrIB)
+	}
+}
+
+func TestSigGenErrors(t *testing.T) {
+	ds := data.Independent(100, 2, 1)
+	fam, _ := minhash.NewFamily(8, 1)
+	if _, err := SigGenIF(ds, nil, fam); err == nil {
+		t.Error("expected empty-skyline error")
+	}
+	if _, err := SigGenSets(nil, fam); err == nil {
+		t.Error("expected empty-skyline error")
+	}
+	tr, _ := rtree.BulkLoad(ds)
+	if _, err := SigGenIB(tr, ds, nil, fam); err == nil {
+		t.Error("expected empty-skyline error")
+	}
+	other := data.Independent(100, 3, 1)
+	if _, err := SigGenIB(tr, other, []int{0}, fam); err == nil {
+		t.Error("expected dims mismatch error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := data.Independent(500, 3, 2)
+	in := testInput(t, ds)
+	if _, err := SkyDiverMH(in, Config{K: 0}); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := SkyDiverMH(in, Config{K: len(in.Sky) + 1}); err == nil {
+		t.Error("expected error for k>m")
+	}
+	if _, err := SkyDiverMH(Input{Data: ds, Sky: in.Sky}, Config{K: 2, Mode: IndexBased}); err == nil {
+		t.Error("expected error for IB without tree")
+	}
+	if _, err := SimpleGreedy(Input{Data: ds, Sky: in.Sky}, Config{K: 2}); err == nil {
+		t.Error("expected error for SG without tree")
+	}
+	if _, err := BruteForce(Input{Data: ds, Sky: in.Sky}, Config{K: 2}); err == nil {
+		t.Error("expected error for BF without tree")
+	}
+}
+
+func checkResult(t *testing.T, in Input, res *Result, k int) {
+	t.Helper()
+	if len(res.Selected) != k || len(res.DataIndexes) != k {
+		t.Fatalf("selected %d points, want %d", len(res.Selected), k)
+	}
+	seen := map[int]bool{}
+	for i, s := range res.Selected {
+		if s < 0 || s >= len(in.Sky) {
+			t.Fatalf("selected position %d out of range", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate selection %d", s)
+		}
+		seen[s] = true
+		if res.DataIndexes[i] != in.Sky[s] {
+			t.Fatalf("data index mismatch at %d", i)
+		}
+	}
+}
+
+func TestPipelinesEndToEnd(t *testing.T) {
+	ds := data.Anticorrelated(4000, 3, 31)
+	in := testInput(t, ds)
+	k := 5
+	type run struct {
+		name string
+		fn   func() (*Result, error)
+	}
+	runs := []run{
+		{"MH-IF", func() (*Result, error) { return SkyDiverMH(in, Config{K: k, Mode: IndexFree}) }},
+		{"MH-IB", func() (*Result, error) { return SkyDiverMH(in, Config{K: k, Mode: IndexBased}) }},
+		{"LSH-IF", func() (*Result, error) { return SkyDiverLSH(in, Config{K: k, Mode: IndexFree}) }},
+		{"LSH-IB", func() (*Result, error) { return SkyDiverLSH(in, Config{K: k, Mode: IndexBased}) }},
+		{"SG", func() (*Result, error) { return SimpleGreedy(in, Config{K: k}) }},
+	}
+	oracle := NewExactOracle(in.Tree, ds, in.Sky)
+	for _, r := range runs {
+		res, err := r.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		checkResult(t, in, res, k)
+		// Exact diversity of any reasonable selection on ANT data is high.
+		div, err := oracle.MinPairwiseJd(res.Selected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if div < 0.2 {
+			t.Errorf("%s: exact diversity %v suspiciously low", r.name, div)
+		}
+		if res.Stats.Total() < res.Stats.CPU() {
+			t.Errorf("%s: total < CPU", r.name)
+		}
+	}
+}
+
+// TestSeedIsMaxDominationScore: every pipeline must seed the selection with
+// the skyline point of maximum domination score (Figure 6, line 3).
+func TestSeedIsMaxDominationScore(t *testing.T) {
+	ds := data.Independent(3000, 3, 17)
+	in := testInput(t, ds)
+	post := coverage.BuildPostings(ds, in.Sky)
+	scores := post.DominationScores()
+	argmax := 0
+	for j, s := range scores {
+		if s > scores[argmax] {
+			argmax = j
+		}
+	}
+	for name, fn := range map[string]func() (*Result, error){
+		"MH":  func() (*Result, error) { return SkyDiverMH(in, Config{K: 3}) },
+		"LSH": func() (*Result, error) { return SkyDiverLSH(in, Config{K: 3}) },
+		"SG":  func() (*Result, error) { return SimpleGreedy(in, Config{K: 3}) },
+	} {
+		res, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Selected[0] != argmax {
+			t.Errorf("%s: seed %d, want max-score point %d", name, res.Selected[0], argmax)
+		}
+	}
+}
+
+// TestSimpleGreedyMatchesPostingsOracle: SG through R-tree range counting
+// must select exactly what a postings-based exact-Jaccard greedy selects.
+func TestSimpleGreedyMatchesPostingsOracle(t *testing.T) {
+	ds := data.Independent(3000, 4, 23)
+	in := testInput(t, ds)
+	res, err := SimpleGreedy(in, Config{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := coverage.BuildPostings(ds, in.Sky)
+	oracleJd := func(i, j int) float64 { return post.Jaccard(i, j) }
+	wantSel, err := selectWithPostings(post, 6, oracleJd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantSel {
+		if res.Selected[i] != wantSel[i] {
+			t.Fatalf("selection diverges at %d: %v vs %v", i, res.Selected, wantSel)
+		}
+	}
+	if res.Stats.IO.Reads == 0 {
+		t.Error("SG must incur range-query I/O")
+	}
+}
+
+// selectWithPostings mirrors the greedy selection using postings-based exact
+// distances and scores.
+func selectWithPostings(post *coverage.Postings, k int, jd func(i, j int) float64) ([]int, error) {
+	scores := post.DominationScores()
+	m := len(post.Lists)
+	first := 0
+	for j := range scores {
+		if scores[j] > scores[first] {
+			first = j
+		}
+	}
+	sel := []int{first}
+	minDist := make([]float64, m)
+	for i := range minDist {
+		minDist[i] = jd(i, first)
+	}
+	chosen := map[int]bool{first: true}
+	for len(sel) < k {
+		best := -1
+		for i := 0; i < m; i++ {
+			if chosen[i] {
+				continue
+			}
+			if best == -1 || minDist[i] > minDist[best] ||
+				(minDist[i] == minDist[best] && scores[i] > scores[best]) {
+				best = i
+			}
+		}
+		sel = append(sel, best)
+		chosen[best] = true
+		for i := 0; i < m; i++ {
+			if !chosen[i] {
+				if d := jd(i, best); d < minDist[i] {
+					minDist[i] = d
+				}
+			}
+		}
+	}
+	return sel, nil
+}
+
+// TestBruteForceOptimal: BF's objective is at least SG's, and within a
+// factor 2 certifies the greedy guarantee.
+func TestBruteForceOptimalVsGreedy(t *testing.T) {
+	// Small dataset so the skyline stays small enough for BF.
+	ds := data.Independent(300, 2, 3)
+	in := testInput(t, ds)
+	if len(in.Sky) > 15 {
+		t.Skip("skyline unexpectedly large")
+	}
+	k := 3
+	if k > len(in.Sky) {
+		k = len(in.Sky)
+	}
+	bf, err := BruteForce(in, Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := SimpleGreedy(in, Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.ObjectiveValue > bf.ObjectiveValue+1e-12 {
+		t.Errorf("greedy %v beat brute force %v", sg.ObjectiveValue, bf.ObjectiveValue)
+	}
+	if sg.ObjectiveValue < bf.ObjectiveValue/2-1e-12 {
+		t.Errorf("greedy %v below OPT/2 = %v", sg.ObjectiveValue, bf.ObjectiveValue/2)
+	}
+}
+
+// TestDiversifySetsFigure1 reproduces the paper's introductory example: on
+// the Figure 1 dominance graph, max-coverage would pick (b, c) but SkyDiver
+// picks (c, a).
+func TestDiversifySetsFigure1(t *testing.T) {
+	lists := [][]int{
+		{0},                    // a
+		{1, 2, 3, 4, 5, 6},     // b
+		{4, 5, 6, 7, 8, 9, 10}, // c
+		{7, 8, 9},              // d
+	}
+	res, err := DiversifySets(lists, Config{K: 2, SignatureSize: 256, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]int{}, res.Selected...)
+	sort.Ints(got)
+	if got[0] != 0 || got[1] != 2 {
+		t.Errorf("selected %v, want (c, a) = [0 2]", res.Selected)
+	}
+	// c first (max domination score), a second.
+	if res.Selected[0] != 2 {
+		t.Errorf("seed %d, want c = 2", res.Selected[0])
+	}
+}
+
+func TestExactOracle(t *testing.T) {
+	ds := data.Independent(2000, 3, 41)
+	in := testInput(t, ds)
+	post := coverage.BuildPostings(ds, in.Sky)
+	oracle := NewExactOracle(in.Tree, ds, in.Sky)
+	for i := 0; i < len(in.Sky); i += 3 {
+		g, err := oracle.Gamma(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != len(post.Lists[i]) {
+			t.Fatalf("Gamma(%d) = %d, want %d", i, g, len(post.Lists[i]))
+		}
+		for j := i + 1; j < len(in.Sky); j += 7 {
+			d, err := oracle.Jd(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := post.Jaccard(i, j); math.Abs(d-want) > 1e-12 {
+				t.Fatalf("Jd(%d,%d) = %v, want %v", i, j, d, want)
+			}
+		}
+	}
+	if d, _ := oracle.Jd(0, 0); d != 0 {
+		t.Error("self distance must be 0")
+	}
+	// Memoization: repeated queries must not add I/O.
+	before := in.Tree.Stats()
+	oracle.Jd(0, 1)
+	mid := in.Tree.Stats()
+	oracle.Jd(1, 0)
+	after := in.Tree.Stats()
+	if after.Reads != mid.Reads {
+		t.Error("memoization failed for symmetric pair")
+	}
+	_ = before
+	div, err := oracle.MinPairwiseJd([]int{0})
+	if err != nil || div != 1 {
+		t.Error("singleton diversity must be 1")
+	}
+}
+
+// TestLSHUsesLessMemoryThanMH at the paper's default settings.
+func TestLSHMemoryBelowMH(t *testing.T) {
+	ds := data.Anticorrelated(3000, 4, 3)
+	in := testInput(t, ds)
+	mh, err := SkyDiverMH(in, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lshRes, err := SkyDiverLSH(in, Config{K: 5, LSHThreshold: 0.2, LSHBuckets: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lshRes.Stats.MemoryBytes >= mh.Stats.MemoryBytes {
+		t.Errorf("LSH memory %d not below MH %d", lshRes.Stats.MemoryBytes, mh.Stats.MemoryBytes)
+	}
+}
+
+// TestIBSavesReadsOnCorrelatedData: wholesale full-dominance updates must
+// let SigGen-IB touch far fewer pages than the tree holds.
+func TestIBSavesReads(t *testing.T) {
+	ds := data.Correlated(30000, 3, 19)
+	in := testInput(t, ds)
+	in.Tree.Reopen(0.2)
+	fam, _ := minhash.NewFamily(16, 1)
+	fp, err := SigGenIB(in.Tree, ds, in.Sky, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.IO.Reads > int64(in.Tree.NumPages())/2 {
+		t.Errorf("IB read %d of %d pages; pruning ineffective", fp.IO.Reads, in.Tree.NumPages())
+	}
+}
+
+func BenchmarkSkyDiverMHIF(b *testing.B) {
+	ds := data.Independent(20000, 4, 1)
+	in := testInput(b, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SkyDiverMH(in, Config{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkyDiverMHIB(b *testing.B) {
+	ds := data.Independent(20000, 4, 1)
+	in := testInput(b, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SkyDiverMH(in, Config{K: 10, Mode: IndexBased}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimpleGreedy(b *testing.B) {
+	ds := data.Independent(20000, 4, 1)
+	in := testInput(b, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimpleGreedy(in, Config{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"skydiver/internal/data"
+	"skydiver/internal/rtree"
+)
+
+// ExactOracle computes exact Jaccard distances between the dominated sets of
+// skyline points through aggregate range counting on the R*-tree — the
+// machinery behind the Simple-Greedy and Brute-Force baselines and the
+// quality metric of Figures 12 and 13. Pairwise results are memoized so a
+// selection run followed by a quality evaluation does not re-issue queries.
+type ExactOracle struct {
+	tree   *rtree.Tree
+	skyPts [][]float64
+	gamma  []int // |Γ(p)| per skyline point, filled lazily (-1 = unknown)
+	pair   map[[2]int]float64
+}
+
+// NewExactOracle creates an oracle over the skyline of the dataset indexed
+// by tr. The dominance counts are executed lazily, on first use.
+func NewExactOracle(tr *rtree.Tree, ds *data.Dataset, sky []int) *ExactOracle {
+	o := &ExactOracle{
+		tree:   tr,
+		skyPts: make([][]float64, len(sky)),
+		gamma:  make([]int, len(sky)),
+		pair:   make(map[[2]int]float64),
+	}
+	for j, s := range sky {
+		o.skyPts[j] = ds.Point(s)
+		o.gamma[j] = -1
+	}
+	return o
+}
+
+// Gamma returns |Γ(s_i)| via a dominance range count (cached).
+func (o *ExactOracle) Gamma(i int) (int, error) {
+	if o.gamma[i] >= 0 {
+		return o.gamma[i], nil
+	}
+	c, err := o.tree.DominanceCount(o.skyPts[i])
+	if err != nil {
+		return 0, err
+	}
+	o.gamma[i] = c
+	return c, nil
+}
+
+// DomScores returns all domination scores as float64s, the tie-break vector
+// of the selection phase.
+func (o *ExactOracle) DomScores() ([]float64, error) {
+	out := make([]float64, len(o.skyPts))
+	for i := range o.skyPts {
+		g, err := o.Gamma(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = float64(g)
+	}
+	return out, nil
+}
+
+// Jd returns the exact Jaccard distance between the dominated sets of
+// skyline points i and j. Two empty dominated sets are identical (distance
+// 0). The common count is one aggregate range query; |Γ| values are cached.
+func (o *ExactOracle) Jd(i, j int) (float64, error) {
+	if i == j {
+		return 0, nil
+	}
+	key := [2]int{i, j}
+	if i > j {
+		key = [2]int{j, i}
+	}
+	if d, ok := o.pair[key]; ok {
+		return d, nil
+	}
+	gi, err := o.Gamma(i)
+	if err != nil {
+		return 0, err
+	}
+	gj, err := o.Gamma(j)
+	if err != nil {
+		return 0, err
+	}
+	inter, err := o.tree.CommonDominanceCount(o.skyPts[i], o.skyPts[j])
+	if err != nil {
+		return 0, err
+	}
+	union := gi + gj - inter
+	d := 0.0
+	if union > 0 {
+		d = 1 - float64(inter)/float64(union)
+	}
+	o.pair[key] = d
+	return d, nil
+}
+
+// MinPairwiseJd returns the minimum exact Jaccard distance within a set of
+// skyline positions — the diversity quality metric reported in Section 5.
+func (o *ExactOracle) MinPairwiseJd(set []int) (float64, error) {
+	best := 1.0
+	if len(set) < 2 {
+		return 1, nil
+	}
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			d, err := o.Jd(set[i], set[j])
+			if err != nil {
+				return 0, err
+			}
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best, nil
+}

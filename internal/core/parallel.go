@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+	"skydiver/internal/minhash"
+	"skydiver/internal/pager"
+)
+
+// SigGenIFParallel is the parallel variant of SigGen-IF, addressing the
+// paper's "parallelization aspects" future-work item (Section 6). The data
+// file is split into contiguous shards, each scanned by a worker into a
+// private signature matrix; the shard matrices are merged by per-slot
+// minima, which is exact because min-folding is commutative and associative
+// and row ids are globally unique dataset indexes. The result is bit-for-bit
+// identical to the sequential SigGen-IF.
+//
+// workers <= 0 uses GOMAXPROCS. I/O is accounted as the same single
+// sequential pass (each page is still read exactly once across shards).
+func SigGenIFParallel(ds *data.Dataset, sky []int, fam *minhash.Family, workers int) (*Fingerprint, error) {
+	m := len(sky)
+	if m == 0 {
+		return nil, fmt.Errorf("core: empty skyline")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := ds.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return SigGenIF(ds, sky, fam)
+	}
+	t := fam.Size()
+
+	type skyEntry struct {
+		pt  []float64
+		l1  float64
+		col int
+	}
+	entries := make([]skyEntry, m)
+	for j, s := range sky {
+		p := ds.Point(s)
+		entries[j] = skyEntry{pt: p, l1: geom.L1(p), col: j}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].l1 < entries[b].l1 })
+	inSky := make(map[int]bool, m)
+	for _, s := range sky {
+		inSky[s] = true
+	}
+
+	shards := make([]*Fingerprint, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fp := &Fingerprint{Matrix: minhash.NewMatrix(t, m), DomScore: make([]float64, m)}
+			hv := make([]uint32, t)
+			cols := make([]int, 0, 16)
+			for i := lo; i < hi; i++ {
+				if inSky[i] {
+					continue
+				}
+				p := ds.Point(i)
+				l1 := geom.L1(p)
+				cols = cols[:0]
+				for _, e := range entries {
+					if e.l1 >= l1 {
+						break
+					}
+					if geom.Dominates(e.pt, p) {
+						cols = append(cols, e.col)
+					}
+				}
+				if len(cols) == 0 {
+					continue
+				}
+				fam.HashAll(hv, uint64(i))
+				for _, c := range cols {
+					fp.Matrix.UpdateColumn(c, hv)
+					fp.DomScore[c]++
+				}
+			}
+			shards[w] = fp
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	out := &Fingerprint{Matrix: minhash.NewMatrix(t, m), DomScore: make([]float64, m)}
+	for _, fp := range shards {
+		if fp == nil {
+			continue
+		}
+		for c := 0; c < m; c++ {
+			out.Matrix.UpdateColumn(c, fp.Matrix.Column(c))
+			out.DomScore[c] += fp.DomScore[c]
+		}
+	}
+	// The physical pass over the file is unchanged: one sequential read.
+	counter := pager.NewSequentialCounter(8*ds.Dims() + 4)
+	out.IO = pager.Stats{
+		Reads:  int64(n),
+		Faults: int64(counter.PagesForRecords(n)),
+		Hits:   int64(n - counter.PagesForRecords(n)),
+	}
+	return out, nil
+}

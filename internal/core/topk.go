@@ -1,0 +1,97 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"skydiver/internal/pager"
+	"skydiver/internal/rtree"
+)
+
+// TopKDominating returns the k points with the highest domination scores
+// |Γ(p)|, in descending score order, together with their scores. This is the
+// top-k dominating query of Yiu & Mamoulis (cited as [36]), the
+// dominance-based ranking the paper leans on for its seed and tie-break
+// rules; unlike the skyline it may return dominated points (a point just
+// behind the best can outscore every other skyline point).
+//
+// The search is branch-and-bound on the aggregate R*-tree: the score of any
+// point inside an entry is upper-bounded by the dominance count of the
+// entry's lower-left corner, so entries are expanded in decreasing
+// upper-bound order and a popped point is guaranteed to be the next best.
+func TopKDominating(tr *rtree.Tree, k int) (indexes []int, scores []int, err error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: non-positive k %d", k)
+	}
+	if k > tr.Len() {
+		return nil, nil, fmt.Errorf("core: k %d exceeds dataset size %d", k, tr.Len())
+	}
+	h := &topkHeap{}
+	root, err := tr.ReadNode(tr.Root())
+	if err != nil {
+		return nil, nil, err
+	}
+	push := func(n *rtree.Node) error {
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			ub, err := tr.DominanceCount(e.Rect.Lo)
+			if err != nil {
+				return err
+			}
+			if n.Leaf {
+				heap.Push(h, topkItem{score: ub, point: true, rowID: e.RowID})
+			} else {
+				heap.Push(h, topkItem{score: ub, child: e.Child})
+			}
+		}
+		return nil
+	}
+	if err := push(root); err != nil {
+		return nil, nil, err
+	}
+	for h.Len() > 0 && len(indexes) < k {
+		it := heap.Pop(h).(topkItem)
+		if it.point {
+			// Exact score ≥ every remaining upper bound: next best point.
+			indexes = append(indexes, int(it.rowID))
+			scores = append(scores, it.score)
+			continue
+		}
+		n, err := tr.ReadNode(it.child)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := push(n); err != nil {
+			return nil, nil, err
+		}
+	}
+	return indexes, scores, nil
+}
+
+type topkItem struct {
+	score int
+	point bool
+	child pager.PageID
+	rowID uint32
+}
+
+// topkHeap is a max-heap on score; points beat entries at equal score so an
+// exact result is preferred over expanding an equal upper bound.
+type topkHeap []topkItem
+
+func (h topkHeap) Len() int { return len(h) }
+func (h topkHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].point && !h[j].point
+}
+func (h topkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x any)   { *h = append(*h, x.(topkItem)) }
+func (h *topkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

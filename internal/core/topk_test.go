@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+func TestTopKDominatingAgainstNaive(t *testing.T) {
+	for _, ds := range []*data.Dataset{
+		data.Independent(2000, 3, 3),
+		data.Correlated(2000, 3, 4),
+		data.Anticorrelated(1500, 3, 5),
+	} {
+		in := testInput(t, ds)
+		k := 10
+		idx, scores, err := TopKDominating(in.Tree, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) != k || len(scores) != k {
+			t.Fatalf("%s: result size %d", ds.Name(), len(idx))
+		}
+		// Naive scores.
+		naive := make([]int, ds.Len())
+		for i := 0; i < ds.Len(); i++ {
+			for j := 0; j < ds.Len(); j++ {
+				if geom.Dominates(ds.Point(i), ds.Point(j)) {
+					naive[i]++
+				}
+			}
+		}
+		sorted := append([]int{}, naive...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		for r := 0; r < k; r++ {
+			if scores[r] != sorted[r] {
+				t.Fatalf("%s: rank %d score %d, want %d", ds.Name(), r, scores[r], sorted[r])
+			}
+			if naive[idx[r]] != scores[r] {
+				t.Fatalf("%s: reported score %d does not match point %d's true score %d",
+					ds.Name(), scores[r], idx[r], naive[idx[r]])
+			}
+		}
+		// Scores descending.
+		for r := 1; r < k; r++ {
+			if scores[r] > scores[r-1] {
+				t.Fatalf("%s: scores not descending at %d", ds.Name(), r)
+			}
+		}
+	}
+}
+
+// TestTopKDominatingBeyondSkyline: the top-k dominating set may contain
+// non-skyline points — construct a case where it must.
+func TestTopKDominatingBeyondSkyline(t *testing.T) {
+	rows := [][]float64{
+		{0.0, 0.0},  // 0: skyline, dominates everything below
+		{0.1, 0.1},  // 1: dominated by 0, still dominates the crowd
+		{9.0, -1.0}, // 2: skyline (best y), dominates nothing
+	}
+	for i := 0; i < 50; i++ {
+		rows = append(rows, []float64{1 + float64(i%7)/10, 1 + float64(i/7)/10})
+	}
+	ds, _ := data.FromRows("beyond", rows)
+	in := testInput(t, ds)
+	idx, scores, err := TopKDominating(in.Tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("top-2 = %v (scores %v), want [0 1]", idx, scores)
+	}
+}
+
+func TestTopKDominatingValidation(t *testing.T) {
+	ds := data.Independent(100, 2, 1)
+	in := testInput(t, ds)
+	if _, _, err := TopKDominating(in.Tree, 0); err == nil {
+		t.Error("expected k=0 error")
+	}
+	if _, _, err := TopKDominating(in.Tree, 101); err == nil {
+		t.Error("expected k>n error")
+	}
+}
+
+func BenchmarkTopKDominating(b *testing.B) {
+	ds := data.Independent(20000, 3, 1)
+	in := testInput(b, ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TopKDominating(in.Tree, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

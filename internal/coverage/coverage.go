@@ -1,0 +1,244 @@
+// Package coverage implements the greedy k-max-coverage baseline the paper
+// contrasts k-dispersion against (Section 2, Table 1): select k skyline
+// points maximizing the number of distinct non-skyline points dominated by
+// at least one of them, in the spirit of Lin et al.'s "selecting stars"
+// (cited as [21]).
+//
+// The package operates on explicit posting lists (Γ(p) as a sorted row-id
+// list per skyline point), built in a single pass over the dataset, and uses
+// CELF-style lazy evaluation of marginal gains, exploiting submodularity so
+// that most candidates are not rescanned every round.
+package coverage
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+// Postings holds, for each skyline point, the sorted ids of the rows it
+// dominates, together with the number of rows of the underlying dataset.
+type Postings struct {
+	// Lists[j] is the sorted slice of row ids dominated by skyline point j.
+	Lists [][]int32
+	// Rows is the dataset cardinality n.
+	Rows int
+}
+
+// BuildPostings scans the dataset once and materializes Γ(p) for every
+// skyline point. sky holds dataset indexes of the skyline points. Memory is
+// proportional to the number of (row, dominator) pairs, so this is meant for
+// the moderate scales of the Table 1 experiment; the SkyDiver pipelines
+// never materialize these lists.
+func BuildPostings(ds *data.Dataset, sky []int) *Postings {
+	p := &Postings{Lists: make([][]int32, len(sky)), Rows: ds.Len()}
+	skyPts := make([][]float64, len(sky))
+	for j, s := range sky {
+		skyPts[j] = ds.Point(s)
+	}
+	inSky := make(map[int]bool, len(sky))
+	for _, s := range sky {
+		inSky[s] = true
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if inSky[i] {
+			continue
+		}
+		x := ds.Point(i)
+		for j, sp := range skyPts {
+			if geom.Dominates(sp, x) {
+				p.Lists[j] = append(p.Lists[j], int32(i))
+			}
+		}
+	}
+	// Row ids are appended in increasing order, but keep the invariant
+	// explicit for callers that build postings differently.
+	for j := range p.Lists {
+		if !sort.SliceIsSorted(p.Lists[j], func(a, b int) bool { return p.Lists[j][a] < p.Lists[j][b] }) {
+			sort.Slice(p.Lists[j], func(a, b int) bool { return p.Lists[j][a] < p.Lists[j][b] })
+		}
+	}
+	return p
+}
+
+// DominationScores returns |Γ(p)| per skyline point.
+func (p *Postings) DominationScores() []float64 {
+	out := make([]float64, len(p.Lists))
+	for j, l := range p.Lists {
+		out[j] = float64(len(l))
+	}
+	return out
+}
+
+// TotalCovered returns the number of distinct rows dominated by at least one
+// skyline point (the denominator of the Table 1 coverage percentages).
+func (p *Postings) TotalCovered() int {
+	return p.UnionSize(allIndexes(len(p.Lists)))
+}
+
+// UnionSize returns |∪_{j∈set} Γ(j)|.
+func (p *Postings) UnionSize(set []int) int {
+	covered := newBitset(p.Rows)
+	total := 0
+	for _, j := range set {
+		for _, r := range p.Lists[j] {
+			if !covered.get(int(r)) {
+				covered.set(int(r))
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// CoverageFraction returns |∪_{j∈set} Γ(j)| divided by the total number of
+// dominated rows — the "coverage" column of Table 1.
+func (p *Postings) CoverageFraction(set []int) float64 {
+	total := p.TotalCovered()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.UnionSize(set)) / float64(total)
+}
+
+// IntersectionSize returns |Γ(i) ∩ Γ(j)| by merging the sorted lists.
+func (p *Postings) IntersectionSize(i, j int) int {
+	a, b := p.Lists[i], p.Lists[j]
+	n := 0
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			n++
+			x++
+			y++
+		}
+	}
+	return n
+}
+
+// Jaccard returns the exact Jaccard distance between the dominated sets of
+// skyline points i and j. Two empty dominated sets have distance 0
+// (identical sets).
+func (p *Postings) Jaccard(i, j int) float64 {
+	inter := p.IntersectionSize(i, j)
+	union := len(p.Lists[i]) + len(p.Lists[j]) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// MinPairwiseJaccard returns the minimum exact Jaccard distance within the
+// set — the "diversity" column of Table 1.
+func (p *Postings) MinPairwiseJaccard(set []int) float64 {
+	best := 1.0
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if d := p.Jaccard(set[i], set[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// gainItem is a lazy-greedy priority-queue element.
+type gainItem struct {
+	idx   int // skyline point index
+	gain  int // marginal gain when last evaluated
+	round int // selection round of the last evaluation
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].idx < h[j].idx // deterministic tie-break
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x any)   { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// GreedyMaxCoverage selects k skyline points greedily maximizing marginal
+// coverage, using lazy evaluation: a candidate's cached gain can only shrink
+// as the covered set grows (submodularity), so a candidate whose cached gain
+// is stale is re-evaluated only when it surfaces at the top of the heap.
+// It returns the selected indexes in selection order and the number of
+// distinct rows they cover. The greedy solution is a (1−1/e)-approximation
+// in general, and better for the finite-VC-dimension set systems of
+// dominance regions (Lemma 1).
+func GreedyMaxCoverage(p *Postings, k int) ([]int, int, error) {
+	m := len(p.Lists)
+	if k < 1 {
+		return nil, 0, fmt.Errorf("coverage: non-positive k %d", k)
+	}
+	if k > m {
+		return nil, 0, fmt.Errorf("coverage: k %d exceeds skyline size %d", k, m)
+	}
+	covered := newBitset(p.Rows)
+	h := make(gainHeap, m)
+	for j := range p.Lists {
+		h[j] = gainItem{idx: j, gain: len(p.Lists[j]), round: 0}
+	}
+	heap.Init(&h)
+	selected := make([]int, 0, k)
+	total := 0
+	for round := 1; len(selected) < k; round++ {
+		for {
+			top := h[0]
+			if top.round == round {
+				heap.Pop(&h)
+				selected = append(selected, top.idx)
+				total += top.gain
+				for _, r := range p.Lists[top.idx] {
+					covered.set(int(r))
+				}
+				break
+			}
+			// Stale: recompute the marginal gain and push back.
+			gain := 0
+			for _, r := range p.Lists[top.idx] {
+				if !covered.get(int(r)) {
+					gain++
+				}
+			}
+			h[0].gain = gain
+			h[0].round = round
+			heap.Fix(&h, 0)
+		}
+	}
+	return selected, total, nil
+}
+
+// bitset is a dense bitmap over row ids.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func allIndexes(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

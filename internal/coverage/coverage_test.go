@@ -1,0 +1,297 @@
+package coverage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+	"skydiver/internal/skyline"
+)
+
+// figure1Postings encodes the paper's Figure 1 dominance graph:
+// skyline {a, b, c, d} over dominated points p1..p11 (rows 0..10).
+//
+//	a -> {p1}
+//	b -> {p2..p7}
+//	c -> {p5..p11}
+//	d -> {p8..p10}
+//
+// (A concrete reading of the figure's edges; what matters is the shape:
+// b and c overlap, d lies inside c, a is disjoint from everything.)
+func figure1Postings() *Postings {
+	return &Postings{
+		Lists: [][]int32{
+			{0},                    // a
+			{1, 2, 3, 4, 5, 6},     // b
+			{4, 5, 6, 7, 8, 9, 10}, // c
+			{7, 8, 9},              // d
+		},
+		Rows: 11,
+	}
+}
+
+func TestFigure1MaxCoverageVsDiversity(t *testing.T) {
+	p := figure1Postings()
+	// Max coverage with k=2 picks b and c (10 distinct rows).
+	sel, covered, err := GreedyMaxCoverage(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(sel)
+	if !(sel[0] == 1 && sel[1] == 2) {
+		t.Errorf("max-coverage picked %v, want b,c = [1 2]", sel)
+	}
+	if covered != 10 {
+		t.Errorf("covered = %d, want 10", covered)
+	}
+	// The diversity view: Jd(c, a) = 1 (disjoint), and c has the largest
+	// dominated set, so the diverse pair of the paper is (c, a).
+	if d := p.Jaccard(2, 0); d != 1 {
+		t.Errorf("Jd(c, a) = %v, want 1", d)
+	}
+	if d := p.Jaccard(1, 2); d >= 1 {
+		t.Errorf("Jd(b, c) = %v, want < 1", d)
+	}
+}
+
+func TestIntersectionAndJaccard(t *testing.T) {
+	p := figure1Postings()
+	if got := p.IntersectionSize(1, 2); got != 3 {
+		t.Errorf("b∩c = %d, want 3", got)
+	}
+	if got := p.IntersectionSize(0, 3); got != 0 {
+		t.Errorf("a∩d = %d, want 0", got)
+	}
+	// |b∩c| = 3, |b∪c| = 10 -> Jd = 0.7.
+	if got, want := p.Jaccard(1, 2), 1-3.0/10; got != want {
+		t.Errorf("Jd(b,c) = %v, want %v", got, want)
+	}
+	// Empty lists: identical, distance 0.
+	empty := &Postings{Lists: [][]int32{{}, {}}, Rows: 5}
+	if got := empty.Jaccard(0, 1); got != 0 {
+		t.Errorf("empty Jd = %v, want 0", got)
+	}
+}
+
+func TestUnionAndCoverageFraction(t *testing.T) {
+	p := figure1Postings()
+	if got := p.TotalCovered(); got != 11 {
+		t.Errorf("TotalCovered = %d, want 11", got)
+	}
+	if got := p.UnionSize([]int{1, 2}); got != 10 {
+		t.Errorf("UnionSize(b,c) = %d, want 10", got)
+	}
+	if got, want := p.CoverageFraction([]int{1, 2}), 10.0/11; got != want {
+		t.Errorf("CoverageFraction = %v, want %v", got, want)
+	}
+	if got := p.CoverageFraction(nil); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+}
+
+func TestMinPairwiseJaccard(t *testing.T) {
+	p := figure1Postings()
+	// Set {a, c}: disjoint -> 1. Set {b, c, d}: the closest pair bounds it.
+	if got := p.MinPairwiseJaccard([]int{0, 2}); got != 1 {
+		t.Errorf("diversity(a,c) = %v", got)
+	}
+	bc := p.Jaccard(1, 2)
+	cd := p.Jaccard(2, 3)
+	bd := p.Jaccard(1, 3)
+	want := bc
+	if cd < want {
+		want = cd
+	}
+	if bd < want {
+		want = bd
+	}
+	if got := p.MinPairwiseJaccard([]int{1, 2, 3}); got != want {
+		t.Errorf("diversity(b,c,d) = %v, want %v", got, want)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	p := figure1Postings()
+	if _, _, err := GreedyMaxCoverage(p, 0); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, _, err := GreedyMaxCoverage(p, 5); err == nil {
+		t.Error("expected error for k>m")
+	}
+}
+
+// naiveGreedy recomputes all marginal gains each round; oracle for the lazy
+// implementation.
+func naiveGreedy(p *Postings, k int) ([]int, int) {
+	covered := map[int32]bool{}
+	chosen := map[int]bool{}
+	var sel []int
+	total := 0
+	for len(sel) < k {
+		best, bestGain := -1, -1
+		for j := range p.Lists {
+			if chosen[j] {
+				continue
+			}
+			gain := 0
+			for _, r := range p.Lists[j] {
+				if !covered[r] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = j, gain
+			}
+		}
+		sel = append(sel, best)
+		chosen[best] = true
+		total += bestGain
+		for _, r := range p.Lists[best] {
+			covered[r] = true
+		}
+	}
+	return sel, total
+}
+
+func TestLazyGreedyMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		m := 5 + r.Intn(20)
+		rows := 200
+		p := &Postings{Lists: make([][]int32, m), Rows: rows}
+		for j := 0; j < m; j++ {
+			seen := map[int32]bool{}
+			for c := 0; c < r.Intn(60); c++ {
+				seen[int32(r.Intn(rows))] = true
+			}
+			for v := range seen {
+				p.Lists[j] = append(p.Lists[j], v)
+			}
+			sort.Slice(p.Lists[j], func(a, b int) bool { return p.Lists[j][a] < p.Lists[j][b] })
+		}
+		k := 1 + r.Intn(m)
+		lazySel, lazyTotal, err := GreedyMaxCoverage(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveSel, naiveTotal := naiveGreedy(p, k)
+		// Both implementations break ties by smallest index, so the whole
+		// selection sequence must match, not just the objective value.
+		if lazyTotal != naiveTotal {
+			t.Fatalf("trial %d: lazy total %d != naive %d", trial, lazyTotal, naiveTotal)
+		}
+		for i := range naiveSel {
+			if lazySel[i] != naiveSel[i] {
+				t.Fatalf("trial %d: selections diverge: %v vs %v", trial, lazySel, naiveSel)
+			}
+		}
+	}
+}
+
+func TestBuildPostingsAgainstNaive(t *testing.T) {
+	ds := data.Independent(2000, 3, 77)
+	sky := skyline.ComputeSFS(ds)
+	p := BuildPostings(ds, sky)
+	if len(p.Lists) != len(sky) {
+		t.Fatal("wrong list count")
+	}
+	// Cross-check a few columns against direct dominance checks.
+	for j := 0; j < len(sky); j += 7 {
+		sp := ds.Point(sky[j])
+		want := []int32{}
+		inSky := map[int]bool{}
+		for _, s := range sky {
+			inSky[s] = true
+		}
+		for i := 0; i < ds.Len(); i++ {
+			if !inSky[i] && geom.Dominates(sp, ds.Point(i)) {
+				want = append(want, int32(i))
+			}
+		}
+		got := p.Lists[j]
+		if len(got) != len(want) {
+			t.Fatalf("column %d: %d entries, want %d", j, len(got), len(want))
+		}
+		for x := range got {
+			if got[x] != want[x] {
+				t.Fatalf("column %d entry %d: %d != %d", j, x, got[x], want[x])
+			}
+		}
+	}
+	scores := p.DominationScores()
+	if len(scores) != len(sky) {
+		t.Fatal("scores length")
+	}
+}
+
+// TestCoverageVsDispersionContrast reproduces the Table 1 phenomenon in
+// miniature: greedy coverage achieves higher coverage, while its diversity
+// is lower than that of a dispersion-style selection on the same postings.
+func TestCoverageVsDispersionContrast(t *testing.T) {
+	ds := data.Independent(5000, 4, 13)
+	sky := skyline.ComputeSFS(ds)
+	if len(sky) < 10 {
+		t.Skip("skyline too small")
+	}
+	p := BuildPostings(ds, sky)
+	k := 5
+	covSel, _, err := GreedyMaxCoverage(p, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispersion-style greedy directly on exact Jaccard distances.
+	divSel := []int{0}
+	for j := range p.Lists {
+		if len(p.Lists[j]) > len(p.Lists[divSel[0]]) {
+			divSel[0] = j
+		}
+	}
+	for len(divSel) < k {
+		best, bestD := -1, -1.0
+		for j := range p.Lists {
+			skip := false
+			for _, s := range divSel {
+				if s == j {
+					skip = true
+				}
+			}
+			if skip {
+				continue
+			}
+			minD := 2.0
+			for _, s := range divSel {
+				if d := p.Jaccard(j, s); d < minD {
+					minD = d
+				}
+			}
+			if minD > bestD {
+				best, bestD = j, minD
+			}
+		}
+		divSel = append(divSel, best)
+	}
+	covCoverage := p.CoverageFraction(covSel)
+	divCoverage := p.CoverageFraction(divSel)
+	covDiversity := p.MinPairwiseJaccard(covSel)
+	divDiversity := p.MinPairwiseJaccard(divSel)
+	if covCoverage < divCoverage {
+		t.Errorf("coverage alg coverage %v < dispersion's %v", covCoverage, divCoverage)
+	}
+	if divDiversity <= covDiversity {
+		t.Errorf("dispersion diversity %v not above coverage's %v", divDiversity, covDiversity)
+	}
+}
+
+func BenchmarkGreedyMaxCoverage(b *testing.B) {
+	ds := data.Independent(20000, 4, 1)
+	sky := skyline.ComputeSFS(ds)
+	p := BuildPostings(ds, sky)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GreedyMaxCoverage(p, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

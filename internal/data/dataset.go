@@ -1,0 +1,203 @@
+// Package data provides the dataset substrate of the SkyDiver reproduction:
+// a compact in-memory multidimensional point store, the synthetic workload
+// generators of the skyline literature (independent, correlated and
+// anticorrelated distributions following Börzsönyi et al.), synthetic
+// stand-ins for the two real-life datasets of the paper (Forest Cover and
+// Recipes), and a binary serialization format so that generated datasets can
+// be persisted by cmd/datagen and reloaded by the tools.
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"skydiver/internal/geom"
+)
+
+// Dataset is an immutable collection of n points in d dimensions stored in a
+// single flat slice (row-major) for cache locality. Smaller coordinate
+// values are preferred on every dimension (the canonical orientation); use
+// geom.Preferences.Canonicalize when constructing from max-preferred inputs.
+type Dataset struct {
+	dims int
+	vals []float64
+	name string
+}
+
+// New creates a dataset from a flat row-major value slice. The slice is
+// owned by the returned dataset and must not be mutated afterwards.
+func New(name string, dims int, vals []float64) (*Dataset, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("data: non-positive dimensionality %d", dims)
+	}
+	if len(vals)%dims != 0 {
+		return nil, fmt.Errorf("data: %d values not divisible by %d dimensions", len(vals), dims)
+	}
+	return &Dataset{dims: dims, vals: vals, name: name}, nil
+}
+
+// FromRows creates a dataset by copying a slice of points. All rows must
+// share the same dimensionality.
+func FromRows(name string, rows [][]float64) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("data: empty row set")
+	}
+	d := len(rows[0])
+	vals := make([]float64, 0, len(rows)*d)
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("data: row %d has %d dims, want %d", i, len(r), d)
+		}
+		vals = append(vals, r...)
+	}
+	return New(name, d, vals)
+}
+
+// Name returns the dataset's human-readable name (e.g. "IND-1M-4D").
+func (ds *Dataset) Name() string { return ds.name }
+
+// Len returns the number of points.
+func (ds *Dataset) Len() int { return len(ds.vals) / ds.dims }
+
+// Dims returns the dimensionality.
+func (ds *Dataset) Dims() int { return ds.dims }
+
+// Point returns a view of the i-th point. The returned slice aliases the
+// dataset's storage and must not be mutated.
+func (ds *Dataset) Point(i int) []float64 {
+	return ds.vals[i*ds.dims : (i+1)*ds.dims : (i+1)*ds.dims]
+}
+
+// Values returns the underlying flat storage (read-only).
+func (ds *Dataset) Values() []float64 { return ds.vals }
+
+// Project returns a new dataset restricted to the first dims dimensions.
+// The paper evaluates FC and REC at d = 4, 5, 7 by projecting the same file.
+func (ds *Dataset) Project(dims int) (*Dataset, error) {
+	if dims <= 0 || dims > ds.dims {
+		return nil, fmt.Errorf("data: cannot project %d-dimensional dataset to %d dims", ds.dims, dims)
+	}
+	if dims == ds.dims {
+		return ds, nil
+	}
+	n := ds.Len()
+	vals := make([]float64, n*dims)
+	for i := 0; i < n; i++ {
+		copy(vals[i*dims:(i+1)*dims], ds.vals[i*ds.dims:i*ds.dims+dims])
+	}
+	return &Dataset{dims: dims, vals: vals, name: fmt.Sprintf("%s/%dD", ds.name, dims)}, nil
+}
+
+// Head returns a new dataset containing the first n points, used by the
+// experiment harness to scale cardinality sweeps down.
+func (ds *Dataset) Head(n int) (*Dataset, error) {
+	if n <= 0 || n > ds.Len() {
+		return nil, fmt.Errorf("data: head %d out of range [1, %d]", n, ds.Len())
+	}
+	return &Dataset{dims: ds.dims, vals: ds.vals[:n*ds.dims], name: fmt.Sprintf("%s/head%d", ds.name, n)}, nil
+}
+
+// Bounds returns the minimum bounding rectangle of all points.
+func (ds *Dataset) Bounds() geom.Rect {
+	r := geom.NewRect(ds.dims)
+	for i := 0; i < ds.Len(); i++ {
+		r.ExpandPoint(ds.Point(i))
+	}
+	return r
+}
+
+// Canonicalize returns a copy of the dataset with max-preferred dimensions
+// negated so that smaller values are preferred everywhere.
+func (ds *Dataset) Canonicalize(prefs geom.Preferences) (*Dataset, error) {
+	if err := prefs.Validate(ds.dims); err != nil {
+		return nil, err
+	}
+	vals := make([]float64, len(ds.vals))
+	copy(vals, ds.vals)
+	for i := 0; i < len(vals); i += ds.dims {
+		prefs.Canonicalize(vals[i : i+ds.dims])
+	}
+	return &Dataset{dims: ds.dims, vals: vals, name: ds.name}, nil
+}
+
+// binary format: magic | version | dims | n | name | values.
+const (
+	fileMagic   = 0x534b5944 // "SKYD"
+	fileVersion = 1
+)
+
+// Write serializes the dataset in the repository's binary format.
+func (ds *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 4+4+4+8+4)
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(ds.dims))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(ds.Len()))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(ds.name)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("data: write header: %w", err)
+	}
+	if _, err := bw.WriteString(ds.name); err != nil {
+		return fmt.Errorf("data: write name: %w", err)
+	}
+	buf := make([]byte, 8)
+	for _, v := range ds.vals {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("data: write values: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 4+4+4+8+4)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("data: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		return nil, errors.New("data: bad magic (not a skydiver dataset file)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		return nil, fmt.Errorf("data: unsupported file version %d", v)
+	}
+	dims := int(binary.LittleEndian.Uint32(hdr[8:]))
+	n := int(binary.LittleEndian.Uint64(hdr[12:]))
+	nameLen := int(binary.LittleEndian.Uint32(hdr[20:]))
+	if dims <= 0 || dims > 1<<16 || n < 0 || nameLen < 0 || nameLen > 1<<16 {
+		return nil, errors.New("data: corrupt header")
+	}
+	// Reject cardinalities whose value count would overflow or be absurd
+	// (2^53 values = 64 PiB of float64s) before any arithmetic on n*dims.
+	if n > (1<<53)/dims {
+		return nil, errors.New("data: corrupt header (implausible cardinality)")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("data: read name: %w", err)
+	}
+	// Grow the value slice as bytes actually arrive instead of trusting the
+	// header's cardinality, so a corrupt or hostile header cannot force a
+	// huge allocation before the short read is detected.
+	total := n * dims
+	initialCap := total
+	if initialCap > 1<<20 {
+		initialCap = 1 << 20
+	}
+	vals := make([]float64, 0, initialCap)
+	buf := make([]byte, 8)
+	for i := 0; i < total; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("data: read values: %w", err)
+		}
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+	}
+	return New(string(name), dims, vals)
+}

@@ -1,0 +1,40 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the dataset deserializer against arbitrary input.
+func FuzzRead(f *testing.F) {
+	ds := Independent(10, 2, 1)
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err == nil {
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 24))
+	// Regression seed: a header claiming an enormous cardinality must not
+	// make n*dims overflow into a makeslice panic (found by fuzzing).
+	huge := make([]byte, 32)
+	copy(huge, buf.Bytes()[:12])
+	for i := 12; i < 20; i++ {
+		huge[i] = 0xff
+	}
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Cap pathological allocations: the header encodes n and dims, and
+		// Read allocates n*dims floats — reject absurd sizes like a real
+		// loader would by bounding the input length.
+		if len(raw) > 1<<16 {
+			return
+		}
+		got, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if got.Len() < 0 || got.Dims() < 1 {
+			t.Fatal("invalid dataset accepted")
+		}
+	})
+}

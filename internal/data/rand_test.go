@@ -1,0 +1,6 @@
+package data
+
+import "math/rand"
+
+// newTestRand returns a deterministic rand source for tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(12345)) }

@@ -1,0 +1,92 @@
+package data
+
+import (
+	"sort"
+)
+
+// This file implements Z-order (Morton) encoding, the "spatial proximity
+// criterion (e.g., space filling curves)" Section 4.1.2 of the paper names
+// as the way to give a sequential scan locality of reference. The rtree
+// package uses the permutation as an alternative bulk-loading order, and
+// callers can materialize a Z-ordered copy of a dataset so that nearby
+// points share pages.
+
+// mortonBitsFor returns how many bits per dimension fit into a 64-bit key.
+func mortonBitsFor(dims int) uint {
+	b := uint(64 / dims)
+	if b > 21 {
+		b = 21 // ample resolution; keeps behaviour stable across dims
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// MortonKey computes the Z-order key of point p relative to the bounding
+// box [lo, hi] per dimension, interleaving the top bits of each normalized
+// coordinate.
+func MortonKey(p, lo, hi []float64) uint64 {
+	dims := len(p)
+	bits := mortonBitsFor(dims)
+	maxCell := uint64(1)<<bits - 1
+	var key uint64
+	for b := int(bits) - 1; b >= 0; b-- {
+		for j := 0; j < dims; j++ {
+			span := hi[j] - lo[j]
+			var cell uint64
+			if span > 0 {
+				f := (p[j] - lo[j]) / span
+				if f < 0 {
+					f = 0
+				}
+				if f > 1 {
+					f = 1
+				}
+				cell = uint64(f * float64(maxCell))
+				if cell > maxCell {
+					cell = maxCell
+				}
+			}
+			key = key<<1 | (cell>>uint(b))&1
+		}
+	}
+	return key
+}
+
+// ZOrderPermutation returns the dataset indexes sorted by Morton key — the
+// order in which a space-filling-curve-clustered file would store the
+// points. Ties (identical cells) break by index, so the permutation is
+// deterministic.
+func (ds *Dataset) ZOrderPermutation() []int {
+	n := ds.Len()
+	bounds := ds.Bounds()
+	keys := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = MortonKey(ds.Point(i), bounds.Lo, bounds.Hi)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		if keys[perm[a]] != keys[perm[b]] {
+			return keys[perm[a]] < keys[perm[b]]
+		}
+		return perm[a] < perm[b]
+	})
+	return perm
+}
+
+// ReorderZ returns a copy of the dataset with rows physically rearranged in
+// Z-order, plus the permutation mapping new positions to original indexes.
+func (ds *Dataset) ReorderZ() (*Dataset, []int) {
+	perm := ds.ZOrderPermutation()
+	d := ds.Dims()
+	vals := make([]float64, len(ds.vals))
+	for newPos, old := range perm {
+		copy(vals[newPos*d:(newPos+1)*d], ds.Point(old))
+	}
+	out := &Dataset{dims: d, vals: vals, name: ds.name + "/zorder"}
+	return out, perm
+}

@@ -1,0 +1,98 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMortonKeyOrdering(t *testing.T) {
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	// Quadrant order of the Z curve: (lo,lo) < (hi of x, lo of y)? The
+	// classic Z visits (0,0), (1,0)... depending on interleave order; what
+	// matters is monotonicity along the diagonal and corner extremes.
+	kMin := MortonKey([]float64{0, 0}, lo, hi)
+	kMax := MortonKey([]float64{1, 1}, lo, hi)
+	kMid := MortonKey([]float64{0.5, 0.5}, lo, hi)
+	if !(kMin < kMid && kMid < kMax) {
+		t.Errorf("diagonal not monotone: %d %d %d", kMin, kMid, kMax)
+	}
+	// Out-of-bounds points clamp rather than wrap.
+	if MortonKey([]float64{-5, -5}, lo, hi) != kMin {
+		t.Error("clamping low broken")
+	}
+	if MortonKey([]float64{9, 9}, lo, hi) != kMax {
+		t.Error("clamping high broken")
+	}
+	// Degenerate span (constant dimension) must not divide by zero.
+	if k := MortonKey([]float64{3, 0.5}, []float64{3, 0}, []float64{3, 1}); k == math.MaxUint64 {
+		t.Error("degenerate span broken")
+	}
+}
+
+func TestZOrderPermutationIsBijection(t *testing.T) {
+	ds := Independent(5000, 3, 6)
+	perm := ds.ZOrderPermutation()
+	if len(perm) != ds.Len() {
+		t.Fatal("wrong length")
+	}
+	seen := make([]bool, ds.Len())
+	for _, p := range perm {
+		if p < 0 || p >= ds.Len() || seen[p] {
+			t.Fatal("not a permutation")
+		}
+		seen[p] = true
+	}
+	// Deterministic.
+	again := ds.ZOrderPermutation()
+	for i := range perm {
+		if perm[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+// TestZOrderLocality: consecutive points in Z-order are, on average, much
+// closer than consecutive points in the original (random) order — the
+// "locality of references" the paper says a plain sequential file lacks.
+func TestZOrderLocality(t *testing.T) {
+	ds := Independent(20000, 2, 9)
+	z, perm := ds.ReorderZ()
+	if z.Len() != ds.Len() {
+		t.Fatal("reorder changed cardinality")
+	}
+	// Reordered rows match the permutation.
+	for i := 0; i < 100; i++ {
+		for j := 0; j < ds.Dims(); j++ {
+			if z.Point(i)[j] != ds.Point(perm[i])[j] {
+				t.Fatal("ReorderZ rows inconsistent with permutation")
+			}
+		}
+	}
+	avgGap := func(d *Dataset) float64 {
+		total := 0.0
+		for i := 1; i < d.Len(); i++ {
+			a, b := d.Point(i-1), d.Point(i)
+			dx, dy := a[0]-b[0], a[1]-b[1]
+			total += math.Sqrt(dx*dx + dy*dy)
+		}
+		return total / float64(d.Len()-1)
+	}
+	if g, r := avgGap(z), avgGap(ds); g > r/5 {
+		t.Errorf("Z-order gap %v not well below random order %v", g, r)
+	}
+}
+
+func TestMortonHighDims(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	lo := make([]float64, 70)
+	hi := make([]float64, 70)
+	p := make([]float64, 70)
+	for i := range hi {
+		hi[i] = 1
+		p[i] = r.Float64()
+	}
+	// bits per dim clamps to >= 1 even for d > 64.
+	_ = MortonKey(p, lo, hi)
+}

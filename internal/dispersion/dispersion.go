@@ -1,0 +1,277 @@
+// Package dispersion implements the k-dispersion solvers of SkyDiver's
+// selection phase (Section 4.2): the greedy 2-approximation heuristic
+// SelectDiverseSet (Figure 6) over an arbitrary metric oracle, plus exact
+// brute-force solvers for the max-min (k-MMDP) and max-sum (k-MSDP)
+// dispersion problems used by the Brute-Force baseline and the Figure 2
+// illustration.
+package dispersion
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistFunc is a pairwise distance oracle over items 0..m-1. SelectDiverseSet
+// requires it to be a metric (the triangle inequality underlies the
+// 2-approximation guarantee); the callers plug in the estimated Jaccard
+// distance of MinHash signatures, the Hamming distance of LSH bit vectors,
+// or the exact Jaccard distance via R-tree range counting.
+type DistFunc func(i, j int) float64
+
+// Objective selects the dispersion objective.
+type Objective int
+
+// Dispersion objectives.
+const (
+	// MaxMin maximizes the minimum pairwise distance (k-MMDP). SkyDiver uses
+	// it because greedy gives a 2-approximation (versus 4 for max-sum).
+	MaxMin Objective = iota
+	// MaxSum maximizes the sum of pairwise distances (k-MSDP).
+	MaxSum
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	if o == MaxSum {
+		return "max-sum"
+	}
+	return "max-min"
+}
+
+// SelectDiverseSet is the greedy heuristic of Figure 6. It seeds the result
+// with the item of maximum score (the skyline point with the highest
+// domination score), then repeatedly adds the item maximizing its minimum
+// distance to the chosen set, breaking ties by score. It returns the chosen
+// item indexes in selection order.
+//
+// The minimum distance of every unselected item to the chosen set is
+// maintained incrementally, so the oracle is invoked O(k·m) times. The
+// result is a 2-approximation of the optimal k-MMDP value (Lemma 4).
+func SelectDiverseSet(m, k int, dist DistFunc, score []float64) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dispersion: non-positive k %d", k)
+	}
+	if k > m {
+		return nil, fmt.Errorf("dispersion: k %d exceeds item count %d", k, m)
+	}
+	if score != nil && len(score) != m {
+		return nil, fmt.Errorf("dispersion: score vector has %d entries for %d items", len(score), m)
+	}
+	sc := func(i int) float64 {
+		if score == nil {
+			return 0
+		}
+		return score[i]
+	}
+	// Seed: maximum score (Figure 6, line 3).
+	first := 0
+	for i := 1; i < m; i++ {
+		if sc(i) > sc(first) {
+			first = i
+		}
+	}
+	selected := make([]int, 0, k)
+	selected = append(selected, first)
+	inSet := make([]bool, m)
+	inSet[first] = true
+	minDist := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if !inSet[i] {
+			minDist[i] = dist(i, first)
+		}
+	}
+	for len(selected) < k {
+		best := -1
+		for i := 0; i < m; i++ {
+			if inSet[i] {
+				continue
+			}
+			if best == -1 || minDist[i] > minDist[best] ||
+				(minDist[i] == minDist[best] && sc(i) > sc(best)) {
+				best = i
+			}
+		}
+		selected = append(selected, best)
+		inSet[best] = true
+		for i := 0; i < m; i++ {
+			if !inSet[i] {
+				if d := dist(i, best); d < minDist[i] {
+					minDist[i] = d
+				}
+			}
+		}
+	}
+	return selected, nil
+}
+
+// SelectDiverseSetFarthestSeed is the classic 2-approximation heuristic of
+// Ravi, Rosenkrantz and Tayi (cited as [28]): it seeds the result with the
+// two points of maximum pairwise distance — an O(m²) scan the paper's
+// variant avoids — then grows it greedily like SelectDiverseSet. It exists
+// for the seeding ablation; SkyDiver itself uses SelectDiverseSet.
+func SelectDiverseSetFarthestSeed(m, k int, dist DistFunc) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dispersion: non-positive k %d", k)
+	}
+	if k > m {
+		return nil, fmt.Errorf("dispersion: k %d exceeds item count %d", k, m)
+	}
+	if k == 1 || m == 1 {
+		return []int{0}, nil
+	}
+	bi, bj := 0, 1
+	bd := math.Inf(-1)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if d := dist(i, j); d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	selected := []int{bi, bj}
+	inSet := make([]bool, m)
+	inSet[bi], inSet[bj] = true, true
+	minDist := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if !inSet[i] {
+			minDist[i] = math.Min(dist(i, bi), dist(i, bj))
+		}
+	}
+	for len(selected) < k {
+		best := -1
+		for i := 0; i < m; i++ {
+			if inSet[i] {
+				continue
+			}
+			if best == -1 || minDist[i] > minDist[best] {
+				best = i
+			}
+		}
+		selected = append(selected, best)
+		inSet[best] = true
+		for i := 0; i < m; i++ {
+			if !inSet[i] {
+				if d := dist(i, best); d < minDist[i] {
+					minDist[i] = d
+				}
+			}
+		}
+	}
+	return selected, nil
+}
+
+// MinPairwise returns the minimum pairwise distance within the set — the
+// k-MMDP objective value and the "diversity" quality metric of Figures 12
+// and 13.
+func MinPairwise(set []int, dist DistFunc) float64 {
+	if len(set) < 2 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if d := dist(set[i], set[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// SumPairwise returns the sum of pairwise distances within the set — the
+// k-MSDP objective value.
+func SumPairwise(set []int, dist DistFunc) float64 {
+	total := 0.0
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			total += dist(set[i], set[j])
+		}
+	}
+	return total
+}
+
+// BruteForce exhaustively enumerates all C(m, k) subsets and returns the one
+// optimizing the chosen objective, together with its objective value. This
+// is the Brute-Force baseline of Section 3.2; it is exponential in k and
+// only usable for small skylines.
+func BruteForce(m, k int, dist DistFunc, obj Objective) ([]int, float64, error) {
+	if k < 1 || k > m {
+		return nil, 0, fmt.Errorf("dispersion: invalid k %d for %d items", k, m)
+	}
+	objective := MinPairwise
+	if obj == MaxSum {
+		objective = SumPairwise
+	}
+	var best []int
+	bestVal := math.Inf(-1)
+	subset := make([]int, k)
+	var recurse func(start, depth int)
+	recurse = func(start, depth int) {
+		if depth == k {
+			if v := objective(subset, dist); v > bestVal {
+				bestVal = v
+				best = append(best[:0], subset...)
+			}
+			return
+		}
+		// Leave room for the remaining k-depth-1 items.
+		for i := start; i <= m-(k-depth); i++ {
+			subset[depth] = i
+			recurse(i+1, depth+1)
+		}
+	}
+	recurse(0, 0)
+	out := make([]int, k)
+	copy(out, best)
+	return out, bestVal, nil
+}
+
+// GreedyMaxSum is the standard greedy heuristic for k-MSDP: seed with the
+// globally farthest pair, then repeatedly add the item with the largest sum
+// of distances to the chosen set. Used by the Figure 2 comparison of the two
+// dispersion flavors.
+func GreedyMaxSum(m, k int, dist DistFunc) ([]int, error) {
+	if k < 1 || k > m {
+		return nil, fmt.Errorf("dispersion: invalid k %d for %d items", k, m)
+	}
+	if k == 1 || m == 1 {
+		return []int{0}, nil
+	}
+	bi, bj := 0, 1
+	bd := math.Inf(-1)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if d := dist(i, j); d > bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	selected := []int{bi, bj}
+	inSet := make([]bool, m)
+	inSet[bi], inSet[bj] = true, true
+	sumDist := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if !inSet[i] {
+			sumDist[i] = dist(i, bi) + dist(i, bj)
+		}
+	}
+	for len(selected) < k {
+		best := -1
+		for i := 0; i < m; i++ {
+			if inSet[i] {
+				continue
+			}
+			if best == -1 || sumDist[i] > sumDist[best] {
+				best = i
+			}
+		}
+		selected = append(selected, best)
+		inSet[best] = true
+		for i := 0; i < m; i++ {
+			if !inSet[i] {
+				sumDist[i] += dist(i, best)
+			}
+		}
+	}
+	return selected, nil
+}

@@ -1,0 +1,76 @@
+package dispersion
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFarthestSeedValidation(t *testing.T) {
+	d := euclid([][2]float64{{0, 0}, {1, 1}})
+	if _, err := SelectDiverseSetFarthestSeed(2, 0, d); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := SelectDiverseSetFarthestSeed(2, 3, d); err == nil {
+		t.Error("expected error for k>m")
+	}
+	one, err := SelectDiverseSetFarthestSeed(3, 1, d)
+	if err != nil || len(one) != 1 {
+		t.Error("k=1 broken")
+	}
+}
+
+func TestFarthestSeedIsFarthestPair(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {3, 0}, {10, 0}, {4, 4}}
+	got, err := SelectDiverseSetFarthestSeed(4, 2, euclid(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(got[0] == 0 && got[1] == 2) {
+		t.Errorf("seed pair = %v, want [0 2]", got)
+	}
+}
+
+// TestFarthestSeed2Approximation: the classic variant also satisfies the
+// 2-approximation bound.
+func TestFarthestSeed2Approximation(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		m := 6 + r.Intn(6)
+		k := 2 + r.Intn(3)
+		pts := make([][2]float64, m)
+		for i := range pts {
+			pts[i] = [2]float64{r.Float64() * 10, r.Float64() * 10}
+		}
+		d := euclid(pts)
+		_, opt, err := BruteForce(m, k, d, MaxMin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := SelectDiverseSetFarthestSeed(m, k, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := MinPairwise(sel, d); got < opt/2-1e-9 {
+			t.Fatalf("trial %d: classic greedy %v < OPT/2 = %v", trial, got, opt/2)
+		}
+	}
+}
+
+func TestFarthestSeedNoDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := make([][2]float64, 30)
+	for i := range pts {
+		pts[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	sel, err := SelectDiverseSetFarthestSeed(30, 10, euclid(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, s := range sel {
+		if seen[s] {
+			t.Fatal("duplicate selection")
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,73 @@
+package dispersion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGreedySelectionsAreDistinct: for arbitrary point sets, the greedy
+// returns k distinct in-range items and its objective never exceeds the
+// brute-force optimum.
+func TestGreedyPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 4 + r.Intn(6)
+		k := 2 + r.Intn(m-1)
+		pts := make([][2]float64, m)
+		for i := range pts {
+			pts[i] = [2]float64{r.Float64(), r.Float64()}
+		}
+		d := func(i, j int) float64 {
+			dx, dy := pts[i][0]-pts[j][0], pts[i][1]-pts[j][1]
+			return math.Sqrt(dx*dx + dy*dy)
+		}
+		sel, err := SelectDiverseSet(m, k, d, nil)
+		if err != nil || len(sel) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, s := range sel {
+			if s < 0 || s >= m || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		_, opt, err := BruteForce(m, k, d, MaxMin)
+		if err != nil {
+			return false
+		}
+		g := MinPairwise(sel, d)
+		return g <= opt+1e-12 && g >= opt/2-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestObjectivesMonotoneInK: OPT(k) is non-increasing in k for both
+// objectives' min-pairwise readings.
+func TestMMDPMonotoneInK(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	m := 9
+	pts := make([][2]float64, m)
+	for i := range pts {
+		pts[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	d := func(i, j int) float64 {
+		dx, dy := pts[i][0]-pts[j][0], pts[i][1]-pts[j][1]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	prev := math.Inf(1)
+	for k := 2; k <= m; k++ {
+		_, opt, err := BruteForce(m, k, d, MaxMin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt > prev+1e-12 {
+			t.Fatalf("OPT increased from %v to %v at k=%d", prev, opt, k)
+		}
+		prev = opt
+	}
+}

@@ -1,0 +1,203 @@
+// Package dynamic provides continuous skyline diversification over a
+// sliding window of streaming points.
+//
+// The paper adopts its dispersion view of diversity from Drosou & Pitoura's
+// work on dynamic diversification of continuous data (cited as [13]) and
+// lists "scalable skyline diversification over massive data" as future
+// work. This package supplies the continuous setting: a Monitor ingests an
+// unbounded stream, retains the most recent W points, and answers
+// "k most diverse skyline points of the current window" queries using the
+// same index-free SkyDiver pipeline as the static case — the window is
+// transient, so no index could be maintained anyway, which is precisely the
+// regime SigGen-IF was designed for.
+//
+// Results are recomputed lazily: queries between stream changes are served
+// from cache.
+package dynamic
+
+import (
+	"fmt"
+	"time"
+
+	"skydiver/internal/data"
+	"skydiver/internal/dispersion"
+	"skydiver/internal/geom"
+	"skydiver/internal/minhash"
+	"skydiver/internal/skyline"
+)
+
+// Item is one stream element inside the window.
+type Item struct {
+	// Seq is the element's arrival number (monotonically increasing across
+	// the whole stream, never reused).
+	Seq uint64
+	// Point holds the coordinates (canonical min-preferred orientation).
+	Point []float64
+}
+
+// Monitor maintains a sliding window over a point stream and diversifies
+// its skyline on demand.
+type Monitor struct {
+	dims     int
+	capacity int
+	k        int
+	sigSize  int
+	seed     int64
+
+	next   uint64
+	window []Item // oldest first
+
+	// cache of the last computed answer.
+	cacheSeq   uint64 // next at the time of the cached computation
+	cachedSky  []Item
+	cachedPick []Item
+	cachedErr  error
+	// RefreshCPU records the cost of the last recomputation.
+	RefreshCPU time.Duration
+}
+
+// NewMonitor creates a monitor over dims-dimensional points keeping the
+// most recent capacity points and answering k-diversification queries with
+// signatureSize-slot MinHash sketches.
+func NewMonitor(dims, capacity, k, signatureSize int, seed int64) (*Monitor, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("dynamic: non-positive dimensionality %d", dims)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("dynamic: non-positive capacity %d", capacity)
+	}
+	if k < 1 || k > capacity {
+		return nil, fmt.Errorf("dynamic: k %d out of range [1, %d]", k, capacity)
+	}
+	if signatureSize <= 0 {
+		signatureSize = 100
+	}
+	return &Monitor{dims: dims, capacity: capacity, k: k, sigSize: signatureSize, seed: seed}, nil
+}
+
+// Add ingests a point, evicting the oldest element when the window is full.
+// It returns the element's sequence number.
+func (m *Monitor) Add(p []float64) (uint64, error) {
+	if len(p) != m.dims {
+		return 0, fmt.Errorf("dynamic: point has %d dims, monitor expects %d", len(p), m.dims)
+	}
+	cp := make([]float64, m.dims)
+	copy(cp, p)
+	if len(m.window) == m.capacity {
+		m.window = m.window[1:]
+	}
+	seq := m.next
+	m.next++
+	m.window = append(m.window, Item{Seq: seq, Point: cp})
+	return seq, nil
+}
+
+// Len returns the current window size.
+func (m *Monitor) Len() int { return len(m.window) }
+
+// Seen returns the total number of points ever ingested.
+func (m *Monitor) Seen() uint64 { return m.next }
+
+// Skyline returns the skyline of the current window, oldest first.
+func (m *Monitor) Skyline() ([]Item, error) {
+	if err := m.refresh(); err != nil {
+		return nil, err
+	}
+	out := make([]Item, len(m.cachedSky))
+	copy(out, m.cachedSky)
+	return out, nil
+}
+
+// Diverse returns the k most diverse skyline points of the current window
+// (fewer when the skyline is smaller than k), in selection order.
+func (m *Monitor) Diverse() ([]Item, error) {
+	if err := m.refresh(); err != nil {
+		return nil, err
+	}
+	out := make([]Item, len(m.cachedPick))
+	copy(out, m.cachedPick)
+	return out, nil
+}
+
+// refresh recomputes the cached skyline and selection when the stream has
+// advanced since the last computation.
+func (m *Monitor) refresh() error {
+	if m.cacheSeq == m.next && (m.cachedSky != nil || m.cachedErr != nil) {
+		return m.cachedErr
+	}
+	m.cacheSeq = m.next
+	m.cachedSky, m.cachedPick, m.cachedErr = nil, nil, nil
+	if len(m.window) == 0 {
+		m.cachedSky = []Item{}
+		m.cachedPick = []Item{}
+		return nil
+	}
+	start := time.Now()
+	defer func() { m.RefreshCPU = time.Since(start) }()
+
+	vals := make([]float64, 0, len(m.window)*m.dims)
+	for _, it := range m.window {
+		vals = append(vals, it.Point...)
+	}
+	ds, err := data.New("window", m.dims, vals)
+	if err != nil {
+		m.cachedErr = err
+		return err
+	}
+	sky := skyline.ComputeSFS(ds)
+	m.cachedSky = make([]Item, len(sky))
+	for i, s := range sky {
+		m.cachedSky[i] = m.window[s]
+	}
+	k := m.k
+	if k > len(sky) {
+		k = len(sky)
+	}
+	// Fingerprint by one pass over the window — the index-free pipeline.
+	fam, err := minhash.NewFamily(m.sigSize, m.seed)
+	if err != nil {
+		m.cachedErr = err
+		return err
+	}
+	matrix := minhash.NewMatrix(m.sigSize, len(sky))
+	domScore := make([]float64, len(sky))
+	inSky := make(map[int]bool, len(sky))
+	for _, s := range sky {
+		inSky[s] = true
+	}
+	hv := make([]uint32, m.sigSize)
+	cols := make([]int, 0, 8)
+	for i := 0; i < ds.Len(); i++ {
+		if inSky[i] {
+			continue
+		}
+		p := ds.Point(i)
+		cols = cols[:0]
+		for j, s := range sky {
+			if geom.Dominates(ds.Point(s), p) {
+				cols = append(cols, j)
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		// Hash by stream sequence number so identities are stable across
+		// window slides.
+		fam.HashAll(hv, m.window[i].Seq)
+		for _, c := range cols {
+			matrix.UpdateColumn(c, hv)
+			domScore[c]++
+		}
+	}
+	dist := func(i, j int) float64 { return matrix.EstimateJd(i, j) }
+	selected, err := dispersion.SelectDiverseSet(len(sky), k, dist, domScore)
+	if err != nil {
+		m.cachedErr = err
+		return err
+	}
+	m.cachedPick = make([]Item, len(selected))
+	for i, s := range selected {
+		m.cachedPick[i] = m.cachedSky[s]
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+	"skydiver/internal/skyline"
+)
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(0, 10, 2, 64, 1); err == nil {
+		t.Error("expected dims error")
+	}
+	if _, err := NewMonitor(2, 0, 1, 64, 1); err == nil {
+		t.Error("expected capacity error")
+	}
+	if _, err := NewMonitor(2, 10, 0, 64, 1); err == nil {
+		t.Error("expected k error")
+	}
+	if _, err := NewMonitor(2, 10, 11, 64, 1); err == nil {
+		t.Error("expected k > capacity error")
+	}
+	m, err := NewMonitor(2, 10, 2, 0, 1) // default signature size
+	if err != nil || m == nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add([]float64{1}); err == nil {
+		t.Error("expected dims mismatch on Add")
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	m, _ := NewMonitor(2, 3, 1, 32, 1)
+	for i := 0; i < 5; i++ {
+		seq, err := m.Add([]float64{float64(i), float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if m.Len() != 3 || m.Seen() != 5 {
+		t.Fatalf("Len=%d Seen=%d", m.Len(), m.Seen())
+	}
+	sky, err := m.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window holds points 2,3,4 (increasing = each dominated by the
+	// previous); skyline is the single oldest point (2,2).
+	if len(sky) != 1 || sky[0].Seq != 2 {
+		t.Fatalf("sky = %v", sky)
+	}
+}
+
+func TestEmptyWindow(t *testing.T) {
+	m, _ := NewMonitor(2, 5, 2, 32, 1)
+	sky, err := m.Skyline()
+	if err != nil || len(sky) != 0 {
+		t.Fatalf("empty skyline: %v %v", sky, err)
+	}
+	pick, err := m.Diverse()
+	if err != nil || len(pick) != 0 {
+		t.Fatalf("empty diverse: %v %v", pick, err)
+	}
+}
+
+// TestMatchesStaticPipeline: the monitor's answer on a static stream equals
+// computing the skyline directly over the same window.
+func TestMatchesStaticPipeline(t *testing.T) {
+	ds := data.Independent(2000, 3, 4)
+	m, _ := NewMonitor(3, 2000, 4, 64, 9)
+	for i := 0; i < ds.Len(); i++ {
+		if _, err := m.Add(ds.Point(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sky, err := m.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := skyline.ComputeSFS(ds)
+	if len(sky) != len(want) {
+		t.Fatalf("monitor skyline %d, static %d", len(sky), len(want))
+	}
+	for i := range want {
+		if sky[i].Seq != uint64(want[i]) {
+			t.Fatalf("skyline mismatch at %d", i)
+		}
+	}
+	pick, err := m.Diverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pick) != 4 {
+		t.Fatalf("picked %d", len(pick))
+	}
+	// Every pick is on the skyline.
+	onSky := map[uint64]bool{}
+	for _, s := range sky {
+		onSky[s.Seq] = true
+	}
+	for _, p := range pick {
+		if !onSky[p.Seq] {
+			t.Fatalf("pick %d not on skyline", p.Seq)
+		}
+	}
+}
+
+// TestEvictionChangesAnswer: evicting the dominating point must promote
+// previously dominated points into the skyline.
+func TestEvictionChangesAnswer(t *testing.T) {
+	m, _ := NewMonitor(2, 3, 1, 32, 1)
+	m.Add([]float64{0, 0}) // dominates everything
+	m.Add([]float64{1, 2})
+	m.Add([]float64{2, 1})
+	sky, _ := m.Skyline()
+	if len(sky) != 1 || sky[0].Seq != 0 {
+		t.Fatalf("pre-eviction sky: %v", sky)
+	}
+	m.Add([]float64{5, 5}) // evicts (0,0)
+	sky, _ = m.Skyline()
+	if len(sky) != 2 {
+		t.Fatalf("post-eviction sky: %v", sky)
+	}
+	if sky[0].Seq != 1 || sky[1].Seq != 2 {
+		t.Fatalf("post-eviction members: %v", sky)
+	}
+}
+
+// TestCacheInvalidation: queries without stream changes reuse the cache;
+// new arrivals invalidate it.
+func TestCacheInvalidation(t *testing.T) {
+	m, _ := NewMonitor(2, 100, 2, 32, 1)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		m.Add([]float64{rng.Float64(), rng.Float64()})
+	}
+	if _, err := m.Diverse(); err != nil {
+		t.Fatal(err)
+	}
+	first := m.RefreshCPU
+	if _, err := m.Diverse(); err != nil {
+		t.Fatal(err)
+	}
+	if m.RefreshCPU != first {
+		t.Error("cached query recomputed")
+	}
+	m.Add([]float64{rng.Float64(), rng.Float64()})
+	if _, err := m.Diverse(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiversePrefersSpread: two incomparable clusters in the window; k=2
+// must take one skyline representative whose dominated sets are disjoint.
+func TestDiversePrefersSpread(t *testing.T) {
+	m, _ := NewMonitor(2, 500, 2, 128, 3)
+	rng := rand.New(rand.NewSource(8))
+	// Left cluster: small x, large y. Right cluster: large x, small y.
+	for i := 0; i < 200; i++ {
+		m.Add([]float64{0.1 + rng.Float64()*0.2, 5 + rng.Float64()})
+		m.Add([]float64{5 + rng.Float64(), 0.1 + rng.Float64()*0.2})
+	}
+	m.Add([]float64{0.05, 4.9}) // left skyline anchor
+	m.Add([]float64{4.9, 0.05}) // right skyline anchor
+	pick, err := m.Diverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pick) != 2 {
+		t.Fatalf("picked %d", len(pick))
+	}
+	left := pick[0].Point[0] < 1
+	right := pick[1].Point[0] > 1
+	if left == (pick[1].Point[0] < 1) {
+		t.Fatalf("both picks from the same cluster: %v", pick)
+	}
+	_ = right
+}
+
+// TestSeqStableHashing: the same physical point keeps its hashed identity
+// across slides, so signatures remain comparable between refreshes.
+func TestSeqStableHashing(t *testing.T) {
+	m, _ := NewMonitor(2, 4, 2, 64, 2)
+	pts := [][]float64{{1, 9}, {9, 1}, {5, 5}, {8, 8}, {7, 9}}
+	for _, p := range pts {
+		m.Add(p)
+	}
+	a, err := m.Diverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Diverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq {
+			t.Fatal("repeat query changed answer")
+		}
+	}
+}
+
+// TestSkylinePropertyUnderStream: fuzz the monitor against a shadow model.
+func TestSkylinePropertyUnderStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	m, _ := NewMonitor(3, 64, 3, 32, 4)
+	var shadow []Item
+	for step := 0; step < 500; step++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		seq, _ := m.Add(p)
+		cp := make([]float64, 3)
+		copy(cp, p)
+		shadow = append(shadow, Item{Seq: seq, Point: cp})
+		if len(shadow) > 64 {
+			shadow = shadow[1:]
+		}
+		if step%50 != 0 {
+			continue
+		}
+		sky, err := m.Skyline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shadow skyline.
+		var want []Item
+		for i, a := range shadow {
+			dominated := false
+			for j, b := range shadow {
+				if i != j && (geom.Dominates(b.Point, a.Point) ||
+					(geom.Equal(b.Point, a.Point) && j < i)) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				want = append(want, a)
+			}
+		}
+		if len(sky) != len(want) {
+			t.Fatalf("step %d: monitor skyline %d, shadow %d", step, len(sky), len(want))
+		}
+		for i := range want {
+			if sky[i].Seq != want[i].Seq {
+				t.Fatalf("step %d: skyline mismatch at %d", step, i)
+			}
+		}
+	}
+}
+
+func BenchmarkMonitorRefresh(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, _ := NewMonitor(3, 5000, 5, 100, 1)
+	for i := 0; i < 5000; i++ {
+		m.Add([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		if _, err := m.Diverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

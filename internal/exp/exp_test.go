@@ -1,0 +1,266 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyEnv returns an Env scaled for unit tests (fast, still exercising every
+// code path).
+func tinyEnv() *Env {
+	e := NewEnv()
+	e.Scale = 0.0005 // clamps to the 1000-point floor for most datasets
+	return e
+}
+
+func TestScaled(t *testing.T) {
+	e := NewEnv()
+	e.Scale = 0.5
+	if got := e.scaled(1000000); got != 500000 {
+		t.Errorf("scaled = %d", got)
+	}
+	e.Scale = 0.0000001
+	if got := e.scaled(1000000); got != 1000 {
+		t.Errorf("floor broken: %d", got)
+	}
+	e.Scale = 10
+	if got := e.scaled(1000); got != 1000 {
+		t.Errorf("cap broken: %d", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup("table1") == nil || Lookup("fig10") == nil || Lookup("sparsity") == nil {
+		t.Error("registry incomplete")
+	}
+	if Lookup("nope") != nil {
+		t.Error("unknown id must return nil")
+	}
+	seen := map[string]bool{}
+	for _, r := range Registry {
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Description == "" || r.Run == nil {
+			t.Errorf("incomplete runner %s", r.ID)
+		}
+	}
+	// Every table and figure of the evaluation section must be covered.
+	for _, id := range []string{"table1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sparsity"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestPrepareCaches(t *testing.T) {
+	e := tinyEnv()
+	a, err := e.Prepare(kindIND, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Prepare(kindIND, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Prepare must cache")
+	}
+	if len(a.Sky) == 0 || a.Tree.Len() != a.Data.Len() {
+		t.Error("prepared bundle inconsistent")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Note:   "n",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow(1, "x,y")
+	var md, csv bytes.Buffer
+	if err := tab.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "### T") || !strings.Contains(md.String(), "| 1") {
+		t.Errorf("markdown output:\n%s", md.String())
+	}
+	if err := tab.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), `"x,y"`) {
+		t.Errorf("csv quoting broken:\n%s", csv.String())
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	tabs, err := RunFig2(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || len(tabs[0].Rows) != 2 {
+		t.Fatal("fig2 shape")
+	}
+	// max-min must achieve a strictly larger minimum pairwise distance.
+	if tabs[0].Rows[0][2] >= tabs[0].Rows[1][2] {
+		t.Errorf("MSDP min %s not below MMDP min %s", tabs[0].Rows[0][2], tabs[0].Rows[1][2])
+	}
+}
+
+func TestRunSparsity(t *testing.T) {
+	tabs, err := RunSparsity(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	if len(rows) != 3 {
+		t.Fatal("sparsity shape")
+	}
+	// Sparsity must increase with dimensionality, as in the paper's numbers.
+	if !(rows[0][2] < rows[1][2] && rows[1][2] < rows[2][2]) {
+		t.Errorf("sparsity not increasing: %v", rows)
+	}
+}
+
+func TestRunTable1Tiny(t *testing.T) {
+	tabs, err := RunTable1(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != 9 {
+		t.Fatalf("table1 rows = %d, want 9", len(tabs[0].Rows))
+	}
+	// k=2 rows: dispersion diversity must be at least the coverage
+	// algorithm's (it maximizes exactly that).
+	for _, row := range tabs[0].Rows {
+		if row[1] != "2" || row[2] == dnf {
+			continue
+		}
+		if row[5] < row[3] {
+			t.Errorf("%s k=2: dispersion diversity %s below coverage's %s", row[0], row[5], row[3])
+		}
+	}
+}
+
+func TestRunFig13Tiny(t *testing.T) {
+	tabs, err := RunFig13(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 4 {
+		t.Fatalf("fig13 tables = %d", len(tabs))
+	}
+	// Memory table: LSH rows must shrink (or stay equal) as the threshold
+	// rises, and MH rows must be constant.
+	mem := tabs[0]
+	for _, row := range mem.Rows {
+		if strings.HasPrefix(row[0], "MH") {
+			if row[1] != row[2] || row[2] != row[3] || row[3] != row[4] {
+				t.Errorf("MH memory row not constant: %v", row)
+			}
+		}
+	}
+}
+
+func TestRunKSweepMemoized(t *testing.T) {
+	e := tinyEnv()
+	a, err := e.kSweep(kindIND, 50000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.kSweep(kindIND, 50000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a == &b {
+		t.Skip("maps compared by pointer identity elsewhere")
+	}
+	// Same content guaranteed by memoization: identical map instance.
+	a["SG"][2] = kSweepCell{"x", "y"}
+	if b["SG"][2].time != "x" {
+		t.Error("kSweep must memoize the same instance")
+	}
+}
+
+func TestRunFig8Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tabs, err := RunFig8(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("fig8 tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 12 { // 3 dims x 4 signature sizes
+			t.Fatalf("%s: rows = %d, want 12", tab.Title, len(tab.Rows))
+		}
+	}
+}
+
+func TestRunFig9Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tabs, err := RunFig9(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 4 {
+		t.Fatalf("fig9 tables = %d", len(tabs))
+	}
+	if len(tabs[0].Rows) != 4 || len(tabs[2].Rows) != 4 {
+		t.Fatal("fig9 row counts")
+	}
+}
+
+func TestRunAblationTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tabs, err := RunAblation(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 {
+		t.Fatalf("ablation tables = %d", len(tabs))
+	}
+	if len(tabs[0].Rows) != 2 || len(tabs[1].Rows) != 10 {
+		t.Fatalf("ablation row counts: %d, %d", len(tabs[0].Rows), len(tabs[1].Rows))
+	}
+}
+
+func TestRunFig11And12ShareSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := tinyEnv()
+	// Keep it cheap: restrict to one family by running the sweep directly.
+	if _, err := e.kSweep(kindFC, 2000, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.memo) == 0 {
+		t.Error("sweep not memoized")
+	}
+}
+
+func TestRunParallelTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tabs, err := RunParallel(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != 8 { // 2 datasets x 4 worker counts
+		t.Fatalf("parallel rows = %d", len(tabs[0].Rows))
+	}
+	// Single-worker rows show speedup 1.00x.
+	if tabs[0].Rows[0][3] != "1.00x" {
+		t.Errorf("baseline speedup = %s", tabs[0].Rows[0][3])
+	}
+}

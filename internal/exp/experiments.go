@@ -1,0 +1,598 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"skydiver/internal/core"
+	"skydiver/internal/coverage"
+	"skydiver/internal/data"
+	"skydiver/internal/dispersion"
+	"skydiver/internal/geom"
+	"skydiver/internal/minhash"
+	"skydiver/internal/pager"
+	"skydiver/internal/skyline"
+)
+
+// Runner is a named experiment.
+type Runner struct {
+	// ID is the experiment identifier (table1, fig8, ... sparsity).
+	ID string
+	// Description summarizes what the experiment reproduces.
+	Description string
+	// Run executes the experiment.
+	Run func(e *Env) ([]*Table, error)
+}
+
+// Registry lists all experiments in paper order.
+var Registry = []Runner{
+	{"table1", "Table 1: k-max-coverage vs k-dispersion (coverage and diversity)", RunTable1},
+	{"fig2", "Figure 2: solutions of 3-MSDP vs 3-MMDP on a 2D toy set", RunFig2},
+	{"fig8", "Figure 8: MinHash signature generation time vs signature size (FC, REC; IB vs IF)", RunFig8},
+	{"fig9", "Figure 9: signature generation (t=100) vs cardinality and dimensionality (IND, ANT)", RunFig9},
+	{"fig10", "Figure 10: runtime for k=10 diverse points vs dimensionality (BF, SG, MH100, LSH100)", RunFig10},
+	{"fig11", "Figure 11: runtime vs number of diverse points k (SG, MH100, LSH100)", RunFig11},
+	{"fig12", "Figure 12: quality (min exact Jaccard distance) vs k (SG, MH100, LSH100)", RunFig12},
+	{"fig13", "Figure 13: LSH vs MinHashing memory/quality trade-off (k=10)", RunFig13},
+	{"sparsity", "Section 3.2: domination-matrix sparsity of 10K uniform points at d=3,5,7", RunSparsity},
+}
+
+// Lookup returns the runner with the given id, or nil.
+func Lookup(id string) *Runner {
+	for i := range Registry {
+		if Registry[i].ID == id {
+			return &Registry[i]
+		}
+	}
+	return nil
+}
+
+// table1Ks are the k values of Table 1.
+var table1Ks = []int{2, 10, 50}
+
+// RunTable1 reproduces Table 1: for IND 5M 4D, FC 5D and REC 5D, the
+// coverage and diversity achieved by greedy k-max-coverage versus greedy
+// k-dispersion over exact Jaccard distances of the Γ sets.
+func RunTable1(e *Env) ([]*Table, error) {
+	t := &Table{
+		Title:  "Table 1: k-max-coverage vs k-dispersion",
+		Note:   fmt.Sprintf("scale=%.3g; coverage = fraction of dominated points covered; diversity = min pairwise exact Jaccard distance", e.Scale),
+		Header: []string{"data", "k", "maxcov coverage", "maxcov diversity", "dispersion coverage", "dispersion diversity"},
+	}
+	specs := []struct {
+		kind   datasetKind
+		paperN int
+		dims   int
+		label  string
+	}{
+		{kindIND, paperSyntheticN, 4, "IND5M4D"},
+		{kindFC, paperFCN, 5, "FC5D"},
+		{kindREC, paperRECN, 5, "REC5D"},
+	}
+	for _, spec := range specs {
+		p, err := e.Prepare(spec.kind, spec.paperN, spec.dims)
+		if err != nil {
+			return nil, err
+		}
+		post := coverage.BuildPostings(p.Data, p.Sky)
+		scores := post.DominationScores()
+		m := len(p.Sky)
+		for _, k := range table1Ks {
+			if k > m {
+				t.AddRow(spec.label, k, dnf, dnf, dnf, dnf)
+				continue
+			}
+			covSel, _, err := coverage.GreedyMaxCoverage(post, k)
+			if err != nil {
+				return nil, err
+			}
+			dispSel, err := dispersion.SelectDiverseSet(m, k, post.Jaccard, scores)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(spec.label, k,
+				fmt.Sprintf("%.1f%%", 100*post.CoverageFraction(covSel)),
+				fmt.Sprintf("%.3f", post.MinPairwiseJaccard(covSel)),
+				fmt.Sprintf("%.1f%%", 100*post.CoverageFraction(dispSel)),
+				fmt.Sprintf("%.3f", post.MinPairwiseJaccard(dispSel)))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// RunFig2 reproduces the Figure 2 illustration: on a small 2D configuration,
+// 3-MSDP and 3-MMDP (brute force, L2 distance) return different shapes —
+// max-min avoids the close pair that max-sum tolerates.
+func RunFig2(e *Env) ([]*Table, error) {
+	pts := [][2]float64{{0, 0}, {1, 0}, {5, 0}, {9, 0}, {10, 0}}
+	names := []string{"a", "b", "c", "d", "e"}
+	dist := func(i, j int) float64 {
+		dx := pts[i][0] - pts[j][0]
+		dy := pts[i][1] - pts[j][1]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	t := &Table{
+		Title:  "Figure 2: 3-MSDP vs 3-MMDP",
+		Note:   "five collinear points at x = 0, 1, 5, 9, 10; L2 distance",
+		Header: []string{"objective", "selected", "min pairwise", "sum pairwise"},
+	}
+	for _, obj := range []dispersion.Objective{dispersion.MaxSum, dispersion.MaxMin} {
+		set, _, err := dispersion.BruteForce(len(pts), 3, dist, obj)
+		if err != nil {
+			return nil, err
+		}
+		label := ""
+		for _, s := range set {
+			label += names[s]
+		}
+		t.AddRow(obj.String(), label,
+			fmt.Sprintf("%.2f", dispersion.MinPairwise(set, dist)),
+			fmt.Sprintf("%.2f", dispersion.SumPairwise(set, dist)))
+	}
+	return []*Table{t}, nil
+}
+
+// fig8Sizes are the signature sizes of Figure 8.
+var fig8Sizes = []int{50, 100, 200, 400}
+
+// sigGenCell runs one signature generation (IF or IB) and returns CPU and
+// total time.
+func sigGenCell(p *Prepared, t int, seed int64, indexBased bool) (cpu, total time.Duration, err error) {
+	fam, err := minhash.NewFamily(t, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	var fp *core.Fingerprint
+	start := time.Now()
+	if indexBased {
+		p.coldCache()
+		fp, err = core.SigGenIB(p.Tree, p.Data, p.Sky, fam)
+	} else {
+		fp, err = core.SigGenIF(p.Data, p.Sky, fam)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	cpu = time.Since(start)
+	total = cpu + core.Stats{IO: fp.IO, Model: pager.DefaultCostModel()}.IOTime()
+	return cpu, total, nil
+}
+
+// RunFig8 reproduces Figure 8: signature generation time as a function of
+// the signature size for FC and REC at all dimensionalities, IB vs IF.
+func RunFig8(e *Env) ([]*Table, error) {
+	var out []*Table
+	specs := []struct {
+		kind   datasetKind
+		paperN int
+		label  string
+	}{
+		{kindFC, paperFCN, "FC"},
+		{kindREC, paperRECN, "REC"},
+	}
+	for _, spec := range specs {
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 8: %s — signature generation time vs signature size", spec.label),
+			Note:   fmt.Sprintf("scale=%.3g; total time = CPU + 8ms per page fault", e.Scale),
+			Header: []string{"dims", "t", "IB total (s)", "IF total (s)", "IB cpu (s)", "IF cpu (s)"},
+		}
+		for _, dims := range []int{4, 5, 7} {
+			p, err := e.Prepare(spec.kind, spec.paperN, dims)
+			if err != nil {
+				return nil, err
+			}
+			for _, tSig := range fig8Sizes {
+				ibCPU, ibTotal, err := sigGenCell(p, tSig, e.Seed, true)
+				if err != nil {
+					return nil, err
+				}
+				ifCPU, ifTotal, err := sigGenCell(p, tSig, e.Seed, false)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(dims, tSig, seconds(ibTotal), seconds(ifTotal), seconds(ibCPU), seconds(ifCPU))
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// fig9Cardinalities are the paper cardinalities of Figure 9(a)-(b).
+var fig9Cardinalities = []int{1_000_000, 2_000_000, 5_000_000, 7_000_000}
+
+// fig9Dims are the dimensionalities of Figure 9(c)-(d).
+var fig9Dims = []int{2, 3, 4, 6}
+
+// RunFig9 reproduces Figure 9: signature generation (t = 100) for IND and
+// ANT, CPU and total time, versus cardinality (d = 4) and versus
+// dimensionality (default cardinality).
+func RunFig9(e *Env) ([]*Table, error) {
+	const tSig = 100
+	type cell struct{ cpu, total [2]time.Duration } // [IB, IF]
+	run := func(kind datasetKind, paperN, dims int) (cell, error) {
+		p, err := e.Prepare(kind, paperN, dims)
+		if err != nil {
+			return cell{}, err
+		}
+		var c cell
+		c.cpu[0], c.total[0], err = sigGenCell(p, tSig, e.Seed, true)
+		if err != nil {
+			return cell{}, err
+		}
+		c.cpu[1], c.total[1], err = sigGenCell(p, tSig, e.Seed, false)
+		if err != nil {
+			return cell{}, err
+		}
+		return c, nil
+	}
+	cardCPU := &Table{
+		Title:  "Figure 9(a): CPU time vs cardinality (d=4, t=100)",
+		Note:   fmt.Sprintf("scale=%.3g applied to the paper cardinalities", e.Scale),
+		Header: []string{"cardinality", "IND-IB", "IND-IF", "ANT-IB", "ANT-IF"},
+	}
+	cardTotal := &Table{
+		Title:  "Figure 9(b): total time vs cardinality (d=4, t=100)",
+		Header: []string{"cardinality", "IND-IB", "IND-IF", "ANT-IB", "ANT-IF"},
+	}
+	for _, paperN := range fig9Cardinalities {
+		ind, err := run(kindIND, paperN, 4)
+		if err != nil {
+			return nil, err
+		}
+		ant, err := run(kindANT, paperN, 4)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%dM (x%.3g)", paperN/1_000_000, e.Scale)
+		cardCPU.AddRow(label, seconds(ind.cpu[0]), seconds(ind.cpu[1]), seconds(ant.cpu[0]), seconds(ant.cpu[1]))
+		cardTotal.AddRow(label, seconds(ind.total[0]), seconds(ind.total[1]), seconds(ant.total[0]), seconds(ant.total[1]))
+	}
+	dimCPU := &Table{
+		Title:  "Figure 9(c): CPU time vs dimensionality (default cardinality, t=100)",
+		Header: []string{"dims", "IND-IB", "IND-IF", "ANT-IB", "ANT-IF"},
+	}
+	dimTotal := &Table{
+		Title:  "Figure 9(d): total time vs dimensionality (default cardinality, t=100)",
+		Header: []string{"dims", "IND-IB", "IND-IF", "ANT-IB", "ANT-IF"},
+	}
+	for _, dims := range fig9Dims {
+		ind, err := run(kindIND, paperSyntheticN, dims)
+		if err != nil {
+			return nil, err
+		}
+		ant, err := run(kindANT, paperSyntheticN, dims)
+		if err != nil {
+			return nil, err
+		}
+		dimCPU.AddRow(dims, seconds(ind.cpu[0]), seconds(ind.cpu[1]), seconds(ant.cpu[0]), seconds(ant.cpu[1]))
+		dimTotal.AddRow(dims, seconds(ind.total[0]), seconds(ind.total[1]), seconds(ant.total[0]), seconds(ant.total[1]))
+	}
+	return []*Table{cardCPU, cardTotal, dimCPU, dimTotal}, nil
+}
+
+// runAlgo executes one end-to-end diversification cell and returns its total
+// time string (or DNF when capped).
+func (e *Env) runAlgo(p *Prepared, algo string, k int) (string, *core.Result, error) {
+	in := p.Input()
+	m := len(p.Sky)
+	cfg := core.Config{K: k, SignatureSize: 100, Seed: e.Seed, Mode: core.IndexBased}
+	var res *core.Result
+	var err error
+	switch algo {
+	case "BF":
+		// The enumeration for k=2 is the pairwise matrix itself; larger k
+		// multiplies the subsets. Only the matrix cost is capped, as k is
+		// fixed to 2 in Figure 10 per the paper.
+		if m*(m-1)/2 > e.BFPairCap {
+			return dnf, nil, nil
+		}
+		p.coldCache()
+		res, err = core.BruteForce(in, cfg)
+	case "SG":
+		if k*m > e.SGQueryCap {
+			return dnf, nil, nil
+		}
+		p.coldCache()
+		res, err = core.SimpleGreedy(in, cfg)
+	case "MH":
+		p.coldCache()
+		res, err = core.SkyDiverMH(in, cfg)
+	case "LSH":
+		p.coldCache()
+		res, err = core.SkyDiverLSH(in, cfg)
+	default:
+		return "", nil, fmt.Errorf("exp: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	return seconds(res.Stats.Total()), res, nil
+}
+
+// RunFig10 reproduces Figure 10: end-to-end runtime for k = 10 diverse
+// points (k = 2 for BF) versus dimensionality, per dataset family. BF is
+// omitted for ANT, exactly as in the paper.
+func RunFig10(e *Env) ([]*Table, error) {
+	var out []*Table
+	families := []struct {
+		kind   datasetKind
+		paperN int
+		dims   []int
+		withBF bool
+	}{
+		{kindIND, paperSyntheticN, []int{2, 3, 4, 6}, true},
+		{kindANT, paperSyntheticN, []int{2, 3, 4, 6}, false},
+		{kindFC, paperFCN, []int{4, 5, 7}, true},
+		{kindREC, paperRECN, []int{4, 5, 7}, true},
+	}
+	for _, fam := range families {
+		header := []string{"dims", "m"}
+		if fam.withBF {
+			header = append(header, "BF k=2 (s)")
+		}
+		header = append(header, "SG (s)", "MH100 (s)", "LSH100 (s)")
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 10: %s — runtime for k=10 vs dimensionality", fam.kind),
+			Note:   fmt.Sprintf("scale=%.3g; total time incl. signature generation (IB); BF runs k=2 as in the paper", e.Scale),
+			Header: header,
+		}
+		for _, dims := range fam.dims {
+			p, err := e.Prepare(fam.kind, fam.paperN, dims)
+			if err != nil {
+				return nil, err
+			}
+			m := len(p.Sky)
+			k := 10
+			if k > m {
+				k = m
+			}
+			row := []any{dims, m}
+			if fam.withBF {
+				kbf := 2
+				if kbf > m {
+					kbf = m
+				}
+				cell, _, err := e.runAlgo(p, "BF", kbf)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, cell)
+			}
+			for _, algo := range []string{"SG", "MH", "LSH"} {
+				cell, _, err := e.runAlgo(p, algo, k)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, cell)
+			}
+			t.AddRow(row...)
+			e.logf("fig10 %s d=%d done", fam.kind, dims)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// figKs are the k values of Figures 11 and 12.
+var figKs = []int{2, 5, 10, 50}
+
+// defaultFamilies are the per-family defaults (underlined in Table 4).
+var defaultFamilies = []struct {
+	kind   datasetKind
+	paperN int
+	dims   int
+}{
+	{kindIND, paperSyntheticN, 4},
+	{kindANT, paperSyntheticN, 4},
+	{kindFC, paperFCN, 5},
+	{kindREC, paperRECN, 5},
+}
+
+// kSweep runs SG/MH/LSH over the k values for one dataset, returning per-k
+// total time and exact quality. Results are memoized per env so Figures 11
+// and 12 share one sweep.
+type kSweepCell struct {
+	time    string
+	quality string
+}
+
+func (e *Env) kSweep(kind datasetKind, paperN, dims int) (map[string]map[int]kSweepCell, error) {
+	key := fmt.Sprintf("ksweep-%v-%d-%d", kind, paperN, dims)
+	if e.cache == nil {
+		e.cache = make(map[string]*Prepared)
+	}
+	if e.memo == nil {
+		e.memo = make(map[string]any)
+	}
+	if v, ok := e.memo[key]; ok {
+		return v.(map[string]map[int]kSweepCell), nil
+	}
+	p, err := e.Prepare(kind, paperN, dims)
+	if err != nil {
+		return nil, err
+	}
+	oracle := core.NewExactOracle(p.Tree, p.Data, p.Sky)
+	out := map[string]map[int]kSweepCell{}
+	for _, algo := range []string{"SG", "MH", "LSH"} {
+		out[algo] = map[int]kSweepCell{}
+		for _, k := range figKs {
+			if k > len(p.Sky) {
+				out[algo][k] = kSweepCell{dnf, dnf}
+				continue
+			}
+			cell, res, err := e.runAlgo(p, algo, k)
+			if err != nil {
+				return nil, err
+			}
+			if res == nil {
+				out[algo][k] = kSweepCell{dnf, dnf}
+				continue
+			}
+			q, err := oracle.MinPairwiseJd(res.Selected)
+			if err != nil {
+				return nil, err
+			}
+			out[algo][k] = kSweepCell{cell, fmt.Sprintf("%.3f", q)}
+			e.logf("ksweep %s d=%d %s k=%d done", kind, dims, algo, k)
+		}
+	}
+	e.memo[key] = out
+	return out, nil
+}
+
+// RunFig11 reproduces Figure 11: runtime versus the number of requested
+// diverse points for SG, MH100 and LSH100 on all four dataset families.
+func RunFig11(e *Env) ([]*Table, error) {
+	return e.kTables("Figure 11", "runtime (s) vs k", func(c kSweepCell) string { return c.time })
+}
+
+// RunFig12 reproduces Figure 12: the quality (minimum exact Jaccard
+// distance of the selected set) versus k.
+func RunFig12(e *Env) ([]*Table, error) {
+	return e.kTables("Figure 12", "diversity (min exact Jd) vs k", func(c kSweepCell) string { return c.quality })
+}
+
+func (e *Env) kTables(figure, what string, pick func(kSweepCell) string) ([]*Table, error) {
+	var out []*Table
+	for _, fam := range defaultFamilies {
+		sweep, err := e.kSweep(fam.kind, fam.paperN, fam.dims)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title:  fmt.Sprintf("%s: %s — %s", figure, fam.kind, what),
+			Note:   fmt.Sprintf("scale=%.3g; d=%d", e.Scale, fam.dims),
+			Header: []string{"k", "SG", "MH100", "LSH100"},
+		}
+		for _, k := range figKs {
+			t.AddRow(k, pick(sweep["SG"][k]), pick(sweep["MH"][k]), pick(sweep["LSH"][k]))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// fig13Thresholds and fig13Buckets are the LSH parameters of Figure 13;
+// fig13MHSizes the MinHash signature sizes shown as horizontal baselines.
+var (
+	fig13Thresholds = []float64{0.1, 0.2, 0.3, 0.4}
+	fig13Buckets    = []int{10, 20, 50}
+	fig13MHSizes    = []int{20, 50, 100}
+)
+
+// RunFig13 reproduces Figure 13: the memory/accuracy trade-off of LSH
+// (signature size 100, varying ξ and B) against plain MinHashing at smaller
+// signature sizes, for FC and REC at k = 10.
+func RunFig13(e *Env) ([]*Table, error) {
+	var out []*Table
+	specs := []struct {
+		kind   datasetKind
+		paperN int
+		label  string
+	}{
+		{kindFC, paperFCN, "FC"},
+		{kindREC, paperRECN, "REC"},
+	}
+	for _, spec := range specs {
+		p, err := e.Prepare(spec.kind, spec.paperN, 5)
+		if err != nil {
+			return nil, err
+		}
+		k := 10
+		if k > len(p.Sky) {
+			k = len(p.Sky)
+		}
+		oracle := core.NewExactOracle(p.Tree, p.Data, p.Sky)
+		mem := &Table{
+			Title:  fmt.Sprintf("Figure 13(%s): memory (bytes) vs threshold", spec.label),
+			Note:   fmt.Sprintf("scale=%.3g; m=%d skyline points; LSH uses t=100; MH rows are threshold-independent", e.Scale, len(p.Sky)),
+			Header: []string{"series", "xi=0.1", "xi=0.2", "xi=0.3", "xi=0.4"},
+		}
+		qual := &Table{
+			Title:  fmt.Sprintf("Figure 13(%s): diversity (min exact Jd, k=%d) vs threshold", spec.label, k),
+			Header: []string{"series", "xi=0.1", "xi=0.2", "xi=0.3", "xi=0.4"},
+		}
+		in := p.Input()
+		for _, b := range fig13Buckets {
+			memRow := []any{fmt.Sprintf("LSH B%d", b)}
+			qualRow := []any{fmt.Sprintf("LSH B%d", b)}
+			for _, xi := range fig13Thresholds {
+				res, err := core.SkyDiverLSH(in, core.Config{
+					K: k, SignatureSize: 100, Seed: e.Seed, Mode: core.IndexBased,
+					LSHThreshold: xi, LSHBuckets: b,
+				})
+				if err != nil {
+					return nil, err
+				}
+				q, err := oracle.MinPairwiseJd(res.Selected)
+				if err != nil {
+					return nil, err
+				}
+				memRow = append(memRow, res.Stats.MemoryBytes)
+				qualRow = append(qualRow, fmt.Sprintf("%.3f", q))
+			}
+			mem.AddRow(memRow...)
+			qual.AddRow(qualRow...)
+		}
+		for _, tSig := range fig13MHSizes {
+			res, err := core.SkyDiverMH(in, core.Config{
+				K: k, SignatureSize: tSig, Seed: e.Seed, Mode: core.IndexBased,
+			})
+			if err != nil {
+				return nil, err
+			}
+			q, err := oracle.MinPairwiseJd(res.Selected)
+			if err != nil {
+				return nil, err
+			}
+			memRow := []any{fmt.Sprintf("MH%d", tSig)}
+			qualRow := []any{fmt.Sprintf("MH%d", tSig)}
+			for range fig13Thresholds {
+				memRow = append(memRow, res.Stats.MemoryBytes)
+				qualRow = append(qualRow, fmt.Sprintf("%.3f", q))
+			}
+			mem.AddRow(memRow...)
+			qual.AddRow(qualRow...)
+		}
+		out = append(out, mem, qual)
+	}
+	return out, nil
+}
+
+// RunSparsity reproduces the in-text sparsity numbers of Section 3.2: the
+// percentage of zeros in the domination matrix of 10,000 uniformly
+// distributed points at 3, 5 and 7 dimensions (paper: 45%, 84%, 97%).
+func RunSparsity(e *Env) ([]*Table, error) {
+	t := &Table{
+		Title:  "Section 3.2: domination-matrix sparsity (10K uniform points)",
+		Note:   "paper reports 45% (3D), 84% (5D), 97% (7D)",
+		Header: []string{"dims", "m", "zeros"},
+	}
+	for _, dims := range []int{3, 5, 7} {
+		ds := data.Independent(10_000, dims, e.Seed)
+		sky := skyline.ComputeSFS(ds)
+		inSky := make(map[int]bool, len(sky))
+		for _, s := range sky {
+			inSky[s] = true
+		}
+		nnz := 0
+		rows := 0
+		for i := 0; i < ds.Len(); i++ {
+			if inSky[i] {
+				continue
+			}
+			rows++
+			p := ds.Point(i)
+			for _, s := range sky {
+				if geom.Dominates(ds.Point(s), p) {
+					nnz++
+				}
+			}
+		}
+		zeros := 1 - float64(nnz)/float64(rows*len(sky))
+		t.AddRow(dims, len(sky), fmt.Sprintf("%.1f%%", 100*zeros))
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"skydiver/internal/core"
+	"skydiver/internal/minhash"
+)
+
+func init() {
+	Registry = append(Registry, Runner{
+		ID:          "parallel",
+		Description: "Extension (paper future work): parallel index-free fingerprinting speedup",
+		Run:         RunParallel,
+	})
+}
+
+// RunParallel measures the speedup of SigGenIFParallel over the sequential
+// SigGen-IF, the "parallelization aspects of our methodology" the paper
+// lists as future work (Section 6). Output is verified to be bit-identical
+// to the sequential pass, so the speedup is free of accuracy cost.
+func RunParallel(e *Env) ([]*Table, error) {
+	t := &Table{
+		Title: "Extension: parallel SigGen-IF speedup (t=100)",
+		Note: fmt.Sprintf("scale=%.3g; GOMAXPROCS=%d; identical signatures at every worker count",
+			e.Scale, runtime.GOMAXPROCS(0)),
+		Header: []string{"data", "workers", "cpu (s)", "speedup"},
+	}
+	specs := []struct {
+		kind   datasetKind
+		paperN int
+		dims   int
+	}{
+		{kindIND, paperSyntheticN, 4},
+		{kindANT, paperSyntheticN, 4},
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	for _, spec := range specs {
+		p, err := e.Prepare(spec.kind, spec.paperN, spec.dims)
+		if err != nil {
+			return nil, err
+		}
+		var base time.Duration
+		for _, w := range workerCounts {
+			fam, err := minhash.NewFamily(100, e.Seed)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := core.SigGenIFParallel(p.Data, p.Sky, fam, w); err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if w == 1 {
+				base = elapsed
+			}
+			t.AddRow(fmt.Sprintf("%v-%dD", spec.kind, spec.dims), w,
+				seconds(elapsed), fmt.Sprintf("%.2fx", base.Seconds()/elapsed.Seconds()))
+		}
+	}
+	return []*Table{t}, nil
+}

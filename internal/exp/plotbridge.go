@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"skydiver/internal/plot"
+)
+
+// TableChart converts an experiment table into an ASCII chart: the first
+// column becomes the categorical x axis and every numeric column a series.
+// Cells that do not parse (e.g. DNF) become gaps. Columns named "m" (skyline
+// cardinality context) and "k" are skipped as series. logY draws a
+// logarithmic y axis, matching the paper's runtime figures.
+func TableChart(t *Table, logY bool) (*plot.Chart, error) {
+	if len(t.Header) < 2 || len(t.Rows) == 0 {
+		return nil, fmt.Errorf("exp: table %q too small to chart", t.Title)
+	}
+	chart := &plot.Chart{Title: t.Title, LogY: logY}
+	for _, row := range t.Rows {
+		chart.XLabels = append(chart.XLabels, row[0])
+	}
+	for col := 1; col < len(t.Header); col++ {
+		name := t.Header[col]
+		if name == "m" || name == "k" {
+			continue
+		}
+		series := plot.Series{Name: name, Y: make([]float64, len(t.Rows))}
+		numeric := 0
+		for r, row := range t.Rows {
+			v, ok := parseCell(row, col)
+			if !ok {
+				series.Y[r] = math.NaN()
+				continue
+			}
+			if logY && v <= 0 {
+				series.Y[r] = math.NaN()
+				continue
+			}
+			series.Y[r] = v
+			numeric++
+		}
+		if numeric > 0 {
+			chart.Series = append(chart.Series, series)
+		}
+	}
+	if len(chart.Series) == 0 {
+		return nil, fmt.Errorf("exp: table %q has no numeric series", t.Title)
+	}
+	return chart, nil
+}
+
+// parseCell extracts a float from a table cell, accepting plain numbers,
+// percentages and byte counts.
+func parseCell(row []string, col int) (float64, bool) {
+	if col >= len(row) {
+		return 0, false
+	}
+	s := strings.TrimSpace(row[col])
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, true
+	}
+	return 0, false
+}

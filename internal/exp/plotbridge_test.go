@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableChart(t *testing.T) {
+	tab := &Table{
+		Title:  "Figure X: runtime",
+		Header: []string{"dims", "m", "SG (s)", "MH100 (s)"},
+	}
+	tab.AddRow(2, 11, "3.40", "1.44")
+	tab.AddRow(3, 84, "357", "DNF")
+	chart, err := TableChart(tab, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "m" skipped; two series remain.
+	if len(chart.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(chart.Series))
+	}
+	if chart.Series[0].Name != "SG (s)" {
+		t.Errorf("series name %q", chart.Series[0].Name)
+	}
+	if !math.IsNaN(chart.Series[1].Y[1]) {
+		t.Error("DNF must become NaN")
+	}
+	out, err := chart.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure X") {
+		t.Error("title missing")
+	}
+}
+
+func TestTableChartPercentAndErrors(t *testing.T) {
+	tab := &Table{Title: "pct", Header: []string{"k", "coverage"}}
+	tab.AddRow(2, "95.3%")
+	chart, err := TableChart(tab, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chart.Series[0].Y[0] != 95.3 {
+		t.Errorf("percent parsing: %v", chart.Series[0].Y[0])
+	}
+	empty := &Table{Title: "e", Header: []string{"x", "y"}}
+	if _, err := TableChart(empty, false); err == nil {
+		t.Error("expected error for empty table")
+	}
+	text := &Table{Title: "t", Header: []string{"x", "label"}}
+	text.AddRow("a", "hello")
+	if _, err := TableChart(text, false); err == nil {
+		t.Error("expected error for non-numeric table")
+	}
+	speed := &Table{Title: "s", Header: []string{"w", "speedup"}}
+	speed.AddRow(1, "1.35x")
+	chart, err = TableChart(speed, false)
+	if err != nil || chart.Series[0].Y[0] != 1.35 {
+		t.Error("speedup suffix parsing broken")
+	}
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sample accumulates repeated measurements of one quantity and reports
+// mean ± standard deviation, for experiments run with multiple trials.
+type Sample struct {
+	values []float64
+}
+
+// Add records one measurement.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// AddDuration records one duration measurement in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range s.values {
+		total += v
+	}
+	return total / float64(len(s.values))
+}
+
+// Stddev returns the sample standard deviation (0 for fewer than two
+// measurements).
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min and Max return the extremes (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String renders "mean ± sd" with adaptive precision; single measurements
+// render bare.
+func (s *Sample) String() string {
+	if len(s.values) <= 1 {
+		return fmt.Sprintf("%.4g", s.Mean())
+	}
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean(), s.Stddev())
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample accessors")
+	}
+	s.Add(2)
+	s.Add(4)
+	s.Add(6)
+	if s.N() != 3 || s.Mean() != 4 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if got := s.Stddev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 6 {
+		t.Error("min/max")
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Error("multi-sample String must include ±")
+	}
+	var one Sample
+	one.AddDuration(1500 * time.Millisecond)
+	if one.Mean() != 1.5 || strings.Contains(one.String(), "±") {
+		t.Error("single sample rendering")
+	}
+}
+
+// TestSampleQuick: mean lies within [min, max] and stddev is non-negative
+// for arbitrary inputs.
+func TestSampleQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			// Skip inputs whose sum would overflow float64 — the property
+			// concerns ordinary measurements, not ±1e308 extremes.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Stddev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDynamicTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tabs, err := RunDynamic(tinyEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != 4 {
+		t.Fatalf("dynamic rows = %d", len(tabs[0].Rows))
+	}
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one result table of an experiment, renderable as markdown or CSV.
+type Table struct {
+	// Title names the table (e.g. "Figure 10(a): IND — runtime vs dims").
+	Title string
+	// Note is an optional caption (parameters, scale, caveats).
+	Note string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the data cells, already formatted.
+	Rows [][]string
+}
+
+// AddRow appends a row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteMarkdown renders the table as GitHub-flavored markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "%s\n\n", t.Note); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	pad := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = pad(h, widths[i])
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+		return err
+	}
+	for i := range cells {
+		cells[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		for i := range cells {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			cells[i] = pad(c, widths[i])
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as CSV (quoted only when needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		row[i] = esc(h)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

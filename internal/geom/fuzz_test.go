@@ -1,0 +1,51 @@
+package geom
+
+import "testing"
+
+// FuzzDominates checks the strict-partial-order axioms on arbitrary float
+// pairs (including NaN/Inf inputs, which must not panic).
+func FuzzDominates(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, a0, a1, b0, b1 float64) {
+		a := []float64{a0, a1}
+		b := []float64{b0, b1}
+		if Dominates(a, a) {
+			t.Fatal("irreflexivity violated")
+		}
+		if Dominates(a, b) && Dominates(b, a) {
+			t.Fatal("asymmetry violated")
+		}
+		if Dominates(a, b) && !DominatesOrEqual(a, b) {
+			t.Fatal("strict dominance must imply weak dominance")
+		}
+	})
+}
+
+// FuzzDomRelation checks the SigGen-IB classification soundness on
+// arbitrary rectangles: full implies weak dominance of both corners, and
+// none must be consistent with not dominating the upper corner.
+func FuzzDomRelation(f *testing.F) {
+	f.Add(0.5, 0.5, 0.0, 0.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, px, py, lx, ly, hx, hy float64) {
+		if lx > hx || ly > hy {
+			return
+		}
+		p := []float64{px, py}
+		r := Rect{Lo: []float64{lx, ly}, Hi: []float64{hx, hy}}
+		switch DomRelation(p, r) {
+		case DomFull:
+			if !Dominates(p, r.Lo) || !Dominates(p, r.Hi) && !Equal(r.Lo, r.Hi) {
+				// Full requires strictly dominating Lo; Hi follows unless
+				// the rect is degenerate at Lo==Hi.
+				if !Dominates(p, r.Lo) {
+					t.Fatal("full without dominating Lo")
+				}
+			}
+		case DomNone:
+			if Dominates(p, r.Hi) {
+				t.Fatal("none while dominating Hi")
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package minhash implements min-wise hashing over the (implicit) domination
+// matrix, Phase 1 of the SkyDiver framework (Section 4.1).
+//
+// Each skyline point's dominated set Γ(p) — a column of the n×m domination
+// matrix — is summarized by a signature of t slots. Slot i holds the minimum
+// value of hash function h_i over the row ids contained in the column, where
+// h_i(x) = (a_i·x + b_i) mod P for a prime P larger than the number of rows.
+// The probability that two columns agree on a slot equals their Jaccard
+// similarity, so the fraction of agreeing slots estimates Js.
+//
+// As in the paper, the linear congruential family is not exactly min-wise
+// independent but is the standard approximation that works well in practice.
+// P is the Mersenne prime 2^61−1, large enough for any dataset this
+// repository handles; slot values are folded to 32 bits, matching the
+// 4-bytes-per-slot memory accounting of Section 5 (Figure 13) at a 2^-32
+// collision risk.
+package minhash
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// mersenne61 is the modulus of the hash family.
+const mersenne61 = (1 << 61) - 1
+
+// emptySlot is the value of a slot no row has been hashed into (∞ in the
+// paper's pseudocode, Figure 3 line 1).
+const emptySlot = math.MaxUint32
+
+// Family is a set of t approximately min-wise independent hash functions.
+type Family struct {
+	a, b []uint64
+}
+
+// NewFamily draws t hash functions with coefficients in [1, P-1],
+// deterministically from the seed.
+func NewFamily(t int, seed int64) (*Family, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("minhash: non-positive signature size %d", t)
+	}
+	r := rand.New(rand.NewSource(seed))
+	f := &Family{a: make([]uint64, t), b: make([]uint64, t)}
+	for i := 0; i < t; i++ {
+		f.a[i] = 1 + uint64(r.Int63n(mersenne61-1))
+		f.b[i] = 1 + uint64(r.Int63n(mersenne61-1))
+	}
+	return f, nil
+}
+
+// Size returns the number of hash functions (the signature size t).
+func (f *Family) Size() int { return len(f.a) }
+
+// HashAll evaluates every hash function on row id x, writing the 32-bit
+// folded values into dst (which must have length Size). SigGen computes this
+// once per data row and reuses it for all dominating skyline columns.
+func (f *Family) HashAll(dst []uint32, x uint64) {
+	for i := range f.a {
+		dst[i] = hashOne(f.a[i], f.b[i], x)
+	}
+}
+
+// Hash evaluates hash function i on row id x.
+func (f *Family) Hash(i int, x uint64) uint32 {
+	return hashOne(f.a[i], f.b[i], x)
+}
+
+// hashOne computes (a·x + b) mod P folded to 32 bits. Values are uniform in
+// [0, P), so keeping the low 32 bits preserves uniformity.
+func hashOne(a, b, x uint64) uint32 {
+	v := mulmod61(a, x) + b
+	if v >= mersenne61 {
+		v -= mersenne61
+	}
+	return uint32(v)
+}
+
+// mulmod61 returns a·x mod 2^61−1 without overflow, using the identity
+// 2^61 ≡ 1 (mod P): split the 122-bit product into 61-bit limbs and add them.
+func mulmod61(a, x uint64) uint64 {
+	hi, lo := mul64(a, x)
+	// product = hi·2^64 + lo; 2^64 mod P = 8.
+	sum := hi*8 + (lo >> 61) + (lo & mersenne61)
+	for sum >= mersenne61 {
+		sum -= mersenne61
+	}
+	return sum
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo). It is the
+// textbook schoolbook decomposition, kept dependency-free.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Matrix is the signature matrix M̂: one t-slot signature per skyline point,
+// stored column-major so a point's signature is contiguous.
+type Matrix struct {
+	t, cols int
+	sig     []uint32
+}
+
+// NewMatrix creates a t×cols signature matrix with all slots empty (∞).
+func NewMatrix(t, cols int) *Matrix {
+	sig := make([]uint32, t*cols)
+	for i := range sig {
+		sig[i] = emptySlot
+	}
+	return &Matrix{t: t, cols: cols, sig: sig}
+}
+
+// T returns the signature size.
+func (m *Matrix) T() int { return m.t }
+
+// Cols returns the number of signatures (skyline points).
+func (m *Matrix) Cols() int { return m.cols }
+
+// Column returns the signature of column c (read-only view).
+func (m *Matrix) Column(c int) []uint32 {
+	return m.sig[c*m.t : (c+1)*m.t : (c+1)*m.t]
+}
+
+// UpdateColumn folds one row's hash values hv into column c's signature,
+// keeping the per-slot minima (Figure 3, UpdateMatrix).
+func (m *Matrix) UpdateColumn(c int, hv []uint32) {
+	col := m.sig[c*m.t : (c+1)*m.t]
+	for i, v := range hv {
+		if v < col[i] {
+			col[i] = v
+		}
+	}
+}
+
+// EstimateJs returns the estimated Jaccard similarity between columns i and
+// j: the fraction of slots on which their signatures agree. Two slots that
+// are both empty (neither point dominates anything hashed so far) agree —
+// two empty dominated sets are identical.
+func (m *Matrix) EstimateJs(i, j int) float64 {
+	a, b := m.Column(i), m.Column(j)
+	eq := 0
+	for s := range a {
+		if a[s] == b[s] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(m.t)
+}
+
+// EstimateJd returns the estimated Jaccard distance 1 − Js between columns.
+func (m *Matrix) EstimateJd(i, j int) float64 {
+	return 1 - m.EstimateJs(i, j)
+}
+
+// MemoryBytes returns the signature storage footprint (4 bytes per slot),
+// the quantity plotted in Figure 13(a)-(b).
+func (m *Matrix) MemoryBytes() int { return 4 * len(m.sig) }
+
+// SignatureSizeFor returns the signature size t = Θ(ε⁻³ β⁻¹ ln(1/δ))
+// sufficient for an (ε, δ)-approximation of Jaccard similarities at
+// precision β (Datar & Muthukrishnan, cited as [12] in Section 4.2.1). It is
+// a guideline; the paper's experiments use t between 20 and 400.
+func SignatureSizeFor(eps, beta, delta float64) (int, error) {
+	if eps <= 0 || eps >= 1 || beta <= 0 || beta >= 1 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("minhash: parameters out of (0,1): eps=%v beta=%v delta=%v", eps, beta, delta)
+	}
+	t := math.Ceil(math.Log(1/delta) / (eps * eps * eps * beta))
+	return int(t), nil
+}

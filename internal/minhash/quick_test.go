@@ -1,0 +1,114 @@
+package minhash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestEstimateSymmetricAndBounded: Js estimates are symmetric and in [0,1]
+// for arbitrary update sequences.
+func TestEstimateSymmetricAndBounded(t *testing.T) {
+	f := func(rowsA, rowsB []uint16) bool {
+		fam, _ := NewFamily(32, 5)
+		m := NewMatrix(32, 2)
+		hv := make([]uint32, 32)
+		for _, r := range rowsA {
+			fam.HashAll(hv, uint64(r))
+			m.UpdateColumn(0, hv)
+		}
+		for _, r := range rowsB {
+			fam.HashAll(hv, uint64(r))
+			m.UpdateColumn(1, hv)
+		}
+		js := m.EstimateJs(0, 1)
+		if js < 0 || js > 1 {
+			return false
+		}
+		if m.EstimateJs(1, 0) != js {
+			return false
+		}
+		return m.EstimateJd(0, 1) == 1-js
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUpdateIdempotent: folding the same rows twice leaves signatures
+// unchanged (min is idempotent).
+func TestUpdateIdempotent(t *testing.T) {
+	f := func(rows []uint16) bool {
+		fam, _ := NewFamily(16, 9)
+		a := NewMatrix(16, 1)
+		b := NewMatrix(16, 1)
+		hv := make([]uint32, 16)
+		for _, r := range rows {
+			fam.HashAll(hv, uint64(r))
+			a.UpdateColumn(0, hv)
+			b.UpdateColumn(0, hv)
+			b.UpdateColumn(0, hv) // twice
+		}
+		for i := 0; i < 16; i++ {
+			if a.Column(0)[i] != b.Column(0)[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUpdateOrderIndependent: signatures are independent of row order
+// (min is commutative and associative).
+func TestUpdateOrderIndependent(t *testing.T) {
+	f := func(rows []uint16) bool {
+		fam, _ := NewFamily(16, 3)
+		a := NewMatrix(16, 1)
+		b := NewMatrix(16, 1)
+		hv := make([]uint32, 16)
+		for _, r := range rows {
+			fam.HashAll(hv, uint64(r))
+			a.UpdateColumn(0, hv)
+		}
+		for i := len(rows) - 1; i >= 0; i-- {
+			fam.HashAll(hv, uint64(rows[i]))
+			b.UpdateColumn(0, hv)
+		}
+		for i := 0; i < 16; i++ {
+			if a.Column(0)[i] != b.Column(0)[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSupersetNeverRaisesSlots: adding rows can only lower slot values.
+func TestSupersetNeverRaisesSlots(t *testing.T) {
+	f := func(rows []uint16, extra uint16) bool {
+		fam, _ := NewFamily(16, 7)
+		m := NewMatrix(16, 1)
+		hv := make([]uint32, 16)
+		for _, r := range rows {
+			fam.HashAll(hv, uint64(r))
+			m.UpdateColumn(0, hv)
+		}
+		before := append([]uint32{}, m.Column(0)...)
+		fam.HashAll(hv, uint64(extra))
+		m.UpdateColumn(0, hv)
+		for i := range before {
+			if m.Column(0)[i] > before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

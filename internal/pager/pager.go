@@ -1,0 +1,291 @@
+// Package pager provides the simulated disk substrate used throughout the
+// reproduction: fixed-size pages, a page store, an LRU buffer pool and an
+// I/O cost model.
+//
+// The paper's experimental setup (Section 5.1) stores each dataset in an
+// aggregate R*-tree with a 4 KiB page size, caches 20% of the tree's blocks,
+// and reports "total time" as CPU time plus 8 ms per page fault. This
+// package reproduces that accounting: every structure that wants its I/O
+// charged (the R*-tree, the sequential data file scan) routes page accesses
+// through a BufferPool, and experiments convert the resulting fault counts
+// into time through CostModel.
+package pager
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PageSize is the fixed page size in bytes (4 KiB, as in the paper).
+const PageSize = 4096
+
+// DefaultCacheFraction is the fraction of a file's pages held by its buffer
+// pool, matching the paper's "cache with 20% of the R*-tree's blocks".
+const DefaultCacheFraction = 0.20
+
+// DefaultFaultTime is the simulated cost of a page fault (8 ms, Section 5.1).
+const DefaultFaultTime = 8 * time.Millisecond
+
+// PageID identifies a page within a single PageStore.
+type PageID uint32
+
+// InvalidPage is a sentinel PageID that never identifies a real page.
+const InvalidPage = PageID(^uint32(0))
+
+// Stats accumulates I/O counters for one buffer pool.
+type Stats struct {
+	// Reads is the total number of logical page accesses.
+	Reads int64
+	// Hits counts accesses served from the buffer pool.
+	Hits int64
+	// Faults counts accesses that had to go to "disk".
+	Faults int64
+	// Writes counts physical page writes.
+	Writes int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Hits += o.Hits
+	s.Faults += o.Faults
+	s.Writes += o.Writes
+}
+
+// HitRatio returns the fraction of reads served by the pool (0 when idle).
+func (s Stats) HitRatio() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Reads)
+}
+
+// String formats the counters compactly for experiment logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d hits=%d faults=%d writes=%d hit%%=%.1f",
+		s.Reads, s.Hits, s.Faults, s.Writes, 100*s.HitRatio())
+}
+
+// CostModel converts I/O counters into simulated elapsed time.
+type CostModel struct {
+	// FaultTime is charged per page fault.
+	FaultTime time.Duration
+}
+
+// DefaultCostModel returns the paper's 8 ms/fault model.
+func DefaultCostModel() CostModel { return CostModel{FaultTime: DefaultFaultTime} }
+
+// IOTime returns the simulated I/O time for the given counters.
+func (c CostModel) IOTime(s Stats) time.Duration {
+	return time.Duration(s.Faults) * c.FaultTime
+}
+
+// PageStore is an append-only collection of fixed-size pages held in memory,
+// standing in for a disk file. It is safe for concurrent use.
+type PageStore struct {
+	mu    sync.RWMutex
+	pages [][]byte
+}
+
+// NewPageStore creates an empty store.
+func NewPageStore() *PageStore { return &PageStore{} }
+
+// NumPages returns the number of allocated pages.
+func (ps *PageStore) NumPages() int {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return len(ps.pages)
+}
+
+// Allocate appends a zeroed page and returns its id.
+func (ps *PageStore) Allocate() PageID {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.pages = append(ps.pages, make([]byte, PageSize))
+	return PageID(len(ps.pages) - 1)
+}
+
+// ReadPage returns the raw contents of page id. The returned slice aliases
+// the store; callers must treat it as read-only.
+func (ps *PageStore) ReadPage(id PageID) ([]byte, error) {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	if int(id) >= len(ps.pages) {
+		return nil, fmt.Errorf("pager: read of unallocated page %d (have %d)", id, len(ps.pages))
+	}
+	return ps.pages[id], nil
+}
+
+// WritePage replaces the contents of page id. The buffer must be exactly
+// PageSize bytes.
+func (ps *PageStore) WritePage(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("pager: write of %d bytes, want %d", len(buf), PageSize)
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if int(id) >= len(ps.pages) {
+		return fmt.Errorf("pager: write of unallocated page %d (have %d)", id, len(ps.pages))
+	}
+	copy(ps.pages[id], buf)
+	return nil
+}
+
+// BufferPool is an LRU cache of decoded page payloads in front of a
+// PageStore. The pool caches arbitrary decoded values (e.g. R-tree nodes) so
+// that a cache hit skips both the "disk" access and deserialization, just as
+// a real database buffer manager holds frames that index structures pin.
+//
+// BufferPool is not safe for concurrent use; each worker should own one
+// (experiments in this repository are single-threaded per pipeline, matching
+// the paper's single-query setting).
+type BufferPool struct {
+	store    *PageStore
+	capacity int
+	stats    Stats
+
+	entries map[PageID]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type poolEntry struct {
+	id      PageID
+	decoded any
+}
+
+// NewBufferPool creates a pool over store holding at most capacity pages.
+// A capacity below 1 is raised to 1.
+func NewBufferPool(store *PageStore, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		entries:  make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// NewBufferPoolFraction creates a pool sized to the given fraction of the
+// store's current page count (at least one page).
+func NewBufferPoolFraction(store *PageStore, fraction float64) *BufferPool {
+	capacity := int(fraction * float64(store.NumPages()))
+	return NewBufferPool(store, capacity)
+}
+
+// Capacity returns the maximum number of cached pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Len returns the number of currently cached pages.
+func (bp *BufferPool) Len() int { return bp.lru.Len() }
+
+// Stats returns a copy of the accumulated counters.
+func (bp *BufferPool) Stats() Stats { return bp.stats }
+
+// ResetStats zeroes the counters without evicting cached pages.
+func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+
+// Get returns the decoded payload of page id, consulting the cache first.
+// On a miss it reads the raw page from the store, invokes decode, caches the
+// result and counts a fault.
+func (bp *BufferPool) Get(id PageID, decode func(raw []byte) (any, error)) (any, error) {
+	bp.stats.Reads++
+	if el, ok := bp.entries[id]; ok {
+		bp.stats.Hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*poolEntry).decoded, nil
+	}
+	bp.stats.Faults++
+	raw, err := bp.store.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("pager: decode page %d: %w", id, err)
+	}
+	bp.insert(id, decoded)
+	return decoded, nil
+}
+
+// Put installs a decoded payload for page id (e.g. right after building and
+// writing a node) without touching the fault counters.
+func (bp *BufferPool) Put(id PageID, decoded any) {
+	if el, ok := bp.entries[id]; ok {
+		el.Value.(*poolEntry).decoded = decoded
+		bp.lru.MoveToFront(el)
+		return
+	}
+	bp.insert(id, decoded)
+}
+
+// Invalidate drops page id from the cache if present.
+func (bp *BufferPool) Invalidate(id PageID) {
+	if el, ok := bp.entries[id]; ok {
+		bp.lru.Remove(el)
+		delete(bp.entries, id)
+	}
+}
+
+// Clear drops all cached pages, keeping the statistics.
+func (bp *BufferPool) Clear() {
+	bp.lru.Init()
+	bp.entries = make(map[PageID]*list.Element, bp.capacity)
+}
+
+func (bp *BufferPool) insert(id PageID, decoded any) {
+	if bp.lru.Len() >= bp.capacity {
+		oldest := bp.lru.Back()
+		if oldest != nil {
+			bp.lru.Remove(oldest)
+			delete(bp.entries, oldest.Value.(*poolEntry).id)
+		}
+	}
+	bp.entries[id] = bp.lru.PushFront(&poolEntry{id: id, decoded: decoded})
+}
+
+// SequentialCounter models the I/O cost of sequentially scanning a flat file
+// of fixed-size records without any caching benefit: every distinct page
+// touched is one fault. The index-free signature generator uses it to charge
+// the single data pass.
+type SequentialCounter struct {
+	recordsPerPage int
+	lastPage       int64
+	stats          Stats
+}
+
+// NewSequentialCounter creates a counter for records of recordSize bytes.
+func NewSequentialCounter(recordSize int) *SequentialCounter {
+	rpp := PageSize / recordSize
+	if rpp < 1 {
+		rpp = 1
+	}
+	return &SequentialCounter{recordsPerPage: rpp, lastPage: -1}
+}
+
+// RecordsPerPage returns how many records share one page.
+func (sc *SequentialCounter) RecordsPerPage() int { return sc.recordsPerPage }
+
+// Touch registers an access to record i, counting a fault when i lives on a
+// page different from the previously touched one.
+func (sc *SequentialCounter) Touch(i int) {
+	sc.stats.Reads++
+	page := int64(i / sc.recordsPerPage)
+	if page != sc.lastPage {
+		sc.stats.Faults++
+		sc.lastPage = page
+	} else {
+		sc.stats.Hits++
+	}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (sc *SequentialCounter) Stats() Stats { return sc.stats }
+
+// PagesForRecords returns how many pages a file of n records occupies.
+func (sc *SequentialCounter) PagesForRecords(n int) int {
+	return (n + sc.recordsPerPage - 1) / sc.recordsPerPage
+}

@@ -1,0 +1,43 @@
+package pager
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPoolPropertyQuick: for arbitrary access sequences, the pool never
+// exceeds capacity, stats add up, and an immediate re-read of the last page
+// always hits.
+func TestPoolPropertyQuick(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		ps := NewPageStore()
+		for i := 0; i < 32; i++ {
+			ps.Allocate()
+		}
+		bp := NewBufferPool(ps, capacity)
+		decode := func([]byte) (any, error) { return struct{}{}, nil }
+		for _, op := range ops {
+			id := PageID(op % 32)
+			if _, err := bp.Get(id, decode); err != nil {
+				return false
+			}
+			if bp.Len() > bp.Capacity() {
+				return false
+			}
+			// Immediate re-read must hit.
+			before := bp.Stats().Hits
+			if _, err := bp.Get(id, decode); err != nil {
+				return false
+			}
+			if bp.Stats().Hits != before+1 {
+				return false
+			}
+		}
+		s := bp.Stats()
+		return s.Reads == s.Hits+s.Faults
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package plot renders small ASCII line charts from experiment tables, so
+// cmd/skybench can display the paper's figures as curves rather than only
+// tables. Both axes support log scale — the paper's runtime figures span
+// six decades, and the whole point of the reproduction is the shape of
+// those curves.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Y holds one value per X position; NaN marks a missing point (DNF).
+	Y []float64
+}
+
+// Chart describes one plot.
+type Chart struct {
+	// Title is printed above the canvas.
+	Title string
+	// XLabels name the x positions (categorical axis, as in the paper's
+	// dimensionality / k sweeps).
+	XLabels []string
+	// Series holds the curves.
+	Series []Series
+	// LogY selects a logarithmic y axis.
+	LogY bool
+	// Width and Height are the canvas size in characters (defaults 60×16).
+	Width, Height int
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart into a string.
+func (c *Chart) Render() (string, error) {
+	if len(c.XLabels) == 0 {
+		return "", fmt.Errorf("plot: no x positions")
+	}
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.XLabels) {
+			return "", fmt.Errorf("plot: series %q has %d points for %d x positions", s.Name, len(s.Y), len(c.XLabels))
+		}
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	lo, hi, err := c.yRange()
+	if err != nil {
+		return "", err
+	}
+	// y value -> row (0 = top).
+	yRow := func(v float64) int {
+		t := c.norm(v, lo, hi)
+		row := int(math.Round(float64(height-1) * (1 - t)))
+		if row < 0 {
+			row = 0
+		}
+		if row > height-1 {
+			row = height - 1
+		}
+		return row
+	}
+	// x position -> column.
+	xCol := func(i int) int {
+		if len(c.XLabels) == 1 {
+			return width / 2
+		}
+		return i * (width - 1) / (len(c.XLabels) - 1)
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		prevCol, prevRow := -1, -1
+		for i, v := range s.Y {
+			if math.IsNaN(v) {
+				prevCol = -1
+				continue
+			}
+			col, row := xCol(i), yRow(v)
+			if prevCol >= 0 {
+				drawLine(canvas, prevCol, prevRow, col, row, '.')
+			}
+			canvas[row][col] = mark
+			prevCol, prevRow = col, row
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	axisLabels := c.axisLabels(lo, hi, height)
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%10s |%s\n", axisLabels[r], string(canvas[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	// X labels row: place each label starting at its column.
+	xrow := []byte(strings.Repeat(" ", width+2))
+	for i, lbl := range c.XLabels {
+		col := xCol(i)
+		for j := 0; j < len(lbl) && col+j < len(xrow); j++ {
+			xrow[col+j] = lbl[j]
+		}
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.TrimRight(string(xrow), " "))
+	// Legend.
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "   "))
+	return b.String(), nil
+}
+
+// yRange computes the y extent over all non-NaN values.
+func (c *Chart) yRange() (lo, hi float64, err error) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			if c.LogY && v <= 0 {
+				return 0, 0, fmt.Errorf("plot: non-positive value %v on a log axis", v)
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0, fmt.Errorf("plot: no finite values")
+	}
+	if lo == hi {
+		// Flat series: widen artificially so the line sits mid-canvas.
+		if c.LogY {
+			lo, hi = lo/2, hi*2
+		} else {
+			lo, hi = lo-1, hi+1
+		}
+	}
+	return lo, hi, nil
+}
+
+// norm maps v into [0, 1] over the configured scale.
+func (c *Chart) norm(v, lo, hi float64) float64 {
+	if c.LogY {
+		return (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// axisLabels renders a y-axis tick label per row (ticks at top, middle,
+// bottom; other rows blank).
+func (c *Chart) axisLabels(lo, hi float64, height int) []string {
+	labels := make([]string, height)
+	format := func(v float64) string {
+		switch {
+		case v == 0:
+			return "0"
+		case math.Abs(v) >= 10000 || math.Abs(v) < 0.01:
+			return fmt.Sprintf("%.1e", v)
+		case math.Abs(v) >= 10:
+			return fmt.Sprintf("%.0f", v)
+		default:
+			return fmt.Sprintf("%.2f", v)
+		}
+	}
+	valueAt := func(row int) float64 {
+		t := 1 - float64(row)/float64(height-1)
+		if c.LogY {
+			return math.Pow(10, math.Log10(lo)+t*(math.Log10(hi)-math.Log10(lo)))
+		}
+		return lo + t*(hi-lo)
+	}
+	labels[0] = format(valueAt(0))
+	labels[height/2] = format(valueAt(height / 2))
+	labels[height-1] = format(valueAt(height - 1))
+	return labels
+}
+
+// drawLine draws a light connector between two canvas cells (Bresenham),
+// not overwriting existing markers.
+func drawLine(canvas [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if canvas[y][x] == ' ' {
+			canvas[y][x] = ch
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,131 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title:   "demo",
+		XLabels: []string{"2", "3", "4", "6"},
+		Series: []Series{
+			{Name: "fast", Y: []float64{1, 2, 3, 4}},
+			{Name: "slow", Y: []float64{100, 200, 400, 800}},
+		},
+		LogY: true,
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := simpleChart().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* fast") || !strings.Contains(out, "o slow") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "+--") {
+		t.Error("missing axes")
+	}
+	// Both markers appear in the canvas.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+	// X labels present.
+	for _, x := range []string{"2", "3", "4", "6"} {
+		if !strings.Contains(out, x) {
+			t.Errorf("missing x label %s", x)
+		}
+	}
+}
+
+func TestRenderOrdering(t *testing.T) {
+	// On a log axis, the slow series must sit above the fast one: the row of
+	// the 'o' marker in the first column region should be above (smaller row
+	// index than) the '*' marker.
+	out, err := simpleChart().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	firstO, firstStar := -1, -1
+	for i, line := range lines {
+		if firstO == -1 && strings.Contains(line, "o") && strings.Contains(line, "|") {
+			firstO = i
+		}
+		if firstStar == -1 && strings.Contains(line, "*") && strings.Contains(line, "|") {
+			firstStar = i
+		}
+	}
+	if firstO == -1 || firstStar == -1 {
+		t.Fatal("markers not found")
+	}
+	if firstO >= firstStar {
+		t.Errorf("larger values should render higher: o at line %d, * at %d", firstO, firstStar)
+	}
+}
+
+func TestRenderGaps(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "s", Y: []float64{1, math.NaN(), 3}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") < 2 {
+		t.Error("non-NaN points missing")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (&Chart{}).Render(); err == nil {
+		t.Error("expected error for empty chart")
+	}
+	if _, err := (&Chart{XLabels: []string{"a"}}).Render(); err == nil {
+		t.Error("expected error for no series")
+	}
+	c := &Chart{XLabels: []string{"a", "b"}, Series: []Series{{Name: "s", Y: []float64{1}}}}
+	if _, err := c.Render(); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	bad := &Chart{XLabels: []string{"a"}, Series: []Series{{Name: "s", Y: []float64{0}}}, LogY: true}
+	if _, err := bad.Render(); err == nil {
+		t.Error("expected log-axis error for zero value")
+	}
+	nan := &Chart{XLabels: []string{"a"}, Series: []Series{{Name: "s", Y: []float64{math.NaN()}}}}
+	if _, err := nan.Render(); err == nil {
+		t.Error("expected error for all-NaN series")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Y: []float64{5, 5}}},
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("flat linear series: %v", err)
+	}
+	c.LogY = true
+	if _, err := c.Render(); err != nil {
+		t.Fatalf("flat log series: %v", err)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := &Chart{XLabels: []string{"x"}, Series: []Series{{Name: "s", Y: []float64{3}}}}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("single point missing")
+	}
+}

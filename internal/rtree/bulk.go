@@ -1,0 +1,135 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+// BulkLoad builds an aggregate R*-tree over the dataset using sort-tile-
+// recursive (STR) packing. Row ids are the dataset indexes. This is the
+// construction path used by the experiment harness; the paper's setup
+// likewise assumes each dataset is pre-indexed before queries run.
+func BulkLoad(ds *data.Dataset) (*Tree, error) {
+	t, err := New(ds.Dims())
+	if err != nil {
+		return nil, err
+	}
+	n := ds.Len()
+	if n == 0 {
+		return t, nil
+	}
+	// Build the leaf level by STR-tiling the points.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	groups := strTile(idx, 0, ds.Dims(), t.maxLeaf, func(i, dim int) float64 {
+		return ds.Point(i)[dim]
+	})
+	level := make([]Entry, 0, len(groups))
+	for _, g := range groups {
+		node := &Node{Leaf: true, Entries: make([]Entry, 0, len(g))}
+		for _, i := range g {
+			p := make([]float64, ds.Dims())
+			copy(p, ds.Point(i))
+			node.Entries = append(node.Entries, Entry{Rect: geom.PointRect(p), Count: 1, RowID: uint32(i)})
+		}
+		if _, err := t.writeNewNode(node); err != nil {
+			return nil, err
+		}
+		level = append(level, Entry{Rect: node.MBR(), Child: node.ID, Count: node.count()})
+	}
+	t.size = n
+	t.height = 1
+	// Pack upper levels until a single root remains.
+	for len(level) > 1 {
+		idx = make([]int, len(level))
+		for i := range idx {
+			idx[i] = i
+		}
+		centers := make([][]float64, len(level))
+		for i := range level {
+			centers[i] = level[i].Rect.Center(make([]float64, ds.Dims()))
+		}
+		groups = strTile(idx, 0, ds.Dims(), t.maxInternal, func(i, dim int) float64 {
+			return centers[i][dim]
+		})
+		next := make([]Entry, 0, len(groups))
+		for _, g := range groups {
+			node := &Node{Entries: make([]Entry, 0, len(g))}
+			for _, i := range g {
+				node.Entries = append(node.Entries, level[i])
+			}
+			if _, err := t.writeNewNode(node); err != nil {
+				return nil, err
+			}
+			next = append(next, Entry{Rect: node.MBR(), Child: node.ID, Count: node.count()})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].Child
+	if t.height == 1 {
+		// Single leaf: the loop never ran; the root is that leaf.
+		t.root = level[0].Child
+	}
+	return t, nil
+}
+
+// MustBulkLoad is BulkLoad for static inputs known to be valid; it panics on
+// error. Experiment code uses it to keep setup terse.
+func MustBulkLoad(ds *data.Dataset) *Tree {
+	t, err := BulkLoad(ds)
+	if err != nil {
+		panic(fmt.Sprintf("rtree: bulk load: %v", err))
+	}
+	return t
+}
+
+// strTile recursively partitions item indexes into groups of at most
+// capacity items using sort-tile-recursive packing: slice the items along
+// the current dimension into vertical slabs, then recurse on the remaining
+// dimensions within each slab.
+func strTile(items []int, dim, dims, capacity int, coord func(item, dim int) float64) [][]int {
+	n := len(items)
+	if n <= capacity {
+		out := make([]int, n)
+		copy(out, items)
+		return [][]int{out}
+	}
+	remaining := dims - dim
+	if remaining <= 1 {
+		sort.Slice(items, func(a, b int) bool { return coord(items[a], dim) < coord(items[b], dim) })
+		groups := make([][]int, 0, (n+capacity-1)/capacity)
+		for start := 0; start < n; start += capacity {
+			end := start + capacity
+			if end > n {
+				end = n
+			}
+			g := make([]int, end-start)
+			copy(g, items[start:end])
+			groups = append(groups, g)
+		}
+		return groups
+	}
+	pages := int(math.Ceil(float64(n) / float64(capacity)))
+	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(remaining))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := (n + slabs - 1) / slabs
+	sort.Slice(items, func(a, b int) bool { return coord(items[a], dim) < coord(items[b], dim) })
+	var groups [][]int
+	for start := 0; start < n; start += slabSize {
+		end := start + slabSize
+		if end > n {
+			end = n
+		}
+		groups = append(groups, strTile(items[start:end], dim+1, dims, capacity, coord)...)
+	}
+	return groups
+}

@@ -1,0 +1,63 @@
+package rtree
+
+import (
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+// BulkLoadZOrder builds the tree by packing points in Z-order (Morton
+// order) instead of STR tiling — the space-filling-curve clustering the
+// paper's Section 4.1.2 refers to. Consecutive leaves then cover nearby
+// regions, which is simpler than STR and competitive for point data; the
+// STR loader generally yields slightly tighter leaf MBRs.
+func BulkLoadZOrder(ds *data.Dataset) (*Tree, error) {
+	t, err := New(ds.Dims())
+	if err != nil {
+		return nil, err
+	}
+	n := ds.Len()
+	if n == 0 {
+		return t, nil
+	}
+	perm := ds.ZOrderPermutation()
+	// Pack leaves by consecutive runs of the Z-order.
+	level := make([]Entry, 0, n/t.maxLeaf+1)
+	for start := 0; start < n; start += t.maxLeaf {
+		end := start + t.maxLeaf
+		if end > n {
+			end = n
+		}
+		node := &Node{Leaf: true, Entries: make([]Entry, 0, end-start)}
+		for _, i := range perm[start:end] {
+			p := make([]float64, ds.Dims())
+			copy(p, ds.Point(i))
+			node.Entries = append(node.Entries, Entry{Rect: geom.PointRect(p), Count: 1, RowID: uint32(i)})
+		}
+		if _, err := t.writeNewNode(node); err != nil {
+			return nil, err
+		}
+		level = append(level, Entry{Rect: node.MBR(), Child: node.ID, Count: node.count()})
+	}
+	t.size = n
+	t.height = 1
+	// Upper levels: consecutive runs again (the children are already in
+	// curve order).
+	for len(level) > 1 {
+		next := make([]Entry, 0, len(level)/t.maxInternal+1)
+		for start := 0; start < len(level); start += t.maxInternal {
+			end := start + t.maxInternal
+			if end > len(level) {
+				end = len(level)
+			}
+			node := &Node{Entries: append([]Entry{}, level[start:end]...)}
+			if _, err := t.writeNewNode(node); err != nil {
+				return nil, err
+			}
+			next = append(next, Entry{Rect: node.MBR(), Child: node.ID, Count: node.count()})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].Child
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package rtree
+
+import (
+	"fmt"
+
+	"skydiver/internal/geom"
+	"skydiver/internal/pager"
+)
+
+// Delete removes the point p with the given row id from the tree, using the
+// R-tree condense-tree algorithm: the leaf entry is removed; nodes that
+// underflow on the path are dissolved and their surviving entries
+// re-inserted at their original level; the root is collapsed when it shrinks
+// to a single child. It returns false when no matching entry exists.
+func (t *Tree) Delete(p []float64, rowID uint32) (bool, error) {
+	if len(p) != t.dims {
+		return false, fmt.Errorf("rtree: deleting %d-dimensional point from %d-dimensional tree", len(p), t.dims)
+	}
+	var orphans []reinsertItem
+	found, _, err := t.deleteAt(t.root, t.height-1, p, rowID, &orphans)
+	if err != nil {
+		return false, err
+	}
+	if !found {
+		return false, nil
+	}
+	t.size--
+	// Re-insert orphaned entries at their recorded levels. The forced-
+	// reinsert allowance is shared by the whole Delete operation — a fresh
+	// allowance per orphan would let two full sibling nodes trade entries
+	// forever.
+	reinserted := make([]bool, t.height+2)
+	for len(orphans) > 0 {
+		item := orphans[0]
+		orphans = orphans[1:]
+		if item.level >= len(reinserted) {
+			grown := make([]bool, item.level+2)
+			copy(grown, reinserted)
+			reinserted = grown
+		}
+		if err := t.insertTop(item.entry, item.level, reinserted, &orphans); err != nil {
+			return false, err
+		}
+	}
+	// Collapse a root that lost all but one child (only while it is an
+	// internal node; a leaf root may hold any count including zero).
+	for {
+		root, err := t.ReadNode(t.root)
+		if err != nil {
+			return false, err
+		}
+		if root.Leaf || len(root.Entries) != 1 {
+			break
+		}
+		t.root = root.Entries[0].Child
+		t.height--
+	}
+	return true, nil
+}
+
+// deleteAt descends looking for the entry, removes it, and condenses
+// underflowing nodes on the way back. It reports whether the entry was
+// found and whether the caller must drop this child entirely (the node
+// dissolved into orphans).
+func (t *Tree) deleteAt(id pager.PageID, level int, p []float64, rowID uint32, orphans *[]reinsertItem) (found, dissolved bool, err error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return false, false, err
+	}
+	if n.Leaf {
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if e.RowID == rowID && geom.Equal(e.Point(), p) {
+				n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+				// The root leaf never dissolves; other leaves underflow
+				// below the minimum fill.
+				if id != t.root && len(n.Entries) < t.minLeaf {
+					for j := range n.Entries {
+						*orphans = append(*orphans, reinsertItem{entry: n.Entries[j], level: 0})
+					}
+					return true, true, nil
+				}
+				return true, false, t.writeNode(n)
+			}
+		}
+		return false, false, nil
+	}
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		if !e.Rect.Contains(p) {
+			continue
+		}
+		f, childDissolved, err := t.deleteAt(e.Child, level-1, p, rowID, orphans)
+		if err != nil {
+			return false, false, err
+		}
+		if !f {
+			continue
+		}
+		if childDissolved {
+			n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+		} else {
+			child, err := t.ReadNode(e.Child)
+			if err != nil {
+				return false, false, err
+			}
+			n.Entries[i].Rect = child.MBR()
+			n.Entries[i].Count = child.count()
+		}
+		if id != t.root && len(n.Entries) < t.minInternal {
+			// Orphaned entries must re-enter a node at this node's level so
+			// their subtrees keep their depth (same convention as forced
+			// reinsertion on the insert path).
+			for j := range n.Entries {
+				*orphans = append(*orphans, reinsertItem{entry: n.Entries[j], level: level})
+			}
+			return true, true, nil
+		}
+		return true, false, t.writeNode(n)
+	}
+	return false, false, nil
+}

@@ -1,0 +1,192 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr, _ := New(2)
+	if err := tr.Insert([]float64{1, 2}, 7); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tr.Delete([]float64{1, 2}, 7)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if tr.Len() != 0 {
+		t.Error("Len after delete")
+	}
+	// Deleting again: not found.
+	ok, err = tr.Delete([]float64{1, 2}, 7)
+	if err != nil || ok {
+		t.Error("double delete must report not found")
+	}
+	// Row id must match, not just coordinates.
+	tr.Insert([]float64{3, 3}, 1)
+	ok, _ = tr.Delete([]float64{3, 3}, 2)
+	if ok {
+		t.Error("mismatched row id must not delete")
+	}
+	if _, err := tr.Delete([]float64{1}, 0); err == nil {
+		t.Error("expected dimensionality error")
+	}
+}
+
+func TestDeleteHalfThenQueryAgainstNaive(t *testing.T) {
+	ds := data.Independent(4000, 3, 15)
+	tr, _ := New(3)
+	insertAll(t, tr, ds)
+	rng := rand.New(rand.NewSource(3))
+	deleted := map[int]bool{}
+	for i := 0; i < ds.Len(); i++ {
+		if rng.Intn(2) == 0 {
+			ok, err := tr.Delete(ds.Point(i), uint32(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("point %d not found for deletion", i)
+			}
+			deleted[i] = true
+		}
+	}
+	if tr.Len() != ds.Len()-len(deleted) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), ds.Len()-len(deleted))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Dominance counts against the surviving points.
+	for trial := 0; trial < 100; trial++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := 0
+		for i := 0; i < ds.Len(); i++ {
+			if !deleted[i] && geom.Dominates(p, ds.Point(i)) {
+				want++
+			}
+		}
+		got, err := tr.DominanceCount(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("after deletes: DominanceCount = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestDeleteAllCollapsesTree(t *testing.T) {
+	ds := data.Independent(2000, 2, 9)
+	tr, _ := New(2)
+	insertAll(t, tr, ds)
+	if tr.Height() < 2 {
+		t.Fatal("tree should be tall before deletion")
+	}
+	for i := 0; i < ds.Len(); i++ {
+		ok, err := tr.Delete(ds.Point(i), uint32(i))
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("point %d not found", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Errorf("height = %d, want collapsed root leaf", tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The empty tree still answers queries.
+	c, err := tr.RangeCount(geom.Rect{Lo: []float64{0, 0}, Hi: []float64{1, 1}})
+	if err != nil || c != 0 {
+		t.Errorf("empty query: %d %v", c, err)
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr, _ := New(2)
+	type rec struct {
+		p  []float64
+		id uint32
+	}
+	live := map[uint32]rec{}
+	next := uint32(0)
+	for step := 0; step < 6000; step++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			p := []float64{rng.Float64(), rng.Float64()}
+			if err := tr.Insert(p, next); err != nil {
+				t.Fatal(err)
+			}
+			live[next] = rec{p, next}
+			next++
+			continue
+		}
+		// Delete a random live record.
+		var victim rec
+		for _, r := range live {
+			victim = r
+			break
+		}
+		ok, err := tr.Delete(victim.p, victim.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("live record %d not found", victim.id)
+		}
+		delete(live, victim.id)
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total, err := tr.RangeCount(geom.Rect{Lo: []float64{0, 0}, Hi: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(live) {
+		t.Fatalf("RangeCount = %d, want %d", total, len(live))
+	}
+}
+
+func TestDeleteFromBulkLoadedTree(t *testing.T) {
+	ds := data.Clustered(3000, 3, 5, 4)
+	tr := MustBulkLoad(ds)
+	for i := 0; i < 1000; i++ {
+		ok, err := tr.Delete(ds.Point(i), uint32(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	ds := data.Independent(50000, 3, 1)
+	tr := MustBulkLoad(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % ds.Len()
+		tr.Delete(ds.Point(idx), uint32(idx))
+		if i%2 == 1 {
+			// Keep the tree populated.
+			tr.Insert(ds.Point(idx), uint32(idx))
+		}
+	}
+}

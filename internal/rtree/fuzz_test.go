@@ -1,0 +1,53 @@
+package rtree
+
+import (
+	"testing"
+
+	"skydiver/internal/geom"
+	"skydiver/internal/pager"
+)
+
+type rectAlias = geom.Rect
+
+// FuzzDecodeNode hardens the page decoder against arbitrary bytes: it must
+// return an error or a structurally sane node, never panic or overread.
+func FuzzDecodeNode(f *testing.F) {
+	// Seed with a valid leaf page and a valid internal page.
+	leaf := &Node{Leaf: true}
+	leaf.Entries = append(leaf.Entries, Entry{Rect: pointRect2(1, 2), Count: 1, RowID: 3})
+	if buf, err := leaf.encode(2); err == nil {
+		f.Add(buf, 2)
+	}
+	internal := &Node{Entries: []Entry{{Rect: rect2(0, 0, 1, 1), Child: 9, Count: 7}}}
+	if buf, err := internal.encode(2); err == nil {
+		f.Add(buf, 2)
+	}
+	f.Add(make([]byte, pager.PageSize), 4)
+	f.Add([]byte{1, 255, 255}, 3)
+	f.Fuzz(func(t *testing.T, raw []byte, dims int) {
+		if dims < 1 || dims > 16 {
+			return
+		}
+		n, err := decodeNode(0, raw, dims)
+		if err != nil {
+			return
+		}
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if len(e.Rect.Lo) != dims {
+				t.Fatalf("decoded entry with %d dims, want %d", len(e.Rect.Lo), dims)
+			}
+			if n.Leaf && e.Count != 1 {
+				t.Fatal("leaf entry count must be 1")
+			}
+		}
+	})
+}
+
+func pointRect2(x, y float64) (r rectAlias) {
+	return rectAlias{Lo: []float64{x, y}, Hi: []float64{x, y}}
+}
+
+func rect2(x0, y0, x1, y1 float64) rectAlias {
+	return rectAlias{Lo: []float64{x0, y0}, Hi: []float64{x1, y1}}
+}

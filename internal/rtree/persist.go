@@ -1,0 +1,106 @@
+package rtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"skydiver/internal/pager"
+)
+
+// Persistence format: a fixed header followed by the raw page file. Loading
+// a tree re-attaches a cold buffer pool, so a reloaded index pays the same
+// simulated I/O a freshly opened one would.
+const (
+	treeMagic   = 0x534b5452 // "SKTR"
+	treeVersion = 1
+)
+
+// WriteTo serializes the tree (header + all pages). It implements
+// io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 4*8)
+	binary.LittleEndian.PutUint32(hdr[0:], treeMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], treeVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.dims))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(t.root))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(t.height))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(t.size))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(t.store.NumPages()))
+	var written int64
+	n, err := bw.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, fmt.Errorf("rtree: write header: %w", err)
+	}
+	for id := 0; id < t.store.NumPages(); id++ {
+		raw, err := t.store.ReadPage(pager.PageID(id))
+		if err != nil {
+			return written, err
+		}
+		n, err := bw.Write(raw)
+		written += int64(n)
+		if err != nil {
+			return written, fmt.Errorf("rtree: write page %d: %w", id, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadFrom deserializes a tree written by WriteTo and opens it with the
+// default 20% buffer pool.
+func ReadFrom(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 4*8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("rtree: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != treeMagic {
+		return nil, errors.New("rtree: bad magic (not a skydiver index file)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != treeVersion {
+		return nil, fmt.Errorf("rtree: unsupported index version %d", v)
+	}
+	dims := int(binary.LittleEndian.Uint32(hdr[8:]))
+	root := pager.PageID(binary.LittleEndian.Uint32(hdr[12:]))
+	height := int(binary.LittleEndian.Uint32(hdr[16:]))
+	size := int(binary.LittleEndian.Uint64(hdr[20:]))
+	numPages := int(binary.LittleEndian.Uint32(hdr[28:]))
+	if dims <= 0 || height < 1 || size < 0 || numPages < 1 || int(root) >= numPages {
+		return nil, errors.New("rtree: corrupt index header")
+	}
+	maxL := LeafCapacity(dims)
+	maxI := InternalCapacity(dims)
+	if maxL < 4 || maxI < 4 {
+		return nil, fmt.Errorf("rtree: dimensionality %d invalid for page size", dims)
+	}
+	t := &Tree{
+		store:       pager.NewPageStore(),
+		dims:        dims,
+		root:        root,
+		height:      height,
+		size:        size,
+		maxInternal: maxI,
+		minInternal: max(2, int(minFillRatio*float64(maxI))),
+		maxLeaf:     maxL,
+		minLeaf:     max(2, int(minFillRatio*float64(maxL))),
+	}
+	buf := make([]byte, pager.PageSize)
+	for id := 0; id < numPages; id++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("rtree: read page %d: %w", id, err)
+		}
+		pid := t.store.Allocate()
+		if err := t.store.WritePage(pid, buf); err != nil {
+			return nil, err
+		}
+	}
+	t.Reopen(pager.DefaultCacheFraction)
+	return t, nil
+}

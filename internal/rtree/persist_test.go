@@ -1,0 +1,87 @@
+package rtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	ds := data.Anticorrelated(5000, 3, 8)
+	orig := MustBulkLoad(ds)
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() || got.Dims() != orig.Dims() || got.Height() != orig.Height() {
+		t.Fatal("metadata mismatch after reload")
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		a, err1 := orig.DominanceCount(p)
+		b, err2 := got.DominanceCount(p)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("reloaded tree disagrees: %d vs %d (%v %v)", a, b, err1, err2)
+		}
+	}
+	// The reloaded tree stays mutable.
+	if err := got.Insert([]float64{0.5, 0.5, 0.5}, 999999); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromCorrupt(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("expected error for truncated header")
+	}
+	bad := make([]byte, 32)
+	if _, err := ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	// Valid header but truncated pages.
+	ds := data.Independent(500, 2, 1)
+	tr := MustBulkLoad(ds)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-100]
+	if _, err := ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected error for truncated page file")
+	}
+}
+
+func TestPersistEmptyishTree(t *testing.T) {
+	tr, _ := New(2)
+	tr.Insert([]float64{1, 2}, 0)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := got.RangeCount(geom.Rect{Lo: []float64{0, 0}, Hi: []float64{5, 5}})
+	if err != nil || c != 1 {
+		t.Errorf("reloaded single-point tree: %d %v", c, err)
+	}
+}

@@ -1,0 +1,142 @@
+package rtree
+
+import (
+	"skydiver/internal/geom"
+	"skydiver/internal/pager"
+)
+
+// aggregateCount traverses the tree counting data points, pruning whole
+// subtrees through the aggregate counts:
+//
+//   - when full(rect) holds, every point below the entry matches and the
+//     entry's aggregate count is added without descending;
+//   - when none(rect) holds, no point below the entry can match and the
+//     subtree is skipped;
+//   - otherwise the subtree is opened, down to per-point leaf checks.
+//
+// Callers must supply full/none predicates that are sound in this sense.
+func (t *Tree) aggregateCount(full, none func(geom.Rect) bool, leafPred func([]float64) bool) (int, error) {
+	if t.size == 0 {
+		return 0, nil
+	}
+	count := 0
+	stack := []pager.PageID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.ReadNode(id)
+		if err != nil {
+			return 0, err
+		}
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if n.Leaf {
+				if leafPred(e.Point()) {
+					count++
+				}
+				continue
+			}
+			if none(e.Rect) {
+				continue
+			}
+			if full(e.Rect) {
+				count += int(e.Count)
+				continue
+			}
+			stack = append(stack, e.Child)
+		}
+	}
+	return count, nil
+}
+
+// RangeCount returns the number of indexed points inside r (boundaries
+// included), using aggregate pruning.
+func (t *Tree) RangeCount(r geom.Rect) (int, error) {
+	return t.aggregateCount(
+		func(rect geom.Rect) bool { return r.ContainsRect(rect) },
+		func(rect geom.Rect) bool { return !r.Intersects(rect) },
+		func(p []float64) bool { return r.Contains(p) },
+	)
+}
+
+// DominanceCount returns |Γ(p)|: the number of indexed points strictly
+// dominated by p. This is the aggregate "range query of large volume" that
+// the Simple-Greedy baseline issues per skyline point (Section 3.2).
+func (t *Tree) DominanceCount(p []float64) (int, error) {
+	return t.aggregateCount(
+		func(rect geom.Rect) bool { return geom.Dominates(p, rect.Lo) },
+		func(rect geom.Rect) bool { return !geom.Dominates(p, rect.Hi) },
+		func(x []float64) bool { return geom.Dominates(p, x) },
+	)
+}
+
+// CommonDominanceCount returns |Γ(p) ∩ Γ(q)|: the number of indexed points
+// strictly dominated by both p and q. The intersection region is the
+// dominance region of the componentwise maximum u of p and q; the aggregate
+// pruning uses u while leaf checks apply the exact pair predicate, so the
+// result is exact even on region boundaries.
+func (t *Tree) CommonDominanceCount(p, q []float64) (int, error) {
+	u := geom.UpperCorner(make([]float64, t.dims), p, q)
+	return t.aggregateCount(
+		func(rect geom.Rect) bool { return geom.Dominates(u, rect.Lo) },
+		func(rect geom.Rect) bool { return !(geom.Dominates(p, rect.Hi) && geom.Dominates(q, rect.Hi)) },
+		func(x []float64) bool { return geom.Dominates(p, x) && geom.Dominates(q, x) },
+	)
+}
+
+// RangeQuery invokes fn for every indexed point inside r. Returning false
+// from fn stops the traversal early.
+func (t *Tree) RangeQuery(r geom.Rect, fn func(rowID uint32, p []float64) bool) error {
+	if t.size == 0 {
+		return nil
+	}
+	stack := []pager.PageID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.ReadNode(id)
+		if err != nil {
+			return err
+		}
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if n.Leaf {
+				if r.Contains(e.Point()) && !fn(e.RowID, e.Point()) {
+					return nil
+				}
+				continue
+			}
+			if r.Intersects(e.Rect) {
+				stack = append(stack, e.Child)
+			}
+		}
+	}
+	return nil
+}
+
+// Walk visits every node of the tree in depth-first order, passing the node
+// and its level above the leaves (0 = leaf). Returning false stops the walk.
+func (t *Tree) Walk(fn func(n *Node, level int) bool) error {
+	type frame struct {
+		id    pager.PageID
+		level int
+	}
+	stack := []frame{{t.root, t.height - 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.ReadNode(f.id)
+		if err != nil {
+			return err
+		}
+		if !fn(n, f.level) {
+			return nil
+		}
+		if !n.Leaf {
+			for i := range n.Entries {
+				stack = append(stack, frame{n.Entries[i].Child, f.level - 1})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,500 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+func TestCapacities(t *testing.T) {
+	// d=4: internal entry 72 bytes -> 56 per page; leaf entry 36 -> 113.
+	if got := InternalCapacity(4); got != 56 {
+		t.Errorf("InternalCapacity(4) = %d, want 56", got)
+	}
+	if got := LeafCapacity(4); got != 113 {
+		t.Errorf("LeafCapacity(4) = %d, want 113", got)
+	}
+	if got := LeafCapacity(2); got != 204 {
+		t.Errorf("LeafCapacity(2) = %d, want 204", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("expected error for zero dims")
+	}
+	if _, err := New(200); err == nil {
+		t.Error("expected error for absurd dims")
+	}
+}
+
+func TestNodeEncodeDecodeRoundTrip(t *testing.T) {
+	leaf := &Node{ID: 3, Leaf: true, Entries: []Entry{
+		{Rect: geom.PointRect([]float64{1, 2}), Count: 1, RowID: 9},
+		{Rect: geom.PointRect([]float64{3, 4}), Count: 1, RowID: 11},
+	}}
+	buf, err := leaf.encode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeNode(3, buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Leaf || len(got.Entries) != 2 || got.Entries[1].RowID != 11 {
+		t.Fatalf("leaf round trip: %+v", got)
+	}
+	if !geom.Equal(got.Entries[0].Point(), []float64{1, 2}) {
+		t.Error("leaf point mismatch")
+	}
+
+	internal := &Node{ID: 5, Entries: []Entry{
+		{Rect: geom.Rect{Lo: []float64{0, 0}, Hi: []float64{1, 1}}, Child: 7, Count: 42},
+	}}
+	buf, err = internal.encode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = decodeNode(5, buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got.Entries[0]
+	if got.Leaf || e.Child != 7 || e.Count != 42 || !geom.Equal(e.Rect.Hi, []float64{1, 1}) {
+		t.Fatalf("internal round trip: %+v", e)
+	}
+}
+
+func TestNodeEncodeOverflow(t *testing.T) {
+	n := &Node{Leaf: true}
+	for i := 0; i < LeafCapacity(2)+1; i++ {
+		n.Entries = append(n.Entries, Entry{Rect: geom.PointRect([]float64{0, 0}), Count: 1})
+	}
+	if _, err := n.encode(2); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func TestDecodeShortPage(t *testing.T) {
+	if _, err := decodeNode(0, []byte{1}, 2); err == nil {
+		t.Error("expected error for short page")
+	}
+}
+
+func TestInsertDimMismatch(t *testing.T) {
+	tr, _ := New(3)
+	if err := tr.Insert([]float64{1, 2}, 0); err == nil {
+		t.Error("expected dimensionality error")
+	}
+}
+
+func insertAll(t *testing.T, tr *Tree, ds *data.Dataset) {
+	t.Helper()
+	for i := 0; i < ds.Len(); i++ {
+		if err := tr.Insert(ds.Point(i), uint32(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+}
+
+func TestDynamicInsertInvariants(t *testing.T) {
+	for _, n := range []int{1, 10, 113, 114, 500, 3000} {
+		ds := data.Independent(n, 3, int64(n))
+		tr, err := New(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insertAll(t, tr, ds)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestDynamicInsertClustered(t *testing.T) {
+	// Clustered data stresses forced reinsertion and overlap-minimizing splits.
+	ds := data.Clustered(4000, 2, 6, 17)
+	tr, _ := New(2)
+	insertAll(t, tr, ds)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Error("tree should have grown")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr, _ := New(2)
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert([]float64{1, 2}, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.RangeCount(geom.Rect{Lo: []float64{1, 2}, Hi: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1000 {
+		t.Errorf("duplicate count = %d", got)
+	}
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	for _, n := range []int{1, 113, 114, 5000, 20000} {
+		ds := data.Independent(n, 4, int64(n))
+		tr, err := BulkLoad(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	ds, _ := data.New("empty", 2, nil)
+	tr, err := BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Error("empty tree length")
+	}
+	c, err := tr.RangeCount(geom.Rect{Lo: []float64{0, 0}, Hi: []float64{1, 1}})
+	if err != nil || c != 0 {
+		t.Errorf("empty range count: %d %v", c, err)
+	}
+}
+
+// naiveRangeCount is the oracle for RangeCount.
+func naiveRangeCount(ds *data.Dataset, r geom.Rect) int {
+	c := 0
+	for i := 0; i < ds.Len(); i++ {
+		if r.Contains(ds.Point(i)) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestRangeCountAgainstNaive(t *testing.T) {
+	ds := data.Anticorrelated(5000, 3, 21)
+	builds := map[string]*Tree{}
+	builds["bulk"] = MustBulkLoad(ds)
+	dyn, _ := New(3)
+	insertAll(t, dyn, ds)
+	builds["dynamic"] = dyn
+	rng := rand.New(rand.NewSource(4))
+	for name, tr := range builds {
+		for trial := 0; trial < 200; trial++ {
+			r := geom.NewRect(3)
+			r.ExpandPoint([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+			r.ExpandPoint([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+			want := naiveRangeCount(ds, r)
+			got, err := tr.RangeCount(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s: RangeCount = %d, want %d (rect %v)", name, got, want, r)
+			}
+		}
+	}
+}
+
+func TestDominanceCountAgainstNaive(t *testing.T) {
+	ds := data.Independent(4000, 3, 8)
+	tr := MustBulkLoad(ds)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := 0
+		for i := 0; i < ds.Len(); i++ {
+			if geom.Dominates(p, ds.Point(i)) {
+				want++
+			}
+		}
+		got, err := tr.DominanceCount(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("DominanceCount(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestDominanceCountTies uses quantized coordinates so that boundary points
+// (equal coordinates) are common, exercising strictness handling.
+func TestDominanceCountTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 3000)
+	for i := range rows {
+		rows[i] = []float64{float64(rng.Intn(6)), float64(rng.Intn(6)), float64(rng.Intn(6))}
+	}
+	ds, _ := data.FromRows("ties", rows)
+	tr := MustBulkLoad(ds)
+	for trial := 0; trial < 200; trial++ {
+		p := []float64{float64(rng.Intn(6)), float64(rng.Intn(6)), float64(rng.Intn(6))}
+		want := 0
+		for i := 0; i < ds.Len(); i++ {
+			if geom.Dominates(p, ds.Point(i)) {
+				want++
+			}
+		}
+		got, err := tr.DominanceCount(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("tied DominanceCount(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestCommonDominanceCountAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	rows := make([][]float64, 3000)
+	for i := range rows {
+		rows[i] = []float64{float64(rng.Intn(8)), float64(rng.Intn(8)), float64(rng.Intn(8))}
+	}
+	ds, _ := data.FromRows("common", rows)
+	tr := MustBulkLoad(ds)
+	for trial := 0; trial < 200; trial++ {
+		p := []float64{float64(rng.Intn(8)), float64(rng.Intn(8)), float64(rng.Intn(8))}
+		q := []float64{float64(rng.Intn(8)), float64(rng.Intn(8)), float64(rng.Intn(8))}
+		want := 0
+		for i := 0; i < ds.Len(); i++ {
+			if geom.Dominates(p, ds.Point(i)) && geom.Dominates(q, ds.Point(i)) {
+				want++
+			}
+		}
+		got, err := tr.CommonDominanceCount(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("CommonDominanceCount(%v, %v) = %d, want %d", p, q, got, want)
+		}
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	ds := data.Independent(2000, 2, 30)
+	tr := MustBulkLoad(ds)
+	r := geom.Rect{Lo: []float64{0.2, 0.2}, Hi: []float64{0.5, 0.6}}
+	seen := map[uint32]bool{}
+	err := tr.RangeQuery(r, func(rowID uint32, p []float64) bool {
+		if !r.Contains(p) {
+			t.Fatalf("row %d outside range", rowID)
+		}
+		if seen[rowID] {
+			t.Fatalf("row %d reported twice", rowID)
+		}
+		seen[rowID] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != naiveRangeCount(ds, r) {
+		t.Errorf("RangeQuery visited %d, want %d", len(seen), naiveRangeCount(ds, r))
+	}
+	// Early stop.
+	visits := 0
+	tr.RangeQuery(r, func(uint32, []float64) bool { visits++; return false })
+	if visits != 1 {
+		t.Errorf("early stop visited %d", visits)
+	}
+}
+
+func TestWalkCoversAllPoints(t *testing.T) {
+	ds := data.Independent(1500, 3, 2)
+	tr := MustBulkLoad(ds)
+	points := 0
+	maxLevel := 0
+	err := tr.Walk(func(n *Node, level int) bool {
+		if level > maxLevel {
+			maxLevel = level
+		}
+		if n.Leaf {
+			if level != 0 {
+				t.Fatalf("leaf at level %d", level)
+			}
+			points += len(n.Entries)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points != ds.Len() {
+		t.Errorf("walk saw %d points, want %d", points, ds.Len())
+	}
+	if maxLevel != tr.Height()-1 {
+		t.Errorf("max level %d, height %d", maxLevel, tr.Height())
+	}
+	// Early stop.
+	calls := 0
+	tr.Walk(func(*Node, int) bool { calls++; return false })
+	if calls != 1 {
+		t.Error("walk early stop broken")
+	}
+}
+
+func TestReopenColdCache(t *testing.T) {
+	ds := data.Independent(20000, 4, 6)
+	tr := MustBulkLoad(ds)
+	tr.Reopen(0.2)
+	if tr.Stats().Reads != 0 {
+		t.Fatal("stats not reset on reopen")
+	}
+	r := geom.Rect{Lo: []float64{0, 0, 0, 0}, Hi: []float64{0.5, 0.5, 0.5, 0.5}}
+	if _, err := tr.RangeCount(r); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Faults == 0 {
+		t.Error("cold cache produced no faults")
+	}
+	tr.ResetStats()
+	if tr.Stats().Reads != 0 {
+		t.Error("ResetStats failed")
+	}
+	// Re-running the same query on the warmed pool should fault less.
+	tr.RangeCount(r)
+	if tr.Stats().Faults >= s.Faults {
+		t.Errorf("warm faults %d not fewer than cold %d", tr.Stats().Faults, s.Faults)
+	}
+}
+
+func TestAggregatePruningSavesIO(t *testing.T) {
+	ds := data.Independent(50000, 2, 11)
+	tr := MustBulkLoad(ds)
+	tr.Reopen(1.0)
+	tr.ResetStats()
+	// Count points dominated by a very strong point: nearly the whole space
+	// fully dominated, so pruning should read far fewer pages than the tree has.
+	c, err := tr.DominanceCount([]float64{0.001, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 45000 {
+		t.Errorf("strong point dominates only %d", c)
+	}
+	if reads := tr.Stats().Reads; reads > int64(tr.NumPages()/4) {
+		t.Errorf("aggregate pruning ineffective: %d reads for %d pages", reads, tr.NumPages())
+	}
+}
+
+func TestMBR(t *testing.T) {
+	ds, _ := data.FromRows("x", [][]float64{{0.1, 0.9}, {0.5, 0.2}})
+	tr := MustBulkLoad(ds)
+	mbr, err := tr.MBR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.Equal(mbr.Lo, []float64{0.1, 0.2}) || !geom.Equal(mbr.Hi, []float64{0.5, 0.9}) {
+		t.Errorf("MBR = %v", mbr)
+	}
+}
+
+func TestBulkEqualsDynamicCounts(t *testing.T) {
+	ds := data.Anticorrelated(3000, 4, 5)
+	bulk := MustBulkLoad(ds)
+	dyn, _ := New(4)
+	insertAll(t, dyn, ds)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		a, err1 := bulk.DominanceCount(p)
+		b, err2 := dyn.DominanceCount(p)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a != b {
+			t.Fatalf("bulk %d != dynamic %d", a, b)
+		}
+	}
+}
+
+func BenchmarkBulkLoad10K(b *testing.B) {
+	ds := data.Independent(10000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustBulkLoad(ds)
+	}
+}
+
+func BenchmarkDominanceCount(b *testing.B) {
+	ds := data.Independent(100000, 4, 1)
+	tr := MustBulkLoad(ds)
+	p := []float64{0.3, 0.3, 0.3, 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DominanceCount(p)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ds := data.Independent(100000, 4, 1)
+	tr, _ := New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(ds.Point(i%ds.Len()), uint32(i))
+	}
+}
+
+func TestBulkLoadZOrderCorrectAndComparable(t *testing.T) {
+	ds := data.Independent(20000, 3, 31)
+	str := MustBulkLoad(ds)
+	zt, err := BulkLoadZOrder(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zt.Len() != ds.Len() {
+		t.Fatal("length mismatch")
+	}
+	if err := zt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		a, err1 := str.DominanceCount(p)
+		b, err2 := zt.DominanceCount(p)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("Z-order tree disagrees: %d vs %d", a, b)
+		}
+	}
+	// Both packings should be in the same I/O ballpark on range counts.
+	r := geom.Rect{Lo: []float64{0.4, 0.4, 0.4}, Hi: []float64{0.6, 0.6, 0.6}}
+	str.Reopen(1.0)
+	zt.Reopen(1.0)
+	str.RangeCount(r)
+	zt.RangeCount(r)
+	if z, s := zt.Stats().Reads, str.Stats().Reads; z > 4*s {
+		t.Errorf("Z-order packing pathologically worse: %d vs %d reads", z, s)
+	}
+}
+
+func TestBulkLoadZOrderEmpty(t *testing.T) {
+	ds, _ := data.New("empty", 2, nil)
+	tr, err := BulkLoadZOrder(ds)
+	if err != nil || tr.Len() != 0 {
+		t.Fatal(err)
+	}
+}

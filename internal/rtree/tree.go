@@ -1,0 +1,202 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+
+	"skydiver/internal/geom"
+	"skydiver/internal/pager"
+)
+
+// Tree is an aggregate R*-tree over d-dimensional points, stored on
+// fixed-size pages and accessed through an LRU buffer pool.
+type Tree struct {
+	store *pager.PageStore
+	pool  *pager.BufferPool
+
+	dims   int
+	root   pager.PageID
+	height int // 1 = root is a leaf
+	size   int
+
+	maxInternal, minInternal int
+	maxLeaf, minLeaf         int
+}
+
+// minFillRatio is the R*-tree minimum node utilization (40%).
+const minFillRatio = 0.4
+
+// New creates an empty dynamic tree for dims-dimensional points. The buffer
+// pool is sized generously during construction; call Reopen before running
+// measured queries to apply the paper's 20% cache setting.
+func New(dims int) (*Tree, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("rtree: non-positive dimensionality %d", dims)
+	}
+	maxL := LeafCapacity(dims)
+	maxI := InternalCapacity(dims)
+	if maxL < 4 || maxI < 4 {
+		return nil, fmt.Errorf("rtree: dimensionality %d too large for page size", dims)
+	}
+	t := &Tree{
+		store:       pager.NewPageStore(),
+		dims:        dims,
+		maxInternal: maxI,
+		minInternal: max(2, int(minFillRatio*float64(maxI))),
+		maxLeaf:     maxL,
+		minLeaf:     max(2, int(minFillRatio*float64(maxL))),
+		height:      1,
+	}
+	t.pool = pager.NewBufferPool(t.store, 1<<16)
+	root := &Node{Leaf: true}
+	var err error
+	t.root, err = t.writeNewNode(root)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Dims returns the dimensionality of indexed points.
+func (t *Tree) Dims() int { return t.dims }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NumPages returns the number of pages the tree occupies.
+func (t *Tree) NumPages() int { return t.store.NumPages() }
+
+// Root returns the root page id, for external traversals (BBS, SigGen-IB).
+func (t *Tree) Root() pager.PageID { return t.root }
+
+// Store exposes the underlying page store (tests and tooling).
+func (t *Tree) Store() *pager.PageStore { return t.store }
+
+// Stats returns the buffer pool's accumulated I/O counters.
+func (t *Tree) Stats() pager.Stats { return t.pool.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (t *Tree) ResetStats() { t.pool.ResetStats() }
+
+// Reopen replaces the buffer pool with a cold one sized to the given
+// fraction of the tree's pages, emulating the paper's fresh 20% cache before
+// each measured run.
+func (t *Tree) Reopen(cacheFraction float64) {
+	t.pool = pager.NewBufferPoolFraction(t.store, cacheFraction)
+}
+
+// ReadNode fetches and decodes the node on page id through the buffer pool,
+// charging a fault on a cache miss.
+func (t *Tree) ReadNode(id pager.PageID) (*Node, error) {
+	v, err := t.pool.Get(id, func(raw []byte) (any, error) {
+		return decodeNode(id, raw, t.dims)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Node), nil
+}
+
+// writeNode serializes n to its page and refreshes the cached copy.
+func (t *Tree) writeNode(n *Node) error {
+	buf, err := n.encode(t.dims)
+	if err != nil {
+		return err
+	}
+	if err := t.store.WritePage(n.ID, buf); err != nil {
+		return err
+	}
+	t.pool.Put(n.ID, n)
+	return nil
+}
+
+// writeNewNode allocates a page for n and writes it.
+func (t *Tree) writeNewNode(n *Node) (pager.PageID, error) {
+	n.ID = t.store.Allocate()
+	if err := t.writeNode(n); err != nil {
+		return pager.InvalidPage, err
+	}
+	return n.ID, nil
+}
+
+// MBR returns the bounding rectangle of the whole tree.
+func (t *Tree) MBR() (geom.Rect, error) {
+	root, err := t.ReadNode(t.root)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	return root.MBR(), nil
+}
+
+// CheckInvariants walks the whole tree verifying structural invariants:
+// entry MBR containment, aggregate count consistency, leaf depth uniformity
+// and fanout bounds. It is intended for tests.
+func (t *Tree) CheckInvariants() error {
+	total, depth, err := t.check(t.root, 1)
+	if err != nil {
+		return err
+	}
+	if total != uint32(t.size) {
+		return fmt.Errorf("rtree: tree size %d but aggregate count %d", t.size, total)
+	}
+	if depth != t.height {
+		return fmt.Errorf("rtree: recorded height %d but measured %d", t.height, depth)
+	}
+	return nil
+}
+
+func (t *Tree) check(id pager.PageID, level int) (uint32, int, error) {
+	n, err := t.ReadNode(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(n.Entries) > t.maxLeaf && n.Leaf {
+		return 0, 0, fmt.Errorf("rtree: leaf %d overfull (%d)", id, len(n.Entries))
+	}
+	if len(n.Entries) > t.maxInternal && !n.Leaf {
+		return 0, 0, fmt.Errorf("rtree: internal %d overfull (%d)", id, len(n.Entries))
+	}
+	if n.Leaf {
+		return uint32(len(n.Entries)), level, nil
+	}
+	if len(n.Entries) == 0 {
+		return 0, 0, fmt.Errorf("rtree: empty internal node %d", id)
+	}
+	var total uint32
+	depth := -1
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		child, err := t.ReadNode(e.Child)
+		if err != nil {
+			return 0, 0, err
+		}
+		cm := child.MBR()
+		if !e.Rect.ContainsRect(cm) {
+			return 0, 0, fmt.Errorf("rtree: entry MBR of node %d does not contain child %d", id, e.Child)
+		}
+		if got := child.count(); got != e.Count {
+			return 0, 0, fmt.Errorf("rtree: aggregate count of node %d entry %d is %d, child has %d", id, i, e.Count, got)
+		}
+		c, d2, err := t.check(e.Child, level+1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if depth == -1 {
+			depth = d2
+		} else if depth != d2 {
+			return 0, 0, errors.New("rtree: leaves at different depths")
+		}
+		total += c
+	}
+	return total, depth, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

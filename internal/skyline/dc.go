@@ -1,0 +1,103 @@
+package skyline
+
+import (
+	"sort"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+// dcCutoff is the subproblem size below which divide-and-conquer falls back
+// to the quadratic scan.
+const dcCutoff = 64
+
+// ComputeDC computes the skyline by divide and conquer, the second classic
+// algorithm of Börzsönyi et al.: split at the median of the first
+// coordinate, solve both halves recursively, and filter the worse half's
+// skyline against the better half's. Points in the better half can never be
+// dominated by points of the worse half, so the merge is one-directional.
+func ComputeDC(ds *data.Dataset) []int {
+	n := ds.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := dcSkyline(ds, idx)
+	sort.Ints(out)
+	return out
+}
+
+// dcSkyline returns the skyline of the subset idx (dataset indexes).
+func dcSkyline(ds *data.Dataset, idx []int) []int {
+	if len(idx) <= dcCutoff {
+		return subsetSkyline(ds, idx)
+	}
+	// Partition at the median of the first coordinate: strictly-better
+	// points left, the rest right. Ties all fall right, so equal points can
+	// never be split across the halves.
+	med := medianFirstCoord(ds, idx)
+	var better, worse []int
+	for _, i := range idx {
+		if ds.Point(i)[0] < med {
+			better = append(better, i)
+		} else {
+			worse = append(worse, i)
+		}
+	}
+	if len(better) == 0 || len(worse) == 0 {
+		// Degenerate split (many ties at the median): fall back.
+		return subsetSkyline(ds, idx)
+	}
+	skyBetter := dcSkyline(ds, better)
+	skyWorse := dcSkyline(ds, worse)
+	out := append([]int{}, skyBetter...)
+	for _, w := range skyWorse {
+		p := ds.Point(w)
+		dominated := false
+		for _, b := range skyBetter {
+			if geom.Dominates(ds.Point(b), p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// subsetSkyline is the quadratic scan restricted to a subset, keeping the
+// smallest dataset index among identical points.
+func subsetSkyline(ds *data.Dataset, idx []int) []int {
+	var out []int
+	for _, i := range idx {
+		p := ds.Point(i)
+		dominated := false
+		for _, j := range idx {
+			if i == j {
+				continue
+			}
+			q := ds.Point(j)
+			if geom.Dominates(q, p) || (geom.Equal(q, p) && j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// medianFirstCoord returns the median value of the first coordinate over
+// the subset.
+func medianFirstCoord(ds *data.Dataset, idx []int) float64 {
+	vals := make([]float64, len(idx))
+	for i, id := range idx {
+		vals[i] = ds.Point(id)[0]
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}

@@ -1,0 +1,88 @@
+package skyline
+
+import (
+	"fmt"
+	"testing"
+
+	"skydiver/internal/data"
+)
+
+func TestBNLExternalMatchesNaive(t *testing.T) {
+	cases := []struct {
+		ds  *data.Dataset
+		cap int
+	}{
+		{data.Independent(3000, 3, 1), 4},
+		{data.Independent(3000, 3, 1), 1},
+		{data.Anticorrelated(1500, 3, 2), 8},
+		{data.Anticorrelated(1500, 3, 2), 1000000}, // effectively in-memory
+		{data.Correlated(3000, 4, 3), 2},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s-cap%d", tc.ds.Name(), tc.cap), func(t *testing.T) {
+			want := ComputeNaive(tc.ds)
+			got := ComputeBNLExternal(tc.ds, tc.cap)
+			if fmt.Sprint(got.Sky) != fmt.Sprint(want) {
+				t.Fatalf("external BNL: %d points, naive %d", len(got.Sky), len(want))
+			}
+			if got.Passes < 1 || got.IO.Reads == 0 {
+				t.Error("accounting missing")
+			}
+		})
+	}
+}
+
+func TestBNLExternalWithTies(t *testing.T) {
+	rows := make([][]float64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, []float64{float64(i % 7), float64((i * 13) % 7), float64((i * 29) % 7)})
+	}
+	ds, _ := data.FromRows("ext-ties", rows)
+	want := keyset(ds, ComputeNaive(ds))
+	got := ComputeBNLExternal(ds, 3)
+	ks := keyset(ds, got.Sky)
+	if len(ks) != len(want) || len(got.Sky) != len(ks) {
+		t.Fatalf("ties: %d indexes / %d distinct, want %d", len(got.Sky), len(ks), len(want))
+	}
+	for k := range ks {
+		if !want[k] {
+			t.Fatalf("unexpected point %s", k)
+		}
+	}
+}
+
+// TestBNLExternalPassBehaviour: a window big enough for the whole skyline
+// finishes in one pass; tiny windows on skyline-heavy data need several and
+// pay more I/O.
+func TestBNLExternalPassBehaviour(t *testing.T) {
+	ds := data.Anticorrelated(2000, 3, 7)
+	m := len(ComputeNaive(ds))
+	big := ComputeBNLExternal(ds, m+10)
+	if big.Passes != 1 {
+		t.Errorf("big window took %d passes", big.Passes)
+	}
+	small := ComputeBNLExternal(ds, 4)
+	if small.Passes <= 1 {
+		t.Errorf("small window took %d passes", small.Passes)
+	}
+	if small.IO.Faults <= big.IO.Faults {
+		t.Errorf("small window should pay more I/O: %d vs %d", small.IO.Faults, big.IO.Faults)
+	}
+}
+
+func TestBNLExternalWindowClamp(t *testing.T) {
+	ds := data.Independent(100, 2, 5)
+	got := ComputeBNLExternal(ds, 0)
+	want := ComputeNaive(ds)
+	if fmt.Sprint(got.Sky) != fmt.Sprint(want) {
+		t.Error("window clamp broke correctness")
+	}
+}
+
+func BenchmarkBNLExternal(b *testing.B) {
+	ds := data.Independent(20000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeBNLExternal(ds, 64)
+	}
+}

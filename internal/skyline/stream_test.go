@@ -1,0 +1,104 @@
+package skyline
+
+import (
+	"testing"
+
+	"skydiver/internal/data"
+)
+
+func TestStreamRANDSubsetOfSkyline(t *testing.T) {
+	for _, ds := range []*data.Dataset{
+		data.Independent(3000, 3, 1),
+		data.Anticorrelated(2000, 3, 2),
+	} {
+		truth := map[int]bool{}
+		for _, s := range ComputeNaive(ds) {
+			truth[s] = true
+		}
+		res := ComputeStreamRAND(ds, 16, 12, 7)
+		if len(res.Sky) == 0 {
+			t.Fatalf("%s: streaming found nothing", ds.Name())
+		}
+		for _, s := range res.Sky {
+			if !truth[s] {
+				t.Fatalf("%s: false positive %d", ds.Name(), s)
+			}
+		}
+		if res.IO.Faults == 0 || res.Passes == 0 {
+			t.Error("stream passes not accounted")
+		}
+	}
+}
+
+// TestStreamRANDConvergesToExact: with enough passes on a small-skyline
+// dataset, the stream result is the complete skyline.
+func TestStreamRANDConvergesToExact(t *testing.T) {
+	ds := data.Correlated(5000, 3, 5)
+	want := ComputeNaive(ds)
+	res := ComputeStreamRAND(ds, 32, 200, 3)
+	if !res.Complete {
+		t.Fatalf("stream did not complete in 200 passes (found %d of %d)", len(res.Sky), len(want))
+	}
+	if len(res.Sky) != len(want) {
+		t.Fatalf("complete stream found %d points, want %d", len(res.Sky), len(want))
+	}
+	for i := range want {
+		if res.Sky[i] != want[i] {
+			t.Fatalf("skyline mismatch at %d", i)
+		}
+	}
+}
+
+// TestStreamRANDApproximation: tight pass budgets yield partial but clean
+// results — the "approximate results" trade-off the paper describes.
+func TestStreamRANDApproximation(t *testing.T) {
+	ds := data.Anticorrelated(5000, 4, 9)
+	full := len(ComputeNaive(ds))
+	res := ComputeStreamRAND(ds, 8, 6, 1)
+	if res.Complete {
+		t.Skip("unexpectedly completed; nothing to check")
+	}
+	if len(res.Sky) == 0 || len(res.Sky) >= full {
+		t.Errorf("expected a strict, non-empty subset: got %d of %d", len(res.Sky), full)
+	}
+}
+
+// TestStreamRANDMorePassesMoreCoverage: coverage grows with the pass budget.
+func TestStreamRANDMorePassesMoreCoverage(t *testing.T) {
+	ds := data.Independent(4000, 4, 4)
+	few := ComputeStreamRAND(ds, 8, 6, 2)
+	many := ComputeStreamRAND(ds, 8, 60, 2)
+	if len(many.Sky) < len(few.Sky) {
+		t.Errorf("coverage shrank with more passes: %d -> %d", len(few.Sky), len(many.Sky))
+	}
+}
+
+func TestStreamRANDDeterministic(t *testing.T) {
+	ds := data.Independent(2000, 3, 6)
+	a := ComputeStreamRAND(ds, 8, 10, 11)
+	b := ComputeStreamRAND(ds, 8, 10, 11)
+	if len(a.Sky) != len(b.Sky) {
+		t.Fatal("non-deterministic result size")
+	}
+	for i := range a.Sky {
+		if a.Sky[i] != b.Sky[i] {
+			t.Fatal("non-deterministic result")
+		}
+	}
+}
+
+func TestStreamRANDWindowClamp(t *testing.T) {
+	ds := data.Independent(500, 2, 3)
+	res := ComputeStreamRAND(ds, 0, 30, 1)
+	if len(res.Sky) == 0 {
+		t.Error("window clamp broke the stream")
+	}
+}
+
+func BenchmarkStreamRAND(b *testing.B) {
+	ds := data.Independent(20000, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeStreamRAND(ds, 16, 9, int64(i))
+	}
+}

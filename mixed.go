@@ -1,0 +1,76 @@
+package skydiver
+
+import (
+	"skydiver/internal/poset"
+)
+
+// CategoricalOrder is a partial order over named categorical values: a
+// preference DAG where some values may be mutually incomparable. Skyline
+// dominance and the Jaccard diversity measure extend to such attributes
+// unchanged — the setting where Lp-distance diversification is inapplicable
+// and SkyDiver's dominance-based formulation is the paper's headline
+// advantage.
+type CategoricalOrder = poset.Poset
+
+// OrderBuilder constructs a CategoricalOrder from preference edges.
+type OrderBuilder = poset.Builder
+
+// NewOrderBuilder creates an empty categorical-order builder. Chain
+// Prefer(better, worse) calls and finish with Build.
+func NewOrderBuilder() *OrderBuilder { return poset.NewBuilder() }
+
+// Chain builds a totally ordered categorical domain from best to worst
+// (e.g. Chain("new", "like-new", "used")). It panics on duplicate values
+// forming a cycle.
+func Chain(bestToWorst ...string) *CategoricalOrder {
+	return poset.MustChain(bestToWorst...)
+}
+
+// MixedAttr describes one attribute of a mixed table: numeric
+// (smaller-is-better) when Order is nil, categorical over the given partial
+// order otherwise.
+type MixedAttr = poset.Attr
+
+// MixedDataset holds rows mixing numeric and partially ordered categorical
+// attributes. No multidimensional index can exist for such data, so skyline
+// computation and diversification run index-free, as Section 4.1.1 of the
+// paper prescribes.
+type MixedDataset struct {
+	table *poset.Table
+}
+
+// NewMixedDataset creates an empty mixed dataset with the given schema.
+func NewMixedDataset(attrs []MixedAttr) (*MixedDataset, error) {
+	t, err := poset.NewTable(attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &MixedDataset{table: t}, nil
+}
+
+// AppendRow adds a row; numeric cells as float64/int, categorical cells as
+// value names.
+func (m *MixedDataset) AppendRow(cells ...any) error {
+	return m.table.AppendRow(cells...)
+}
+
+// Len returns the number of rows.
+func (m *MixedDataset) Len() int { return m.table.Len() }
+
+// Cell returns the display value of a cell: float64 for numeric attributes,
+// the value name for categorical ones.
+func (m *MixedDataset) Cell(row, attr int) any { return m.table.Cell(row, attr) }
+
+// Skyline returns the rows not dominated by any other row under the mixed
+// dominance relation.
+func (m *MixedDataset) Skyline() []int { return m.table.Skyline() }
+
+// Diversify returns the k most diverse skyline rows (SkyDiver-MH over an
+// index-free fingerprinting pass), in selection order.
+func (m *MixedDataset) Diversify(k int, opts Options) ([]int, error) {
+	res, err := m.table.Diversify(k, opts.SignatureSize, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}

@@ -1,0 +1,94 @@
+package skydiver
+
+import (
+	"fmt"
+
+	"skydiver/internal/dynamic"
+	"skydiver/internal/geom"
+)
+
+// StreamItem is one element of a monitored point stream.
+type StreamItem struct {
+	// Seq is the element's arrival number in the stream.
+	Seq uint64
+	// Point holds the coordinates in the user's original orientation.
+	Point []float64
+}
+
+// StreamMonitor continuously diversifies the skyline of a sliding window
+// over a point stream — the dynamic/continuous setting of Drosou & Pitoura
+// the paper takes its dispersion formulation from, and a step toward its
+// "scalable skyline diversification over massive data" future work. Results
+// are recomputed lazily when the stream advances.
+type StreamMonitor struct {
+	inner *dynamic.Monitor
+	prefs []Pref
+}
+
+// NewStreamMonitor creates a monitor over dims-dimensional points keeping
+// the most recent capacity points and answering k-diversification queries.
+// prefs may be nil for all-minimization; opts supplies SignatureSize and
+// Seed.
+func NewStreamMonitor(dims, capacity, k int, prefs []Pref, opts Options) (*StreamMonitor, error) {
+	if prefs != nil {
+		if err := geom.Preferences(prefs).Validate(dims); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := dynamic.NewMonitor(dims, capacity, k, opts.SignatureSize, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamMonitor{inner: inner, prefs: prefs}, nil
+}
+
+// Add ingests a point (in the user's orientation), evicting the oldest
+// window element when full, and returns the element's sequence number.
+func (s *StreamMonitor) Add(p []float64) (uint64, error) {
+	if s.prefs != nil && len(p) != len(s.prefs) {
+		return 0, fmt.Errorf("skydiver: point has %d dims, monitor expects %d", len(p), len(s.prefs))
+	}
+	cp := make([]float64, len(p))
+	copy(cp, p)
+	if s.prefs != nil {
+		geom.Preferences(s.prefs).Canonicalize(cp)
+	}
+	return s.inner.Add(cp)
+}
+
+// Len returns the current window size; Seen the total stream length so far.
+func (s *StreamMonitor) Len() int     { return s.inner.Len() }
+func (s *StreamMonitor) Seen() uint64 { return s.inner.Seen() }
+
+// Skyline returns the current window's skyline, oldest first.
+func (s *StreamMonitor) Skyline() ([]StreamItem, error) {
+	items, err := s.inner.Skyline()
+	if err != nil {
+		return nil, err
+	}
+	return s.publicItems(items), nil
+}
+
+// Diverse returns the k most diverse skyline points of the current window
+// (fewer when the skyline is smaller), in selection order.
+func (s *StreamMonitor) Diverse() ([]StreamItem, error) {
+	items, err := s.inner.Diverse()
+	if err != nil {
+		return nil, err
+	}
+	return s.publicItems(items), nil
+}
+
+func (s *StreamMonitor) publicItems(items []dynamic.Item) []StreamItem {
+	out := make([]StreamItem, len(items))
+	for i, it := range items {
+		p := make([]float64, len(it.Point))
+		copy(p, it.Point)
+		if s.prefs != nil {
+			// Undo canonicalization for display.
+			geom.Preferences(s.prefs).Canonicalize(p)
+		}
+		out[i] = StreamItem{Seq: it.Seq, Point: p}
+	}
+	return out
+}
