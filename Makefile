@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test race fuzz verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fuzz the pager fault-policy decoder and retry path for a short burst.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFaultPolicy -fuzztime 20s ./internal/pager/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Tier-1 verification: static checks, build, and the full suite under the
+# race detector.
+verify: vet build race

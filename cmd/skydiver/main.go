@@ -13,11 +13,16 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"skydiver"
 )
@@ -37,24 +42,49 @@ func main() {
 		prefs   = flag.String("prefs", "", "comma-separated min/max per dimension (default all min)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		verbose = flag.Bool("verbose", false, "print cost accounting")
+		timeout = flag.Duration("timeout", 0, "deadline for the run; on expiry the best partial result found so far is printed (0 = none)")
+		jsonOut = flag.Bool("json", false, "emit the result as a JSON object instead of text")
+		faults  = flag.String("faults", "", "inject page faults, e.g. rate=0.01,permanent=0.1,latency=1ms,seed=7 (see -help-faults semantics in README)")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the run; with -timeout the deadline does too.
+	// Either way the run ends promptly with whatever prefix the greedy
+	// selection had committed (anytime semantics).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	ds, err := loadDataset(*input, *gen, *n, *d, *prefs, *seed)
 	if err != nil {
 		fail(err)
 	}
+	if *faults != "" {
+		policy, err := skydiver.ParseFaultPolicy(*faults)
+		if err != nil {
+			fail(err)
+		}
+		if err := ds.InjectFaults(policy); err != nil {
+			fail(err)
+		}
+	}
 	m, err := ds.SkylineSize()
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("dataset %s: n=%d d=%d skyline=%d\n", ds.Name(), ds.Len(), ds.Dims(), m)
+	if !*jsonOut {
+		fmt.Printf("dataset %s: n=%d d=%d skyline=%d\n", ds.Name(), ds.Len(), ds.Dims(), m)
+	}
 
 	algorithm, err := parseAlgo(*algo)
 	if err != nil {
 		fail(err)
 	}
-	res, err := ds.Diversify(skydiver.Options{
+	res, err := ds.DiversifyContext(ctx, skydiver.Options{
 		K:             *k,
 		Algorithm:     algorithm,
 		SignatureSize: *tSig,
@@ -62,27 +92,17 @@ func main() {
 		Workers:       *workers,
 		Seed:          *seed,
 	})
-	if err != nil {
+	if err != nil && res == nil {
 		fail(err)
 	}
-	fmt.Printf("%d most diverse skyline points (%s):\n", *k, algorithm)
-	for rank, idx := range res.Indexes {
-		score, err := ds.DominationScore(idx)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("  %2d. row %-8d |Γ|=%-7d %v\n", rank+1, idx, score, res.Points[rank])
+	// err != nil with a non-nil res means the deadline or a signal cut the
+	// run short: res holds the valid diverse prefix selected so far.
+	if *jsonOut {
+		printJSON(ds, res, *k, algorithm, err)
+	} else {
+		printText(ds, res, *k, algorithm, *verbose, err)
 	}
-	div, err := ds.ExactDiversity(res.Indexes)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("exact diversity (min pairwise Jaccard distance): %.4f\n", div)
-	if *verbose {
-		fmt.Printf("cpu=%v io=%v faults=%d memory=%dB objective=%.4f\n",
-			res.CPUTime, res.IOTime, res.PageFaults, res.MemoryBytes, res.ObjectiveValue)
-	}
-	if *topk > 0 {
+	if *topk > 0 && err == nil && !*jsonOut {
 		idx, scores, err := ds.TopKDominating(*topk)
 		if err != nil {
 			fail(err)
@@ -91,6 +111,87 @@ func main() {
 		for r := range idx {
 			fmt.Printf("  %2d. row %-8d |Γ|=%-7d %v\n", r+1, idx[r], scores[r], ds.Point(idx[r]))
 		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skydiver: %v\n", err)
+		os.Exit(3)
+	}
+}
+
+func printText(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skydiver.Algorithm, verbose bool, runErr error) {
+	if res.Partial {
+		fmt.Printf("PARTIAL result (%d of %d requested) — run interrupted: %v\n", len(res.Indexes), k, runErr)
+	}
+	fmt.Printf("%d most diverse skyline points (%s):\n", len(res.Indexes), algorithm)
+	for rank, idx := range res.Indexes {
+		score, err := ds.DominationScore(idx)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %2d. row %-8d |Γ|=%-7d %v\n", rank+1, idx, score, res.Points[rank])
+	}
+	if len(res.Indexes) > 1 {
+		div, err := ds.ExactDiversity(res.Indexes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("exact diversity (min pairwise Jaccard distance): %.4f\n", div)
+	}
+	if verbose {
+		injected, retries := ds.FaultStats()
+		fmt.Printf("cpu=%v io=%v faults=%d memory=%dB objective=%.4f injected=%d retries=%d\n",
+			res.CPUTime, res.IOTime, res.PageFaults, res.MemoryBytes, res.ObjectiveValue, injected, retries)
+	}
+}
+
+// jsonResult is the machine-readable output shape for -json.
+type jsonResult struct {
+	Dataset   string      `json:"dataset"`
+	N         int         `json:"n"`
+	D         int         `json:"d"`
+	Algorithm string      `json:"algorithm"`
+	K         int         `json:"k"`
+	Partial   bool        `json:"partial"`
+	Error     string      `json:"error,omitempty"`
+	Indexes   []int       `json:"indexes"`
+	Points    [][]float64 `json:"points"`
+	Objective float64     `json:"objective"`
+	CPU       float64     `json:"cpu_seconds"`
+	IO        float64     `json:"io_seconds"`
+	Faults    int64       `json:"page_faults"`
+}
+
+func printJSON(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skydiver.Algorithm, runErr error) {
+	out := jsonResult{
+		Dataset:   ds.Name(),
+		N:         ds.Len(),
+		D:         ds.Dims(),
+		Algorithm: algorithm.String(),
+		K:         k,
+		Partial:   res.Partial,
+		Indexes:   res.Indexes,
+		Points:    res.Points,
+		Objective: res.ObjectiveValue,
+		CPU:       res.CPUTime.Seconds(),
+		IO:        res.IOTime.Seconds(),
+		Faults:    res.PageFaults,
+	}
+	if out.Indexes == nil {
+		out.Indexes = []int{}
+	}
+	if out.Points == nil {
+		out.Points = [][]float64{}
+	}
+	if runErr != nil {
+		out.Error = runErr.Error()
+		if errors.Is(runErr, skydiver.ErrDeadlineExceeded) {
+			out.Error = "deadline exceeded"
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fail(err)
 	}
 }
 

@@ -56,7 +56,7 @@ func ExampleDiversifyGraph() {
 // Categorical attributes with a partial preference order: no Lp distance
 // exists, but dominance-based diversification still works.
 func ExampleNewMixedDataset() {
-	condition := skydiver.Chain("new", "used")
+	condition, _ := skydiver.Chain("new", "used")
 	ds, _ := skydiver.NewMixedDataset([]skydiver.MixedAttr{
 		{Name: "price"},
 		{Name: "condition", Order: condition},

@@ -26,7 +26,10 @@ import (
 )
 
 func main() {
-	condition := skydiver.Chain("new", "like-new", "used")
+	condition, err := skydiver.Chain("new", "like-new", "used")
+	if err != nil {
+		log.Fatal(err)
+	}
 	mount, err := skydiver.NewOrderBuilder().
 		Prefer("pro", "standard").
 		Prefer("vintage", "standard").

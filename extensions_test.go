@@ -51,7 +51,10 @@ func TestDiversifyParallelWorkersIdentical(t *testing.T) {
 }
 
 func TestMixedDatasetPublic(t *testing.T) {
-	condition := Chain("new", "used")
+	condition, err := Chain("new", "used")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ds, err := NewMixedDataset([]MixedAttr{
 		{Name: "price"},
 		{Name: "condition", Order: condition},

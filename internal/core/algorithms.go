@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -94,7 +95,7 @@ func (in Input) dataIndexes(selected []int) []int {
 }
 
 // fingerprint runs Phase 1 according to the config.
-func fingerprint(in Input, cfg Config) (*Fingerprint, error) {
+func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, error) {
 	fam, err := minhash.NewFamily(cfg.SignatureSize, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -103,49 +104,85 @@ func fingerprint(in Input, cfg Config) (*Fingerprint, error) {
 		if in.Tree == nil {
 			return nil, fmt.Errorf("core: index-based fingerprinting requires a tree")
 		}
-		return SigGenIB(in.Tree, in.Data, in.Sky, fam)
+		return SigGenIBCtx(ctx, in.Tree, in.Data, in.Sky, fam)
 	}
 	if cfg.Workers != 0 && cfg.Workers != 1 {
-		return SigGenIFParallel(in.Data, in.Sky, fam, cfg.Workers)
+		return SigGenIFParallelCtx(ctx, in.Data, in.Sky, fam, cfg.Workers)
 	}
-	return SigGenIF(in.Data, in.Sky, fam)
+	return SigGenIFCtx(ctx, in.Data, in.Sky, fam)
+}
+
+// partialResult packages the anytime prefix of a cancelled run: the greedy
+// rounds completed so far form a valid diverse selection, so the caller gets
+// them back (flagged Partial) instead of losing the work. selected may be
+// nil when cancellation struck before the first round.
+func partialResult(in Input, selected []int, dist dispersion.DistFunc, stats Stats) *Result {
+	if selected == nil {
+		selected = []int{}
+	}
+	obj := 0.0
+	if len(selected) > 1 && dist != nil {
+		obj = dispersion.MinPairwise(selected, dist)
+	}
+	return &Result{
+		Selected:       selected,
+		DataIndexes:    in.dataIndexes(selected),
+		ObjectiveValue: obj,
+		Partial:        true,
+		Stats:          stats,
+	}
 }
 
 // SkyDiverMH is the full MinHash pipeline (Section 4.2.1): fingerprint, then
 // greedily select k points under the estimated Jaccard distance, seeding
 // with the point of maximum domination score and breaking ties by score.
 func SkyDiverMH(in Input, cfg Config) (*Result, error) {
+	return SkyDiverMHCtx(context.Background(), in, cfg)
+}
+
+// SkyDiverMHCtx is SkyDiverMH with cancellation and anytime semantics: on
+// context expiry mid-selection it returns the diverse prefix chosen so far
+// as a Partial result alongside the context's error; expiry during
+// fingerprinting yields an empty Partial result (no selection exists yet).
+func SkyDiverMHCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(len(in.Sky)); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	fp, err := fingerprint(in, cfg)
+	fp, err := fingerprint(ctx, in, cfg)
+	fpTime := time.Since(start)
 	if err != nil {
+		if ctx.Err() != nil {
+			return partialResult(in, nil, nil, Stats{Fingerprint: fpTime, Model: pager.DefaultCostModel()}), ctx.Err()
+		}
 		return nil, err
 	}
-	fpTime := time.Since(start)
 
 	start = time.Now()
 	dist := func(i, j int) float64 { return fp.Matrix.EstimateJd(i, j) }
-	selected, err := dispersion.SelectDiverseSet(len(in.Sky), cfg.K, dist, fp.DomScore)
+	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(in.Sky), cfg.K, dist, fp.DomScore)
+	selTime := time.Since(start)
+	stats := Stats{
+		Fingerprint: fpTime,
+		Select:      selTime,
+		IO:          fp.IO,
+		Model:       pager.DefaultCostModel(),
+		MemoryBytes: fp.Matrix.MemoryBytes(),
+	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return partialResult(in, selected, dist, stats), ctx.Err()
+		}
 		return nil, err
 	}
 	obj := dispersion.MinPairwise(selected, dist)
-	selTime := time.Since(start)
 
 	return &Result{
 		Selected:       selected,
 		DataIndexes:    in.dataIndexes(selected),
 		ObjectiveValue: obj,
-		Stats: Stats{
-			Fingerprint: fpTime,
-			Select:      selTime,
-			IO:          fp.IO,
-			Model:       pager.DefaultCostModel(),
-			MemoryBytes: fp.Matrix.MemoryBytes(),
-		},
+		Stats:          stats,
 	}, nil
 }
 
@@ -153,45 +190,61 @@ func SkyDiverMH(in Input, cfg Config) (*Result, error) {
 // signatures into bucket bit-vectors, then select greedily under the
 // Hamming distance of the bit-vectors.
 func SkyDiverLSH(in Input, cfg Config) (*Result, error) {
+	return SkyDiverLSHCtx(context.Background(), in, cfg)
+}
+
+// SkyDiverLSHCtx is SkyDiverLSH with cancellation and anytime semantics
+// (see SkyDiverMHCtx).
+func SkyDiverLSHCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(len(in.Sky)); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	fp, err := fingerprint(in, cfg)
+	fp, err := fingerprint(ctx, in, cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			return partialResult(in, nil, nil, Stats{Fingerprint: time.Since(start), Model: pager.DefaultCostModel()}), ctx.Err()
+		}
 		return nil, err
 	}
 	params, err := lsh.ChooseParams(cfg.SignatureSize, cfg.LSHThreshold, cfg.LSHBuckets)
 	if err != nil {
 		return nil, err
 	}
-	vectors, err := lsh.Build(fp.Matrix, params, cfg.Seed+1)
+	vectors, err := lsh.BuildCtx(ctx, fp.Matrix, params, cfg.Seed+1)
+	fpTime := time.Since(start)
 	if err != nil {
+		if ctx.Err() != nil {
+			return partialResult(in, nil, nil, Stats{Fingerprint: fpTime, IO: fp.IO, Model: pager.DefaultCostModel()}), ctx.Err()
+		}
 		return nil, err
 	}
-	fpTime := time.Since(start)
 
 	start = time.Now()
 	dist := func(i, j int) float64 { return float64(vectors.Hamming(i, j)) }
-	selected, err := dispersion.SelectDiverseSet(len(in.Sky), cfg.K, dist, fp.DomScore)
+	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(in.Sky), cfg.K, dist, fp.DomScore)
+	selTime := time.Since(start)
+	stats := Stats{
+		Fingerprint: fpTime,
+		Select:      selTime,
+		IO:          fp.IO,
+		Model:       pager.DefaultCostModel(),
+		MemoryBytes: vectors.MemoryBytes(),
+	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return partialResult(in, selected, dist, stats), ctx.Err()
+		}
 		return nil, err
 	}
 	obj := dispersion.MinPairwise(selected, dist)
-	selTime := time.Since(start)
 
 	return &Result{
 		Selected:       selected,
 		DataIndexes:    in.dataIndexes(selected),
 		ObjectiveValue: obj,
-		Stats: Stats{
-			Fingerprint: fpTime,
-			Select:      selTime,
-			IO:          fp.IO,
-			Model:       pager.DefaultCostModel(),
-			MemoryBytes: vectors.MemoryBytes(),
-		},
+		Stats:          stats,
 	}, nil
 }
 
@@ -200,6 +253,14 @@ func SkyDiverLSH(in Input, cfg Config) (*Result, error) {
 // R*-tree (one common-dominance count per pair, plus one dominance count per
 // skyline point for the scores). Its cost is dominated by this query I/O.
 func SimpleGreedy(in Input, cfg Config) (*Result, error) {
+	return SimpleGreedyCtx(context.Background(), in, cfg)
+}
+
+// SimpleGreedyCtx is SimpleGreedy with cancellation and anytime semantics:
+// the context is checked inside the greedy selection (which issues the range
+// queries through the distance oracle), and expiry returns the prefix
+// selected so far as a Partial result.
+func SimpleGreedyCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(len(in.Sky)); err != nil {
 		return nil, err
@@ -222,26 +283,30 @@ func SimpleGreedy(in Input, cfg Config) (*Result, error) {
 		}
 		return d
 	}
-	selected, err := dispersion.SelectDiverseSet(len(in.Sky), cfg.K, dist, scores)
+	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(in.Sky), cfg.K, dist, scores)
+	elapsed := time.Since(start)
+	after := in.Tree.Stats()
+	stats := Stats{
+		Select: elapsed,
+		IO:     ioDelta(before, after),
+		Model:  pager.DefaultCostModel(),
+	}
 	if err != nil {
+		if ctx.Err() != nil {
+			return partialResult(in, selected, dist, stats), ctx.Err()
+		}
 		return nil, err
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	obj := dispersion.MinPairwise(selected, dist)
-	elapsed := time.Since(start)
-	after := in.Tree.Stats()
 
 	return &Result{
 		Selected:       selected,
 		DataIndexes:    in.dataIndexes(selected),
 		ObjectiveValue: obj,
-		Stats: Stats{
-			Select: elapsed,
-			IO:     ioDelta(before, after),
-			Model:  pager.DefaultCostModel(),
-		},
+		Stats:          stats,
 	}, nil
 }
 
@@ -249,6 +314,15 @@ func SimpleGreedy(in Input, cfg Config) (*Result, error) {
 // Jaccard distances, then enumeration of all C(m, k) subsets for the optimal
 // k-MMDP value. Exponential in k; only run it on small skylines.
 func BruteForce(in Input, cfg Config) (*Result, error) {
+	return BruteForceCtx(context.Background(), in, cfg)
+}
+
+// BruteForceCtx is BruteForce with cancellation: the context is checked once
+// per distance-matrix row and periodically during subset enumeration. On
+// expiry mid-enumeration the best subset found so far is returned as a
+// Partial result (anytime, but without the optimality guarantee); expiry
+// during matrix construction yields an empty Partial result.
+func BruteForceCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(len(in.Sky)); err != nil {
 		return nil, err
@@ -260,9 +334,19 @@ func BruteForce(in Input, cfg Config) (*Result, error) {
 	start := time.Now()
 	oracle := NewExactOracle(in.Tree, in.Data, in.Sky)
 	m := len(in.Sky)
+	stats := func() Stats {
+		return Stats{
+			Select: time.Since(start),
+			IO:     ioDelta(before, in.Tree.Stats()),
+			Model:  pager.DefaultCostModel(),
+		}
+	}
 	// Materialize the full distance matrix (the O(m²) cost of Section 3.2).
 	dmat := make([]float64, m*m)
 	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return partialResult(in, nil, nil, stats()), err
+		}
 		for j := i + 1; j < m; j++ {
 			d, err := oracle.Jd(i, j)
 			if err != nil {
@@ -273,22 +357,23 @@ func BruteForce(in Input, cfg Config) (*Result, error) {
 		}
 	}
 	dist := func(i, j int) float64 { return dmat[i*m+j] }
-	selected, obj, err := dispersion.BruteForce(m, cfg.K, dist, dispersion.MaxMin)
+	selected, obj, err := dispersion.BruteForceCtx(ctx, m, cfg.K, dist, dispersion.MaxMin)
 	if err != nil {
+		if ctx.Err() != nil {
+			res := partialResult(in, selected, dist, stats())
+			if len(selected) > 1 {
+				res.ObjectiveValue = obj
+			}
+			return res, ctx.Err()
+		}
 		return nil, err
 	}
-	elapsed := time.Since(start)
-	after := in.Tree.Stats()
 
 	return &Result{
 		Selected:       selected,
 		DataIndexes:    in.dataIndexes(selected),
 		ObjectiveValue: obj,
-		Stats: Stats{
-			Select: elapsed,
-			IO:     ioDelta(before, after),
-			Model:  pager.DefaultCostModel(),
-		},
+		Stats:          stats(),
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,13 +33,25 @@ type Fingerprint struct {
 // scan can stop early: s ≺ p implies L1(s) < L1(p). This keeps the pass
 // exact while sparing some of the naive dominance checks.
 func SigGenIF(ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, error) {
+	return SigGenIFCtx(context.Background(), ds, sky, fam)
+}
+
+// SigGenIFCtx is SigGenIF with cancellation, checked once per data page so
+// an aborted scan returns within one page quantum. Partially accumulated
+// signatures are discarded (a half-scanned signature matrix would silently
+// underestimate Jaccard distances).
+func SigGenIFCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, error) {
 	m := len(sky)
 	if m == 0 {
 		return nil, fmt.Errorf("core: empty skyline")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t := fam.Size()
 	fp := &Fingerprint{Matrix: minhash.NewMatrix(t, m), DomScore: make([]float64, m)}
 	counter := pager.NewSequentialCounter(8*ds.Dims() + 4)
+	pageQuantum := counter.RecordsPerPage()
 
 	// Sort skyline by L1 norm, remembering the original column of each.
 	type skyEntry struct {
@@ -60,6 +73,11 @@ func SigGenIF(ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, e
 	hv := make([]uint32, t)
 	cols := make([]int, 0, 16)
 	for i := 0; i < ds.Len(); i++ {
+		if i%pageQuantum == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		counter.Touch(i)
 		if inSky[i] {
 			continue
@@ -100,9 +118,18 @@ func SigGenIF(ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, e
 // I/O is charged through the tree's buffer pool; callers typically Reopen
 // the tree with the 20% cache before measuring.
 func SigGenIB(tr *rtree.Tree, ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, error) {
+	return SigGenIBCtx(context.Background(), tr, ds, sky, fam)
+}
+
+// SigGenIBCtx is SigGenIB with cancellation, checked before every node read
+// (page granularity). An aborted traversal discards its partial signatures.
+func SigGenIBCtx(ctx context.Context, tr *rtree.Tree, ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, error) {
 	m := len(sky)
 	if m == 0 {
 		return nil, fmt.Errorf("core: empty skyline")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if tr.Dims() != ds.Dims() {
 		return nil, fmt.Errorf("core: tree dims %d != dataset dims %d", tr.Dims(), ds.Dims())
@@ -170,6 +197,9 @@ func SigGenIB(tr *rtree.Tree, ds *data.Dataset, sky []int, fam *minhash.Family) 
 
 	pq := []pager.PageID{tr.Root()}
 	for len(pq) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		id := pq[len(pq)-1]
 		pq = pq[:len(pq)-1]
 		node, err := tr.ReadNode(id)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -11,6 +12,11 @@ import (
 	"skydiver/internal/minhash"
 	"skydiver/internal/pager"
 )
+
+// workerTestHook, when non-nil, is invoked by every parallel fingerprinting
+// worker as it starts. Tests use it to inject panics and verify containment;
+// it is never set in production code.
+var workerTestHook func(worker int)
 
 // SigGenIFParallel is the parallel variant of SigGen-IF, addressing the
 // paper's "parallelization aspects" future-work item (Section 6). The data
@@ -23,6 +29,20 @@ import (
 // workers <= 0 uses GOMAXPROCS. I/O is accounted as the same single
 // sequential pass (each page is still read exactly once across shards).
 func SigGenIFParallel(ds *data.Dataset, sky []int, fam *minhash.Family, workers int) (*Fingerprint, error) {
+	return SigGenIFParallelCtx(context.Background(), ds, sky, fam, workers)
+}
+
+// SigGenIFParallelCtx is SigGenIFParallel with cancellation and worker panic
+// containment. Each worker checks the context once per data page, so a
+// cancelled pass returns within one page quantum per worker; a panicking
+// worker is recovered into an error instead of crashing the process.
+//
+// Error handling is deterministic: shards are always visited in shard-index
+// order, the error reported is the first errored shard's (by index, not by
+// completion time), and when any shard fails the partial matrices of every
+// shard — including the ones that finished cleanly — are discarded. A shard
+// result is merged either completely or not at all, never half-merged.
+func SigGenIFParallelCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.Family, workers int) (*Fingerprint, error) {
 	m := len(sky)
 	if m == 0 {
 		return nil, fmt.Errorf("core: empty skyline")
@@ -35,7 +55,10 @@ func SigGenIFParallel(ds *data.Dataset, sky []int, fam *minhash.Family, workers 
 		workers = n
 	}
 	if workers <= 1 {
-		return SigGenIF(ds, sky, fam)
+		return SigGenIFCtx(ctx, ds, sky, fam)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	t := fam.Size()
 
@@ -55,7 +78,9 @@ func SigGenIFParallel(ds *data.Dataset, sky []int, fam *minhash.Family, workers 
 		inSky[s] = true
 	}
 
+	pageQuantum := pager.NewSequentialCounter(8*ds.Dims() + 4).RecordsPerPage()
 	shards := make([]*Fingerprint, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -69,10 +94,27 @@ func SigGenIFParallel(ds *data.Dataset, sky []int, fam *minhash.Family, workers 
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			// Contain panics: one bad shard must never crash a serving
+			// process — it surfaces as this shard's error instead.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("core: fingerprint worker %d panicked: %v", w, r)
+					shards[w] = nil
+				}
+			}()
+			if workerTestHook != nil {
+				workerTestHook(w)
+			}
 			fp := &Fingerprint{Matrix: minhash.NewMatrix(t, m), DomScore: make([]float64, m)}
 			hv := make([]uint32, t)
 			cols := make([]int, 0, 16)
 			for i := lo; i < hi; i++ {
+				if (i-lo)%pageQuantum == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
 				if inSky[i] {
 					continue
 				}
@@ -101,6 +143,17 @@ func SigGenIFParallel(ds *data.Dataset, sky []int, fam *minhash.Family, workers 
 	}
 	wg.Wait()
 
+	// First error by shard index wins, regardless of which worker failed
+	// first in wall-clock time, so runs are reproducible.
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+	}
+
+	// Merge in shard-index order. All shards succeeded at this point; the
+	// merge itself is deterministic because min-folding per slot is
+	// order-insensitive and the iteration order is fixed.
 	out := &Fingerprint{Matrix: minhash.NewMatrix(t, m), DomScore: make([]float64, m)}
 	for _, fp := range shards {
 		if fp == nil {

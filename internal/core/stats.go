@@ -51,6 +51,12 @@ func (s Stats) String() string {
 type Result struct {
 	// Selected holds positions within the skyline slice, in selection order.
 	Selected []int
+	// Partial reports that the run was cut short by context cancellation or
+	// deadline expiry and Selected is the valid diverse prefix completed so
+	// far (possibly empty) rather than the full k-point answer. Greedy
+	// selection is anytime: every completed round extends the prefix, so the
+	// partial answer is exactly what a shorter-k run would have produced.
+	Partial bool
 	// DataIndexes holds the corresponding dataset row indexes.
 	DataIndexes []int
 	// ObjectiveValue is the minimum pairwise distance of the selected set in

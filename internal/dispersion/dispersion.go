@@ -7,9 +7,15 @@
 package dispersion
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
+
+// cancelCheckStride bounds how many distance evaluations may pass between
+// two context checks, so cancellation latency stays below one greedy round
+// even on huge skylines.
+const cancelCheckStride = 4096
 
 // DistFunc is a pairwise distance oracle over items 0..m-1. SelectDiverseSet
 // requires it to be a metric (the triangle inequality underlies the
@@ -48,6 +54,16 @@ func (o Objective) String() string {
 // maintained incrementally, so the oracle is invoked O(k·m) times. The
 // result is a 2-approximation of the optimal k-MMDP value (Lemma 4).
 func SelectDiverseSet(m, k int, dist DistFunc, score []float64) ([]int, error) {
+	return SelectDiverseSetCtx(context.Background(), m, k, dist, score)
+}
+
+// SelectDiverseSetCtx is SelectDiverseSet with cancellation. The greedy loop
+// is anytime: every completed round extends a valid diverse prefix, so on
+// cancellation the items selected so far are returned together with the
+// context's error — callers keep the partial answer instead of losing the
+// whole run. The context is checked at least once per greedy round and every
+// cancelCheckStride distance evaluations within a round.
+func SelectDiverseSetCtx(ctx context.Context, m, k int, dist DistFunc, score []float64) ([]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("dispersion: non-positive k %d", k)
 	}
@@ -56,6 +72,9 @@ func SelectDiverseSet(m, k int, dist DistFunc, score []float64) ([]int, error) {
 	}
 	if score != nil && len(score) != m {
 		return nil, fmt.Errorf("dispersion: score vector has %d entries for %d items", len(score), m)
+	}
+	if err := ctx.Err(); err != nil {
+		return []int{}, err
 	}
 	sc := func(i int) float64 {
 		if score == nil {
@@ -75,12 +94,21 @@ func SelectDiverseSet(m, k int, dist DistFunc, score []float64) ([]int, error) {
 	inSet := make([]bool, m)
 	inSet[first] = true
 	minDist := make([]float64, m)
+	evals := 0
 	for i := 0; i < m; i++ {
 		if !inSet[i] {
 			minDist[i] = dist(i, first)
+			if evals++; evals%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return selected, err
+				}
+			}
 		}
 	}
 	for len(selected) < k {
+		if err := ctx.Err(); err != nil {
+			return selected, err
+		}
 		best := -1
 		for i := 0; i < m; i++ {
 			if inSet[i] {
@@ -97,6 +125,11 @@ func SelectDiverseSet(m, k int, dist DistFunc, score []float64) ([]int, error) {
 			if !inSet[i] {
 				if d := dist(i, best); d < minDist[i] {
 					minDist[i] = d
+				}
+				if evals++; evals%cancelCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return selected, err
+					}
 				}
 			}
 		}
@@ -195,6 +228,14 @@ func SumPairwise(set []int, dist DistFunc) float64 {
 // is the Brute-Force baseline of Section 3.2; it is exponential in k and
 // only usable for small skylines.
 func BruteForce(m, k int, dist DistFunc, obj Objective) ([]int, float64, error) {
+	return BruteForceCtx(context.Background(), m, k, dist, obj)
+}
+
+// BruteForceCtx is BruteForce with cancellation, checked every
+// cancelCheckStride evaluated subsets. On cancellation it returns the best
+// subset found so far (anytime, but without the exhaustive-optimality
+// guarantee) together with the context's error.
+func BruteForceCtx(ctx context.Context, m, k int, dist DistFunc, obj Objective) ([]int, float64, error) {
 	if k < 1 || k > m {
 		return nil, 0, fmt.Errorf("dispersion: invalid k %d for %d items", k, m)
 	}
@@ -205,12 +246,20 @@ func BruteForce(m, k int, dist DistFunc, obj Objective) ([]int, float64, error) 
 	var best []int
 	bestVal := math.Inf(-1)
 	subset := make([]int, k)
+	evaluated := 0
+	var ctxErr error
 	var recurse func(start, depth int)
 	recurse = func(start, depth int) {
+		if ctxErr != nil {
+			return
+		}
 		if depth == k {
 			if v := objective(subset, dist); v > bestVal {
 				bestVal = v
 				best = append(best[:0], subset...)
+			}
+			if evaluated++; evaluated%cancelCheckStride == 0 {
+				ctxErr = ctx.Err()
 			}
 			return
 		}
@@ -221,9 +270,9 @@ func BruteForce(m, k int, dist DistFunc, obj Objective) ([]int, float64, error) 
 		}
 	}
 	recurse(0, 0)
-	out := make([]int, k)
+	out := make([]int, len(best))
 	copy(out, best)
-	return out, bestVal, nil
+	return out, bestVal, ctxErr
 }
 
 // GreedyMaxSum is the standard greedy heuristic for k-MSDP: seed with the

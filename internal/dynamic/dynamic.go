@@ -16,6 +16,7 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -100,7 +101,14 @@ func (m *Monitor) Seen() uint64 { return m.next }
 
 // Skyline returns the skyline of the current window, oldest first.
 func (m *Monitor) Skyline() ([]Item, error) {
-	if err := m.refresh(); err != nil {
+	return m.SkylineCtx(context.Background())
+}
+
+// SkylineCtx is Skyline with cancellation. A cancelled recomputation leaves
+// the cache unpopulated (the next query recomputes) and returns the
+// context's error.
+func (m *Monitor) SkylineCtx(ctx context.Context) ([]Item, error) {
+	if err := m.refresh(ctx); err != nil {
 		return nil, err
 	}
 	out := make([]Item, len(m.cachedSky))
@@ -111,7 +119,12 @@ func (m *Monitor) Skyline() ([]Item, error) {
 // Diverse returns the k most diverse skyline points of the current window
 // (fewer when the skyline is smaller than k), in selection order.
 func (m *Monitor) Diverse() ([]Item, error) {
-	if err := m.refresh(); err != nil {
+	return m.DiverseCtx(context.Background())
+}
+
+// DiverseCtx is Diverse with cancellation; see SkylineCtx.
+func (m *Monitor) DiverseCtx(ctx context.Context) ([]Item, error) {
+	if err := m.refresh(ctx); err != nil {
 		return nil, err
 	}
 	out := make([]Item, len(m.cachedPick))
@@ -119,11 +132,19 @@ func (m *Monitor) Diverse() ([]Item, error) {
 	return out, nil
 }
 
+// refreshCheckStride is how many window points the fingerprinting pass
+// folds between context checks.
+const refreshCheckStride = 256
+
 // refresh recomputes the cached skyline and selection when the stream has
-// advanced since the last computation.
-func (m *Monitor) refresh() error {
+// advanced since the last computation. Context errors are returned without
+// being cached, so a later query with a live context recomputes cleanly.
+func (m *Monitor) refresh(ctx context.Context) error {
 	if m.cacheSeq == m.next && (m.cachedSky != nil || m.cachedErr != nil) {
 		return m.cachedErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	m.cacheSeq = m.next
 	m.cachedSky, m.cachedPick, m.cachedErr = nil, nil, nil
@@ -168,6 +189,12 @@ func (m *Monitor) refresh() error {
 	hv := make([]uint32, m.sigSize)
 	cols := make([]int, 0, 8)
 	for i := 0; i < ds.Len(); i++ {
+		if i%refreshCheckStride == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				m.cachedSky, m.cachedPick = nil, nil
+				return err
+			}
+		}
 		if inSky[i] {
 			continue
 		}
@@ -190,8 +217,14 @@ func (m *Monitor) refresh() error {
 		}
 	}
 	dist := func(i, j int) float64 { return matrix.EstimateJd(i, j) }
-	selected, err := dispersion.SelectDiverseSet(len(sky), k, dist, domScore)
+	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(sky), k, dist, domScore)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Don't poison the cache with a cancellation: the next query
+			// with a live context recomputes from scratch.
+			m.cachedSky, m.cachedPick = nil, nil
+			return err
+		}
 		m.cachedErr = err
 		return err
 	}

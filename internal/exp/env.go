@@ -120,29 +120,19 @@ const (
 
 // generate builds the scaled dataset for a kind at the given cardinality
 // and dimensionality.
-func (e *Env) generate(kind datasetKind, paperN, dims int) *data.Dataset {
+func (e *Env) generate(kind datasetKind, paperN, dims int) (*data.Dataset, error) {
 	n := e.scaled(paperN)
 	switch kind {
 	case kindIND:
-		return data.Independent(n, dims, e.Seed)
+		return data.Independent(n, dims, e.Seed), nil
 	case kindANT:
-		return data.Anticorrelated(n, dims, e.Seed)
+		return data.Anticorrelated(n, dims, e.Seed), nil
 	case kindFC:
-		full := data.SyntheticForestCover(n, e.Seed)
-		ds, err := full.Project(dims)
-		if err != nil {
-			panic(err)
-		}
-		return ds
+		return data.SyntheticForestCover(n, e.Seed).Project(dims)
 	case kindREC:
-		full := data.SyntheticRecipes(n, e.Seed)
-		ds, err := full.Project(dims)
-		if err != nil {
-			panic(err)
-		}
-		return ds
+		return data.SyntheticRecipes(n, e.Seed).Project(dims)
 	default:
-		panic("exp: unknown dataset kind")
+		return nil, fmt.Errorf("exp: unknown dataset kind %d", int(kind))
 	}
 }
 
@@ -157,7 +147,10 @@ func (e *Env) Prepare(kind datasetKind, paperN, dims int) (*Prepared, error) {
 		return p, nil
 	}
 	start := time.Now()
-	ds := e.generate(kind, paperN, dims)
+	ds, err := e.generate(kind, paperN, dims)
+	if err != nil {
+		return nil, err
+	}
 	tr, err := rtree.BulkLoad(ds)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@
 package lsh
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -97,10 +98,24 @@ type BitVectors struct {
 	zoneBucket []int32
 }
 
+// buildCheckStride is how many columns Build encodes between two context
+// checks — a shard-granularity bound on cancellation latency.
+const buildCheckStride = 256
+
 // Build hashes every signature of the matrix into bucket bit vectors. The
 // per-zone hash functions are seeded deterministically from seed.
 func Build(m *minhash.Matrix, p Params, seed int64) (*BitVectors, error) {
+	return BuildCtx(context.Background(), m, p, seed)
+}
+
+// BuildCtx is Build with cancellation, checked every buildCheckStride
+// columns. A cancelled build returns the context's error; no partial bit
+// vectors are exposed.
+func BuildCtx(ctx context.Context, m *minhash.Matrix, p Params, seed int64) (*BitVectors, error) {
 	if err := p.Validate(m.T()); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	bitsPerCol := p.Zones * p.Buckets
@@ -119,6 +134,11 @@ func Build(m *minhash.Matrix, p Params, seed int64) (*BitVectors, error) {
 		zoneKeys[z] = r.Uint64()
 	}
 	for c := 0; c < m.Cols(); c++ {
+		if c%buildCheckStride == 0 && c > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		sig := m.Column(c)
 		for z := 0; z < p.Zones; z++ {
 			frag := sig[z*p.Rows : (z+1)*p.Rows]

@@ -1,0 +1,170 @@
+package pager
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseFaultPolicyRoundTrip(t *testing.T) {
+	tests := []struct {
+		in   string
+		want FaultPolicy
+	}{
+		{"rate=0.01", FaultPolicy{Rate: 0.01}},
+		{"rate=0.5,permanent=0.25", FaultPolicy{Rate: 0.5, PermanentRate: 0.25}},
+		{"rate=1,permanent=1,latency=2ms,seed=7", FaultPolicy{Rate: 1, PermanentRate: 1, Latency: 2 * time.Millisecond, Seed: 7}},
+		{" rate = 0.1 , seed = -3 ", FaultPolicy{Rate: 0.1, Seed: -3}},
+	}
+	for _, tc := range tests {
+		got, err := ParseFaultPolicy(tc.in)
+		if err != nil {
+			t.Fatalf("ParseFaultPolicy(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseFaultPolicy(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		again, err := ParseFaultPolicy(got.String())
+		if err != nil || again != got {
+			t.Errorf("round trip of %q via %q = %+v, %v", tc.in, got.String(), again, err)
+		}
+	}
+}
+
+func TestParseFaultPolicyErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "rate", "rate=x", "rate=2", "rate=-0.1", "permanent=1.5",
+		"latency=fast", "latency=-1ms,rate=0.1", "seed=1.5", "bogus=1",
+		"rate=0.1,rate=0.2",
+	} {
+		if _, err := ParseFaultPolicy(in); err == nil {
+			t.Errorf("ParseFaultPolicy(%q): expected error", in)
+		}
+	}
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	policy := FaultPolicy{Rate: 0.3, PermanentRate: 0.5, Seed: 42}
+	outcomes := func() []bool {
+		fi, err := NewFaultInjector(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = fi.check(PageID(i)) != nil
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault lottery not deterministic at read %d", i)
+		}
+	}
+}
+
+func TestFaultInjectorPermanentSticky(t *testing.T) {
+	fi, err := NewFaultInjector(FaultPolicy{Rate: 1, PermanentRate: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fi.check(3); !errors.Is(err, ErrPermanentFault) {
+		t.Fatalf("first read of page 3: got %v, want permanent fault", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := fi.check(3); !errors.Is(err, ErrPermanentFault) {
+			t.Fatalf("re-read %d of dead page 3: got %v", i, err)
+		}
+	}
+	dead := fi.DeadPages()
+	if len(dead) != 1 || dead[0] != 3 {
+		t.Errorf("DeadPages = %v, want [3]", dead)
+	}
+	if s := fi.Stats(); s.Permanent != 6 || s.Transient != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBufferPoolRetriesTransientFaults(t *testing.T) {
+	store := NewPageStore()
+	id := store.Allocate()
+	// Rate 0.5 transient-only: some reads fault, retries always eventually
+	// succeed because transient faults re-draw the lottery.
+	fi, err := NewFaultInjector(FaultPolicy{Rate: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetFaultInjector(fi)
+	decode := func(raw []byte) (any, error) { return len(raw), nil }
+	pool := NewBufferPool(store, 1)
+	pool.SetRetryPolicy(RetryPolicy{MaxRetries: 50})
+	for i := 0; i < 100; i++ {
+		pool.Clear()
+		v, err := pool.Get(id, decode)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if v.(int) != PageSize {
+			t.Fatalf("read %d: decoded %v", i, v)
+		}
+	}
+	if pool.Stats().Retries == 0 {
+		t.Error("expected at least one retry at 50% transient fault rate")
+	}
+}
+
+func TestBufferPoolSurfacesPermanentFaults(t *testing.T) {
+	store := NewPageStore()
+	id := store.Allocate()
+	fi, err := NewFaultInjector(FaultPolicy{Rate: 1, PermanentRate: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetFaultInjector(fi)
+	pool := NewBufferPool(store, 1)
+	pool.SetRetryPolicy(RetryPolicy{MaxRetries: 3})
+	_, err = pool.Get(id, func(raw []byte) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrPermanentFault) {
+		t.Fatalf("got %v, want permanent fault", err)
+	}
+	// Permanent faults must not consume retries.
+	if got := pool.Stats().Retries; got != 0 {
+		t.Errorf("retries = %d, want 0 for a permanent fault", got)
+	}
+}
+
+func TestBufferPoolRetryExhaustion(t *testing.T) {
+	store := NewPageStore()
+	id := store.Allocate()
+	// Transient-only faults at rate 1 never succeed: retries must stop at
+	// the policy bound and surface the transient error.
+	fi, err := NewFaultInjector(FaultPolicy{Rate: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetFaultInjector(fi)
+	pool := NewBufferPool(store, 1)
+	pool.SetRetryPolicy(RetryPolicy{MaxRetries: 3})
+	_, err = pool.Get(id, func(raw []byte) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrTransientFault) {
+		t.Fatalf("got %v, want transient fault after exhausted retries", err)
+	}
+	if got := pool.Stats().Retries; got != 3 {
+		t.Errorf("retries = %d, want 3", got)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	r := RetryPolicy{MaxRetries: 10, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	want := []time.Duration{1, 2, 4, 4, 4}
+	for i, w := range want {
+		if got := r.Backoff(i); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	zero := RetryPolicy{MaxRetries: 2}
+	if zero.Backoff(0) != 0 || zero.Backoff(5) != 0 {
+		t.Error("zero base delay must not sleep")
+	}
+}

@@ -13,6 +13,7 @@ package pager
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -44,6 +45,8 @@ type Stats struct {
 	Faults int64
 	// Writes counts physical page writes.
 	Writes int64
+	// Retries counts re-reads issued after injected transient faults.
+	Retries int64
 }
 
 // Add accumulates o into s.
@@ -52,6 +55,7 @@ func (s *Stats) Add(o Stats) {
 	s.Hits += o.Hits
 	s.Faults += o.Faults
 	s.Writes += o.Writes
+	s.Retries += o.Retries
 }
 
 // HitRatio returns the fraction of reads served by the pool (0 when idle).
@@ -83,10 +87,13 @@ func (c CostModel) IOTime(s Stats) time.Duration {
 }
 
 // PageStore is an append-only collection of fixed-size pages held in memory,
-// standing in for a disk file. It is safe for concurrent use.
+// standing in for a disk file. It is safe for concurrent use. An optional
+// FaultInjector makes physical reads fail according to a FaultPolicy, so
+// storage-level robustness is testable without a real flaky disk.
 type PageStore struct {
-	mu    sync.RWMutex
-	pages [][]byte
+	mu     sync.RWMutex
+	pages  [][]byte
+	faults *FaultInjector
 }
 
 // NewPageStore creates an empty store.
@@ -107,15 +114,40 @@ func (ps *PageStore) Allocate() PageID {
 	return PageID(len(ps.pages) - 1)
 }
 
-// ReadPage returns the raw contents of page id. The returned slice aliases
-// the store; callers must treat it as read-only.
-func (ps *PageStore) ReadPage(id PageID) ([]byte, error) {
+// SetFaultInjector installs (or, with nil, removes) a fault injector on the
+// store's physical read path.
+func (ps *PageStore) SetFaultInjector(fi *FaultInjector) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.faults = fi
+}
+
+// FaultInjector returns the installed injector, or nil.
+func (ps *PageStore) FaultInjector() *FaultInjector {
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
+	return ps.faults
+}
+
+// ReadPage returns the raw contents of page id. The returned slice aliases
+// the store; callers must treat it as read-only. With a fault injector
+// installed, the read may fail with an error wrapping ErrTransientFault or
+// ErrPermanentFault.
+func (ps *PageStore) ReadPage(id PageID) ([]byte, error) {
+	ps.mu.RLock()
 	if int(id) >= len(ps.pages) {
-		return nil, fmt.Errorf("pager: read of unallocated page %d (have %d)", id, len(ps.pages))
+		n := len(ps.pages)
+		ps.mu.RUnlock()
+		return nil, fmt.Errorf("pager: read of unallocated page %d (have %d)", id, n)
 	}
-	return ps.pages[id], nil
+	raw, fi := ps.pages[id], ps.faults
+	ps.mu.RUnlock()
+	if fi != nil {
+		if err := fi.check(id); err != nil {
+			return nil, err
+		}
+	}
+	return raw, nil
 }
 
 // WritePage replaces the contents of page id. The buffer must be exactly
@@ -145,6 +177,7 @@ type BufferPool struct {
 	store    *PageStore
 	capacity int
 	stats    Stats
+	retry    RetryPolicy
 
 	entries map[PageID]*list.Element
 	lru     *list.List // front = most recently used
@@ -164,6 +197,7 @@ func NewBufferPool(store *PageStore, capacity int) *BufferPool {
 	return &BufferPool{
 		store:    store,
 		capacity: capacity,
+		retry:    DefaultRetryPolicy(),
 		entries:  make(map[PageID]*list.Element, capacity),
 		lru:      list.New(),
 	}
@@ -188,9 +222,17 @@ func (bp *BufferPool) Stats() Stats { return bp.stats }
 // ResetStats zeroes the counters without evicting cached pages.
 func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
 
+// SetRetryPolicy replaces the pool's transient-fault retry policy.
+func (bp *BufferPool) SetRetryPolicy(r RetryPolicy) { bp.retry = r }
+
+// RetryPolicy returns the pool's transient-fault retry policy.
+func (bp *BufferPool) RetryPolicy() RetryPolicy { return bp.retry }
+
 // Get returns the decoded payload of page id, consulting the cache first.
 // On a miss it reads the raw page from the store, invokes decode, caches the
-// result and counts a fault.
+// result and counts a fault. Injected transient read faults are retried with
+// exponential backoff up to the pool's RetryPolicy; permanent faults and
+// exhausted retries surface as errors.
 func (bp *BufferPool) Get(id PageID, decode func(raw []byte) (any, error)) (any, error) {
 	bp.stats.Reads++
 	if el, ok := bp.entries[id]; ok {
@@ -200,8 +242,15 @@ func (bp *BufferPool) Get(id PageID, decode func(raw []byte) (any, error)) (any,
 	}
 	bp.stats.Faults++
 	raw, err := bp.store.ReadPage(id)
+	for attempt := 0; err != nil && errors.Is(err, ErrTransientFault) && attempt < bp.retry.MaxRetries; attempt++ {
+		bp.stats.Retries++
+		if d := bp.retry.Backoff(attempt); d > 0 {
+			time.Sleep(d)
+		}
+		raw, err = bp.store.ReadPage(id)
+	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
 	decoded, err := decode(raw)
 	if err != nil {

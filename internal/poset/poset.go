@@ -99,9 +99,10 @@ func (b *Builder) Build() (*Poset, error) {
 	return p, nil
 }
 
-// MustChain builds a total order from best to worst, panicking on invalid
-// input — a convenience for the common fully-ordered case.
-func MustChain(bestToWorst ...string) *Poset {
+// Chain builds a total order from best to worst — a convenience for the
+// common fully-ordered case. It fails on invalid input, e.g. a duplicated
+// value, which would form a cycle.
+func Chain(bestToWorst ...string) (*Poset, error) {
 	b := NewBuilder()
 	for i := 0; i+1 < len(bestToWorst); i++ {
 		b.Prefer(bestToWorst[i], bestToWorst[i+1])
@@ -109,11 +110,7 @@ func MustChain(bestToWorst ...string) *Poset {
 	if len(bestToWorst) == 1 {
 		b.Add(bestToWorst[0])
 	}
-	p, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return p
+	return b.Build()
 }
 
 // Len returns the number of values.

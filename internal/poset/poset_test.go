@@ -5,6 +5,17 @@ import (
 	"testing"
 )
 
+// mustChain builds a total order known to be valid, failing the test on
+// error.
+func mustChain(tb testing.TB, bestToWorst ...string) *Poset {
+	tb.Helper()
+	p, err := Chain(bestToWorst...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
 // diamond builds the classic partial order: top ≺ {left, right} ≺ bottom,
 // with left and right incomparable.
 func diamond(t *testing.T) *Poset {
@@ -70,23 +81,26 @@ func TestBuilderCycleDetection(t *testing.T) {
 	}
 }
 
-func TestMustChain(t *testing.T) {
-	p := MustChain("new", "like-new", "used")
+func TestChain(t *testing.T) {
+	p, err := Chain("new", "like-new", "used")
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
 	nw, _ := p.ID("new")
 	used, _ := p.ID("used")
 	if !p.Strict(nw, used) {
 		t.Error("chain order broken")
 	}
-	single := MustChain("only")
+	single, err := Chain("only")
+	if err != nil {
+		t.Fatalf("Chain single: %v", err)
+	}
 	if single.Len() != 1 {
 		t.Error("singleton chain broken")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on cyclic chain")
-		}
-	}()
-	MustChain("a", "b", "a")
+	if _, err := Chain("a", "b", "a"); err == nil {
+		t.Error("expected error on cyclic chain")
+	}
 }
 
 // TestPosetIsPartialOrder: reflexive, antisymmetric, transitive on random DAGs.
@@ -140,7 +154,7 @@ func TestChains(t *testing.T) {
 
 func marketplaceTable(t *testing.T) *Table {
 	t.Helper()
-	condition := MustChain("new", "like-new", "used")
+	condition := mustChain(t, "new", "like-new", "used")
 	brandRep, err := NewBuilder().
 		Prefer("premium", "known").
 		Prefer("known", "obscure").
@@ -231,7 +245,7 @@ func TestTableAppendErrors(t *testing.T) {
 }
 
 func TestTableDiversify(t *testing.T) {
-	condition := MustChain("new", "like-new", "used")
+	condition := mustChain(t, "new", "like-new", "used")
 	tab, err := NewTable([]Attr{
 		{Name: "price"},
 		{Name: "weight"},
@@ -319,7 +333,7 @@ func TestDiversifyPrefersIncomparableBranch(t *testing.T) {
 }
 
 func BenchmarkTableSkyline(b *testing.B) {
-	condition := MustChain("new", "like-new", "used")
+	condition := mustChain(b, "new", "like-new", "used")
 	tab, _ := NewTable([]Attr{{Name: "price"}, {Name: "condition", Order: condition}})
 	r := rand.New(rand.NewSource(1))
 	conds := []string{"new", "like-new", "used"}

@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -78,16 +77,6 @@ func BulkLoad(ds *data.Dataset) (*Tree, error) {
 		t.root = level[0].Child
 	}
 	return t, nil
-}
-
-// MustBulkLoad is BulkLoad for static inputs known to be valid; it panics on
-// error. Experiment code uses it to keep setup terse.
-func MustBulkLoad(ds *data.Dataset) *Tree {
-	t, err := BulkLoad(ds)
-	if err != nil {
-		panic(fmt.Sprintf("rtree: bulk load: %v", err))
-	}
-	return t
 }
 
 // strTile recursively partitions item indexes into groups of at most

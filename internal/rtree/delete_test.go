@@ -162,7 +162,7 @@ func TestInterleavedInsertDelete(t *testing.T) {
 
 func TestDeleteFromBulkLoadedTree(t *testing.T) {
 	ds := data.Clustered(3000, 3, 5, 4)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	for i := 0; i < 1000; i++ {
 		ok, err := tr.Delete(ds.Point(i), uint32(i))
 		if err != nil || !ok {
@@ -179,7 +179,7 @@ func TestDeleteFromBulkLoadedTree(t *testing.T) {
 
 func BenchmarkDelete(b *testing.B) {
 	ds := data.Independent(50000, 3, 1)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(b, ds)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx := i % ds.Len()

@@ -15,7 +15,7 @@ import (
 // returning wrong counts.
 func TestCorruptPageSurfacesError(t *testing.T) {
 	ds := data.Independent(5000, 3, 1)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	tr.Reopen(0.2) // cold cache so the corrupted page is actually re-read
 
 	// Corrupt the root: claim an absurd entry count.

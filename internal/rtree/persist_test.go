@@ -11,7 +11,7 @@ import (
 
 func TestPersistRoundTrip(t *testing.T) {
 	ds := data.Anticorrelated(5000, 3, 8)
-	orig := MustBulkLoad(ds)
+	orig := mustBulkLoad(t, ds)
 	var buf bytes.Buffer
 	n, err := orig.WriteTo(&buf)
 	if err != nil {
@@ -58,7 +58,7 @@ func TestReadFromCorrupt(t *testing.T) {
 	}
 	// Valid header but truncated pages.
 	ds := data.Independent(500, 2, 1)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	var buf bytes.Buffer
 	if _, err := tr.WriteTo(&buf); err != nil {
 		t.Fatal(err)

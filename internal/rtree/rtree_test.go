@@ -8,6 +8,17 @@ import (
 	"skydiver/internal/geom"
 )
 
+// mustBulkLoad builds a tree from a dataset known to be valid, failing the
+// test on error.
+func mustBulkLoad(tb testing.TB, ds *data.Dataset) *Tree {
+	tb.Helper()
+	tr, err := BulkLoad(ds)
+	if err != nil {
+		tb.Fatalf("bulk load: %v", err)
+	}
+	return tr
+}
+
 func TestCapacities(t *testing.T) {
 	// d=4: internal entry 72 bytes -> 56 per page; leaf entry 36 -> 113.
 	if got := InternalCapacity(4); got != 56 {
@@ -193,7 +204,7 @@ func naiveRangeCount(ds *data.Dataset, r geom.Rect) int {
 func TestRangeCountAgainstNaive(t *testing.T) {
 	ds := data.Anticorrelated(5000, 3, 21)
 	builds := map[string]*Tree{}
-	builds["bulk"] = MustBulkLoad(ds)
+	builds["bulk"] = mustBulkLoad(t, ds)
 	dyn, _ := New(3)
 	insertAll(t, dyn, ds)
 	builds["dynamic"] = dyn
@@ -217,7 +228,7 @@ func TestRangeCountAgainstNaive(t *testing.T) {
 
 func TestDominanceCountAgainstNaive(t *testing.T) {
 	ds := data.Independent(4000, 3, 8)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	rng := rand.New(rand.NewSource(10))
 	for trial := 0; trial < 200; trial++ {
 		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
@@ -246,7 +257,7 @@ func TestDominanceCountTies(t *testing.T) {
 		rows[i] = []float64{float64(rng.Intn(6)), float64(rng.Intn(6)), float64(rng.Intn(6))}
 	}
 	ds, _ := data.FromRows("ties", rows)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	for trial := 0; trial < 200; trial++ {
 		p := []float64{float64(rng.Intn(6)), float64(rng.Intn(6)), float64(rng.Intn(6))}
 		want := 0
@@ -272,7 +283,7 @@ func TestCommonDominanceCountAgainstNaive(t *testing.T) {
 		rows[i] = []float64{float64(rng.Intn(8)), float64(rng.Intn(8)), float64(rng.Intn(8))}
 	}
 	ds, _ := data.FromRows("common", rows)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	for trial := 0; trial < 200; trial++ {
 		p := []float64{float64(rng.Intn(8)), float64(rng.Intn(8)), float64(rng.Intn(8))}
 		q := []float64{float64(rng.Intn(8)), float64(rng.Intn(8)), float64(rng.Intn(8))}
@@ -294,7 +305,7 @@ func TestCommonDominanceCountAgainstNaive(t *testing.T) {
 
 func TestRangeQuery(t *testing.T) {
 	ds := data.Independent(2000, 2, 30)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	r := geom.Rect{Lo: []float64{0.2, 0.2}, Hi: []float64{0.5, 0.6}}
 	seen := map[uint32]bool{}
 	err := tr.RangeQuery(r, func(rowID uint32, p []float64) bool {
@@ -323,7 +334,7 @@ func TestRangeQuery(t *testing.T) {
 
 func TestWalkCoversAllPoints(t *testing.T) {
 	ds := data.Independent(1500, 3, 2)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	points := 0
 	maxLevel := 0
 	err := tr.Walk(func(n *Node, level int) bool {
@@ -357,7 +368,7 @@ func TestWalkCoversAllPoints(t *testing.T) {
 
 func TestReopenColdCache(t *testing.T) {
 	ds := data.Independent(20000, 4, 6)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	tr.Reopen(0.2)
 	if tr.Stats().Reads != 0 {
 		t.Fatal("stats not reset on reopen")
@@ -383,7 +394,7 @@ func TestReopenColdCache(t *testing.T) {
 
 func TestAggregatePruningSavesIO(t *testing.T) {
 	ds := data.Independent(50000, 2, 11)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	tr.Reopen(1.0)
 	tr.ResetStats()
 	// Count points dominated by a very strong point: nearly the whole space
@@ -402,7 +413,7 @@ func TestAggregatePruningSavesIO(t *testing.T) {
 
 func TestMBR(t *testing.T) {
 	ds, _ := data.FromRows("x", [][]float64{{0.1, 0.9}, {0.5, 0.2}})
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(t, ds)
 	mbr, err := tr.MBR()
 	if err != nil {
 		t.Fatal(err)
@@ -414,7 +425,7 @@ func TestMBR(t *testing.T) {
 
 func TestBulkEqualsDynamicCounts(t *testing.T) {
 	ds := data.Anticorrelated(3000, 4, 5)
-	bulk := MustBulkLoad(ds)
+	bulk := mustBulkLoad(t, ds)
 	dyn, _ := New(4)
 	insertAll(t, dyn, ds)
 	rng := rand.New(rand.NewSource(1))
@@ -435,13 +446,13 @@ func BenchmarkBulkLoad10K(b *testing.B) {
 	ds := data.Independent(10000, 4, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MustBulkLoad(ds)
+		mustBulkLoad(b, ds)
 	}
 }
 
 func BenchmarkDominanceCount(b *testing.B) {
 	ds := data.Independent(100000, 4, 1)
-	tr := MustBulkLoad(ds)
+	tr := mustBulkLoad(b, ds)
 	p := []float64{0.3, 0.3, 0.3, 0.3}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -460,7 +471,7 @@ func BenchmarkInsert(b *testing.B) {
 
 func TestBulkLoadZOrderCorrectAndComparable(t *testing.T) {
 	ds := data.Independent(20000, 3, 31)
-	str := MustBulkLoad(ds)
+	str := mustBulkLoad(t, ds)
 	zt, err := BulkLoadZOrder(ds)
 	if err != nil {
 		t.Fatal(err)

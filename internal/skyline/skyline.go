@@ -11,6 +11,7 @@ package skyline
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"skydiver/internal/data"
@@ -186,8 +187,16 @@ func (h *bbsHeap) Pop() any          { old := *h; n := len(old); it := old[n-1];
 // points whose coordinates are undominated join the skyline progressively.
 // I/O is charged through the tree's buffer pool.
 func ComputeBBS(tr *rtree.Tree) ([]int, error) {
+	return ComputeBBSCtx(context.Background(), tr)
+}
+
+// ComputeBBSCtx is ComputeBBS with cancellation, checked before every node
+// read (page granularity). A cancelled computation returns the context's
+// error; no partial skyline is reported because an incomplete BBS result is
+// not a valid skyline subset bound for downstream fingerprinting.
+func ComputeBBSCtx(ctx context.Context, tr *rtree.Tree) ([]int, error) {
 	var sky []int
-	err := ComputeBBSProgressive(tr, func(rowID int, _ []float64) bool {
+	err := ComputeBBSProgressiveCtx(ctx, tr, func(rowID int, _ []float64) bool {
 		sky = append(sky, rowID)
 		return true
 	})
@@ -203,8 +212,18 @@ func ComputeBBS(tr *rtree.Tree) ([]int, error) {
 // with (Section 2). Returning false from fn stops the computation early,
 // e.g. after the first k skyline points.
 func ComputeBBSProgressive(tr *rtree.Tree, fn func(rowID int, p []float64) bool) error {
+	return ComputeBBSProgressiveCtx(context.Background(), tr, fn)
+}
+
+// ComputeBBSProgressiveCtx is ComputeBBSProgressive with cancellation,
+// checked before every node read so a cancelled traversal returns within one
+// page quantum.
+func ComputeBBSProgressiveCtx(ctx context.Context, tr *rtree.Tree, fn func(rowID int, p []float64) bool) error {
 	if tr.Len() == 0 {
-		return nil
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	var skyPts [][]float64
 	dominatedBySky := func(p []float64) bool {
@@ -242,6 +261,9 @@ func ComputeBBSProgressive(tr *rtree.Tree, fn func(rowID int, p []float64) bool)
 				return nil
 			}
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		n, err := tr.ReadNode(pager.PageID(it.child))
 		if err != nil {

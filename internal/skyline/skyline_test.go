@@ -11,6 +11,17 @@ import (
 	"skydiver/internal/rtree"
 )
 
+// mustBulkLoadT builds an rtree from a dataset known to be valid, failing
+// the test on error.
+func mustBulkLoadT(tb testing.TB, ds *data.Dataset) *rtree.Tree {
+	tb.Helper()
+	tr, err := rtree.BulkLoad(ds)
+	if err != nil {
+		tb.Fatalf("bulk load: %v", err)
+	}
+	return tr
+}
+
 func TestAlgorithmString(t *testing.T) {
 	for algo, want := range map[Algorithm]string{Naive: "naive", BNL: "bnl", SFS: "sfs", BBS: "bbs", Algorithm(99): "unknown"} {
 		if algo.String() != want {
@@ -38,7 +49,7 @@ func TestKnown2DSkyline(t *testing.T) {
 			t.Errorf("%v: skyline = %v, want %v", algo, got, want)
 		}
 	}
-	tr := rtree.MustBulkLoad(ds)
+	tr := mustBulkLoadT(t, ds)
 	got, err := ComputeBBS(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +72,7 @@ func TestSinglePointAndEmpty(t *testing.T) {
 			t.Errorf("%v empty: %v", algo, got)
 		}
 	}
-	tr := rtree.MustBulkLoad(empty)
+	tr := mustBulkLoadT(t, empty)
 	if got, err := ComputeBBS(tr); err != nil || len(got) != 0 {
 		t.Errorf("bbs empty: %v %v", got, err)
 	}
@@ -84,7 +95,7 @@ func TestAllAlgorithmsAgreeContinuous(t *testing.T) {
 					t.Fatalf("%v disagrees with naive: %d vs %d points", algo, len(got), len(want))
 				}
 			}
-			tr := rtree.MustBulkLoad(ds)
+			tr := mustBulkLoadT(t, ds)
 			got, err := ComputeBBS(tr)
 			if err != nil {
 				t.Fatal(err)
@@ -133,7 +144,7 @@ func TestAllAlgorithmsAgreeWithTies(t *testing.T) {
 	}
 	check("bnl", ComputeBNL(ds))
 	check("sfs", ComputeSFS(ds))
-	tr := rtree.MustBulkLoad(ds)
+	tr := mustBulkLoadT(t, ds)
 	got, err := ComputeBBS(tr)
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +205,7 @@ func TestSkylineCardinalityTrend(t *testing.T) {
 // fewer pages than the tree holds (I/O optimality in spirit).
 func TestBBSProgressiveIO(t *testing.T) {
 	ds := data.Correlated(50000, 3, 13)
-	tr := rtree.MustBulkLoad(ds)
+	tr := mustBulkLoadT(t, ds)
 	tr.Reopen(0.2)
 	tr.ResetStats()
 	if _, err := ComputeBBS(tr); err != nil {
@@ -233,7 +244,7 @@ func BenchmarkSFS(b *testing.B) {
 
 func BenchmarkBBS(b *testing.B) {
 	ds := data.Independent(20000, 4, 1)
-	tr := rtree.MustBulkLoad(ds)
+	tr := mustBulkLoadT(b, ds)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ComputeBBS(tr); err != nil {
@@ -295,7 +306,7 @@ func TestComputeDCAllSameFirstCoord(t *testing.T) {
 
 func TestBBSProgressiveOrderAndEarlyStop(t *testing.T) {
 	ds := data.Independent(5000, 3, 77)
-	tr := rtree.MustBulkLoad(ds)
+	tr := mustBulkLoadT(t, ds)
 	var l1s []float64
 	err := ComputeBBSProgressive(tr, func(_ int, p []float64) bool {
 		l1s = append(l1s, geom.L1(p))

@@ -20,10 +20,10 @@ type OrderBuilder = poset.Builder
 func NewOrderBuilder() *OrderBuilder { return poset.NewBuilder() }
 
 // Chain builds a totally ordered categorical domain from best to worst
-// (e.g. Chain("new", "like-new", "used")). It panics on duplicate values
-// forming a cycle.
-func Chain(bestToWorst ...string) *CategoricalOrder {
-	return poset.MustChain(bestToWorst...)
+// (e.g. Chain("new", "like-new", "used")). It fails on duplicate values,
+// which would form a cycle.
+func Chain(bestToWorst ...string) (*CategoricalOrder, error) {
+	return poset.Chain(bestToWorst...)
 }
 
 // MixedAttr describes one attribute of a mixed table: numeric

@@ -26,6 +26,7 @@
 package skydiver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -33,9 +34,26 @@ import (
 	"skydiver/internal/core"
 	"skydiver/internal/data"
 	"skydiver/internal/geom"
+	"skydiver/internal/pager"
 	"skydiver/internal/rtree"
 	"skydiver/internal/skyline"
 )
+
+// ErrDeadlineExceeded is returned (wrapped) by context-aware calls whose
+// deadline expired mid-run. It always satisfies
+// errors.Is(err, context.DeadlineExceeded) too; the library-specific
+// sentinel exists so callers can treat "the budget ran out, here is the
+// anytime prefix" differently from an unspecific context error.
+var ErrDeadlineExceeded = errors.New("skydiver: deadline exceeded")
+
+// wrapCtxErr tags deadline expiries with ErrDeadlineExceeded; other errors
+// (including plain cancellations) pass through unchanged.
+func wrapCtxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	}
+	return err
+}
 
 // Pref states whether smaller or larger values are preferred on a dimension.
 type Pref = geom.Pref
@@ -110,6 +128,11 @@ type Result struct {
 	// Indexes are dataset row indexes of the selected points, in selection
 	// order (the first is the point with the highest domination score).
 	Indexes []int
+	// Partial reports that a context-aware run was cut short and Indexes is
+	// the valid diverse prefix completed before the deadline (possibly
+	// empty) rather than the full K-point answer. Greedy selection is
+	// anytime: the prefix equals what a smaller-K run would have returned.
+	Partial bool
 	// Points are the selected points in the user's original orientation.
 	Points [][]float64
 	// ObjectiveValue is the minimum pairwise distance of the selection in
@@ -188,15 +211,23 @@ func (d *Dataset) ensureIndex() error {
 // Skyline returns the dataset indexes of the skyline points (computed once
 // with BBS over the aggregate R*-tree and cached).
 func (d *Dataset) Skyline() ([]int, error) {
+	return d.SkylineContext(context.Background())
+}
+
+// SkylineContext is Skyline with cancellation, checked at page granularity
+// during the BBS traversal. Successful results are cached; cancelled runs
+// are not, so a later call recomputes. Deadline expiries are reported as
+// ErrDeadlineExceeded.
+func (d *Dataset) SkylineContext(ctx context.Context) ([]int, error) {
 	if d.sky != nil {
 		return d.sky, nil
 	}
 	if err := d.ensureIndex(); err != nil {
 		return nil, err
 	}
-	sky, err := skyline.ComputeBBS(d.tree)
+	sky, err := skyline.ComputeBBSCtx(ctx, d.tree)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err)
 	}
 	d.sky = sky
 	return sky, nil
@@ -309,7 +340,25 @@ func (d *Dataset) TopKDominating(k int) (indexes []int, scores []int, err error)
 // Diversify returns the K most diverse skyline points under the configured
 // algorithm.
 func (d *Dataset) Diversify(opts Options) (*Result, error) {
-	sky, err := d.Skyline()
+	return d.DiversifyContext(context.Background(), opts)
+}
+
+// DiversifyContext is Diversify with cancellation and deadline awareness.
+// Every stage — skyline computation, fingerprinting, LSH banding, greedy
+// selection — checks the context at page/shard granularity, so an expired
+// context aborts within one quantum of work.
+//
+// The pipeline is anytime: on expiry mid-selection the call returns the
+// diverse prefix completed so far in a non-nil Result with Partial set,
+// together with a non-nil error — ErrDeadlineExceeded (also matching
+// context.DeadlineExceeded) when the deadline ran out, or ctx.Err() for a
+// plain cancellation. Expiry before the first greedy round yields a non-nil
+// Partial result with zero points. Callers that care only about complete
+// answers can keep treating any non-nil error as fatal; callers serving
+// under latency budgets inspect the partial result instead of discarding
+// the completed work.
+func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, error) {
+	sky, err := d.SkylineContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -334,18 +383,21 @@ func (d *Dataset) Diversify(opts Options) (*Result, error) {
 	var res *core.Result
 	switch opts.Algorithm {
 	case MinHash:
-		res, err = core.SkyDiverMH(in, cfg)
+		res, err = core.SkyDiverMHCtx(ctx, in, cfg)
 	case LSH:
-		res, err = core.SkyDiverLSH(in, cfg)
+		res, err = core.SkyDiverLSHCtx(ctx, in, cfg)
 	case Greedy:
-		res, err = core.SimpleGreedy(in, cfg)
+		res, err = core.SimpleGreedyCtx(ctx, in, cfg)
 	case Exact:
-		res, err = core.BruteForce(in, cfg)
+		res, err = core.BruteForceCtx(ctx, in, cfg)
 	default:
 		return nil, fmt.Errorf("skydiver: unknown algorithm %d", opts.Algorithm)
 	}
 	if err != nil {
-		return nil, err
+		if res != nil && res.Partial {
+			return d.publicResult(res), wrapCtxErr(err)
+		}
+		return nil, wrapCtxErr(err)
 	}
 	return d.publicResult(res), nil
 }
@@ -353,6 +405,7 @@ func (d *Dataset) Diversify(opts Options) (*Result, error) {
 func (d *Dataset) publicResult(res *core.Result) *Result {
 	out := &Result{
 		Indexes:        res.DataIndexes,
+		Partial:        res.Partial,
 		Points:         make([][]float64, len(res.DataIndexes)),
 		ObjectiveValue: res.ObjectiveValue,
 		CPUTime:        res.Stats.CPU(),
@@ -391,6 +444,79 @@ func (d *Dataset) ExactDiversity(indexes []int) (float64, error) {
 	}
 	oracle := core.NewExactOracle(d.tree, d.canon, sky)
 	return oracle.MinPairwiseJd(set)
+}
+
+// Storage-fault sentinels, re-exported from the pager so callers can
+// classify injected read failures with errors.Is.
+var (
+	// ErrTransientFault marks a retryable injected read fault. It only
+	// escapes when a read stays faulty through the whole retry budget.
+	ErrTransientFault = pager.ErrTransientFault
+	// ErrPermanentFault marks a dead page; reads of it never succeed.
+	ErrPermanentFault = pager.ErrPermanentFault
+)
+
+// FaultPolicy configures synthetic storage faults on the dataset's simulated
+// index pages — the knob for testing storage-level robustness end-to-end.
+// Injection is deterministic per Seed.
+type FaultPolicy struct {
+	// Rate is the probability in [0, 1] that a physical page read faults.
+	Rate float64
+	// PermanentRate is the fraction in [0, 1] of faults that are permanent
+	// (a page that fails permanently stays dead); the rest are transient and
+	// recovered by the read path's exponential-backoff retries.
+	PermanentRate float64
+	// Latency is added to every injected fault before it surfaces.
+	Latency time.Duration
+	// Seed drives the fault lottery.
+	Seed int64
+}
+
+// ParseFaultPolicy decodes a comma-separated key=value fault description,
+// e.g. "rate=0.01,permanent=0.1,latency=2ms,seed=7". Keys: rate, permanent,
+// latency, seed.
+func ParseFaultPolicy(s string) (FaultPolicy, error) {
+	p, err := pager.ParseFaultPolicy(s)
+	if err != nil {
+		return FaultPolicy{}, err
+	}
+	return FaultPolicy{Rate: p.Rate, PermanentRate: p.PermanentRate, Latency: p.Latency, Seed: p.Seed}, nil
+}
+
+// InjectFaults installs the fault policy on the dataset's index storage
+// (building the index first if necessary). A zero-rate policy removes the
+// injector. Transient faults are retried transparently with exponential
+// backoff; permanent faults surface as errors wrapping ErrPermanentFault
+// from whichever operation touched the dead page — never as panics.
+func (d *Dataset) InjectFaults(p FaultPolicy) error {
+	if err := d.ensureIndex(); err != nil {
+		return err
+	}
+	if p.Rate == 0 {
+		d.tree.Store().SetFaultInjector(nil)
+		return nil
+	}
+	fi, err := pager.NewFaultInjector(pager.FaultPolicy{
+		Rate: p.Rate, PermanentRate: p.PermanentRate, Latency: p.Latency, Seed: p.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	d.tree.Store().SetFaultInjector(fi)
+	return nil
+}
+
+// FaultStats reports what fault injection did so far: the number of faults
+// injected into the index's read path and the number of retries the buffer
+// pool spent recovering transient ones. Both are zero without InjectFaults.
+func (d *Dataset) FaultStats() (injected, retries int64) {
+	if d.tree == nil {
+		return 0, 0
+	}
+	if fi := d.tree.Store().FaultInjector(); fi != nil {
+		injected = fi.Stats().Injected()
+	}
+	return injected, d.tree.Stats().Retries
 }
 
 // DominationScore returns |Γ(p)| for the dataset point with the given index:

@@ -1,6 +1,7 @@
 package skydiver
 
 import (
+	"context"
 	"fmt"
 
 	"skydiver/internal/dynamic"
@@ -62,9 +63,17 @@ func (s *StreamMonitor) Seen() uint64 { return s.inner.Seen() }
 
 // Skyline returns the current window's skyline, oldest first.
 func (s *StreamMonitor) Skyline() ([]StreamItem, error) {
-	items, err := s.inner.Skyline()
+	return s.SkylineContext(context.Background())
+}
+
+// SkylineContext is Skyline with cancellation: the lazy window recomputation
+// checks the context at shard granularity. A cancelled recomputation returns
+// the context's error (ErrDeadlineExceeded for expired deadlines) without
+// caching, so the next query with a live context recomputes cleanly.
+func (s *StreamMonitor) SkylineContext(ctx context.Context) ([]StreamItem, error) {
+	items, err := s.inner.SkylineCtx(ctx)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err)
 	}
 	return s.publicItems(items), nil
 }
@@ -72,9 +81,14 @@ func (s *StreamMonitor) Skyline() ([]StreamItem, error) {
 // Diverse returns the k most diverse skyline points of the current window
 // (fewer when the skyline is smaller), in selection order.
 func (s *StreamMonitor) Diverse() ([]StreamItem, error) {
-	items, err := s.inner.Diverse()
+	return s.DiverseContext(context.Background())
+}
+
+// DiverseContext is Diverse with cancellation; see SkylineContext.
+func (s *StreamMonitor) DiverseContext(ctx context.Context) ([]StreamItem, error) {
+	items, err := s.inner.DiverseCtx(ctx)
 	if err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err)
 	}
 	return s.publicItems(items), nil
 }
