@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race fuzz verify bench
+.PHONY: build vet test race concurrency fuzz verify bench
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The concurrent-serving suite on its own: the race-enabled query waves plus
+# the session, pool, and golden accounting regressions they depend on.
+concurrency:
+	$(GO) test -race -run 'Concurrent|Session|BufferPool|Golden' . ./internal/rtree ./internal/pager ./internal/core
+
 # Fuzz the pager fault-policy decoder and retry path for a short burst.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFaultPolicy -fuzztime 20s ./internal/pager/
@@ -21,6 +26,6 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Tier-1 verification: static checks, build, and the full suite under the
-# race detector.
-verify: vet build race
+# Tier-1 verification: static checks, build, the full suite under the race
+# detector, and the concurrent-serving suite.
+verify: vet build race concurrency

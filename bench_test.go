@@ -7,6 +7,7 @@ package skydiver
 // end-to-end API benchmarks follows.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"skydiver/internal/exp"
@@ -121,6 +122,29 @@ func BenchmarkDiversifySG(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkConcurrentServing measures mixed-algorithm query throughput on
+// one shared Dataset: every parallel worker checks out its own I/O session,
+// so this is the concurrency-scaling counterpart of the per-algorithm
+// benchmarks above (compare ns/op here against the sequential numbers).
+func BenchmarkConcurrentServing(b *testing.B) {
+	ds := benchDataset(b, Independent, 2000, 3)
+	mix := []Options{
+		{K: 4, Seed: 7},
+		{K: 4, Seed: 7, Algorithm: LSH},
+		{K: 4, Seed: 7, Algorithm: Greedy},
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			opts := mix[int(next.Add(1))%len(mix)]
+			if _, err := ds.Diversify(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSkylineANT measures skyline computation (BBS) setup cost on a

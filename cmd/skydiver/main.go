@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 
 	"skydiver"
@@ -29,22 +30,23 @@ import (
 
 func main() {
 	var (
-		input   = flag.String("in", "", "input file: CSV of numeric rows, or a binary .sky file from datagen (mutually exclusive with -gen)")
-		gen     = flag.String("gen", "", "synthetic generator: ind, ant, corr, fc, rec")
-		n       = flag.Int("n", 100000, "cardinality for -gen")
-		d       = flag.Int("d", 4, "dimensionality for -gen")
-		k       = flag.Int("k", 5, "number of diverse skyline points")
-		algo    = flag.String("algo", "mh", "algorithm: mh, lsh, sg, bf")
-		tSig    = flag.Int("t", 100, "MinHash signature size")
-		useIdx  = flag.Bool("index", false, "use index-based fingerprinting (SigGen-IB)")
-		workers = flag.Int("workers", 1, "parallel fingerprinting workers (index-free mode; <0 = all CPUs)")
-		topk    = flag.Int("topk", 0, "also print the top-k dominating points")
-		prefs   = flag.String("prefs", "", "comma-separated min/max per dimension (default all min)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		verbose = flag.Bool("verbose", false, "print cost accounting")
-		timeout = flag.Duration("timeout", 0, "deadline for the run; on expiry the best partial result found so far is printed (0 = none)")
-		jsonOut = flag.Bool("json", false, "emit the result as a JSON object instead of text")
-		faults  = flag.String("faults", "", "inject page faults, e.g. rate=0.01,permanent=0.1,latency=1ms,seed=7 (see -help-faults semantics in README)")
+		input    = flag.String("in", "", "input file: CSV of numeric rows, or a binary .sky file from datagen (mutually exclusive with -gen)")
+		gen      = flag.String("gen", "", "synthetic generator: ind, ant, corr, fc, rec")
+		n        = flag.Int("n", 100000, "cardinality for -gen")
+		d        = flag.Int("d", 4, "dimensionality for -gen")
+		k        = flag.Int("k", 5, "number of diverse skyline points")
+		algo     = flag.String("algo", "mh", "algorithm: mh, lsh, sg, bf")
+		tSig     = flag.Int("t", 100, "MinHash signature size")
+		useIdx   = flag.Bool("index", false, "use index-based fingerprinting (SigGen-IB)")
+		workers  = flag.Int("workers", 1, "parallel fingerprinting workers (index-free mode; <0 = all CPUs)")
+		topk     = flag.Int("topk", 0, "also print the top-k dominating points")
+		prefs    = flag.String("prefs", "", "comma-separated min/max per dimension (default all min)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		verbose  = flag.Bool("verbose", false, "print cost accounting")
+		timeout  = flag.Duration("timeout", 0, "deadline for the run; on expiry the best partial result found so far is printed (0 = none)")
+		parallel = flag.Int("parallel", 1, "serve N identical queries concurrently and verify they agree (concurrent-serving check)")
+		jsonOut  = flag.Bool("json", false, "emit the result as a JSON object instead of text")
+		faults   = flag.String("faults", "", "inject page faults, e.g. rate=0.01,permanent=0.1,latency=1ms,seed=7 (see -help-faults semantics in README)")
 	)
 	flag.Parse()
 
@@ -84,16 +86,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := ds.DiversifyContext(ctx, skydiver.Options{
+	res, err := serve(ctx, ds, skydiver.Options{
 		K:             *k,
 		Algorithm:     algorithm,
 		SignatureSize: *tSig,
 		UseIndex:      *useIdx,
 		Workers:       *workers,
 		Seed:          *seed,
-	})
+	}, *parallel)
 	if err != nil && res == nil {
 		fail(err)
+	}
+	if *parallel > 1 && err == nil && !*jsonOut {
+		fmt.Printf("served %d concurrent queries; all results identical\n", *parallel)
 	}
 	// err != nil with a non-nil res means the deadline or a signal cut the
 	// run short: res holds the valid diverse prefix selected so far.
@@ -116,6 +121,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skydiver: %v\n", err)
 		os.Exit(3)
 	}
+}
+
+// serve runs n identical queries concurrently against ds and verifies they
+// return the same answer — the CLI surface of the library's concurrent
+// query-serving guarantee. With n <= 1 it is a plain DiversifyContext call.
+// The first replica's result is returned; a disagreement is an error.
+func serve(ctx context.Context, ds *skydiver.Dataset, opts skydiver.Options, n int) (*skydiver.Result, error) {
+	if n <= 1 {
+		return ds.DiversifyContext(ctx, opts)
+	}
+	results := make([]*skydiver.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = ds.DiversifyContext(ctx, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return results[i], errs[i]
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !sameResult(results[0], results[i]) {
+			return nil, fmt.Errorf("parallel queries disagree: replica %d selected %v, replica 0 selected %v",
+				i, results[i].Indexes, results[0].Indexes)
+		}
+	}
+	return results[0], nil
+}
+
+// sameResult reports whether two replicas returned the same selection and
+// objective.
+func sameResult(a, b *skydiver.Result) bool {
+	if a.ObjectiveValue != b.ObjectiveValue || len(a.Indexes) != len(b.Indexes) {
+		return false
+	}
+	for i := range a.Indexes {
+		if a.Indexes[i] != b.Indexes[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func printText(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skydiver.Algorithm, verbose bool, runErr error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -145,5 +146,43 @@ func TestBinaryDatasetPath(t *testing.T) {
 	}
 	if isBinaryDataset(filepath.Join(dir, "missing")) {
 		t.Error("missing file sniffed as binary")
+	}
+}
+
+func TestServeParallelAgrees(t *testing.T) {
+	ds, err := skydiver.Generate(skydiver.Independent, 1000, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := serve(context.Background(), ds, skydiver.Options{K: 3, Seed: 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Indexes) != 3 {
+		t.Fatalf("serve returned %d indexes", len(res.Indexes))
+	}
+	// n = 1 takes the plain path.
+	solo, err := serve(context.Background(), ds, skydiver.Options{K: 3, Seed: 7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(res, solo) {
+		t.Errorf("parallel result %v differs from solo %v", res.Indexes, solo.Indexes)
+	}
+}
+
+func TestSameResult(t *testing.T) {
+	a := &skydiver.Result{Indexes: []int{1, 2}, ObjectiveValue: 0.5}
+	if !sameResult(a, &skydiver.Result{Indexes: []int{1, 2}, ObjectiveValue: 0.5}) {
+		t.Error("equal results reported different")
+	}
+	if sameResult(a, &skydiver.Result{Indexes: []int{1, 3}, ObjectiveValue: 0.5}) {
+		t.Error("different indexes reported equal")
+	}
+	if sameResult(a, &skydiver.Result{Indexes: []int{1, 2}, ObjectiveValue: 0.4}) {
+		t.Error("different objectives reported equal")
+	}
+	if sameResult(a, &skydiver.Result{Indexes: []int{1}, ObjectiveValue: 0.5}) {
+		t.Error("different lengths reported equal")
 	}
 }

@@ -1,0 +1,49 @@
+package skydiver
+
+import (
+	"fmt"
+	"testing"
+)
+
+// golden_test.go pins the public API's first-query accounting to the numbers
+// the sequential, shared-pool implementation produced before per-query I/O
+// sessions: a first Diversify on a fresh dataset runs BBS on a cold 20%
+// cache and then charges the algorithm for exactly the I/O it adds. Each
+// case uses its own fresh dataset because only the first query's cache state
+// is pinned — later queries now start their own cold sessions by design.
+func TestGoldenFirstQueryAccounting(t *testing.T) {
+	runs := []struct {
+		name   string
+		opts   Options
+		idx    string
+		faults int64
+		objFmt string
+	}{
+		{"MH", Options{K: 4, Seed: 7}, "[480 122 818 857]", 14, "0.890000"},
+		{"MH-IB", Options{K: 4, Seed: 7, UseIndex: true}, "[480 122 649 841]", 19, "0.910000"},
+		{"LSH", Options{K: 4, Seed: 7, Algorithm: LSH}, "[480 122 818 649]", 14, "92.000000"},
+		{"SG", Options{K: 4, Seed: 7, Algorithm: Greedy}, "[480 122 857 841]", 1423, "0.864720"},
+		{"BF", Options{K: 3, Seed: 7, Algorithm: Exact}, "[122 260 841]", 8687, "0.935673"},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			ds, err := Generate(Independent, 2000, 3, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ds.Diversify(r.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmt.Sprint(res.Indexes); got != r.idx {
+				t.Errorf("indexes = %s, want %s", got, r.idx)
+			}
+			if res.PageFaults != r.faults {
+				t.Errorf("page faults = %d, want %d", res.PageFaults, r.faults)
+			}
+			if got := fmt.Sprintf("%.6f", res.ObjectiveValue); got != r.objFmt {
+				t.Errorf("objective = %s, want %s", got, r.objFmt)
+			}
+		})
+	}
+}

@@ -84,6 +84,20 @@ type Input struct {
 	Data *data.Dataset
 	Sky  []int
 	Tree *rtree.Tree // required for IndexBased fingerprinting, SG and BF
+	// Session, when non-nil, is the per-query I/O session the pipeline
+	// charges its index I/O to — the race-free path for concurrent serving.
+	// When nil, index I/O goes through the tree's default pool (the legacy
+	// shared-cache accounting used by the experiment harness).
+	Session *rtree.Session
+}
+
+// reader returns the index reader the pipeline should query: the per-query
+// session when one was checked out, the tree's default pool otherwise.
+func (in Input) reader() rtree.Reader {
+	if in.Session != nil {
+		return in.Session
+	}
+	return in.Tree
 }
 
 func (in Input) dataIndexes(selected []int) []int {
@@ -104,7 +118,7 @@ func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, error
 		if in.Tree == nil {
 			return nil, fmt.Errorf("core: index-based fingerprinting requires a tree")
 		}
-		return SigGenIBCtx(ctx, in.Tree, in.Data, in.Sky, fam)
+		return SigGenIBCtx(ctx, in.reader(), in.Data, in.Sky, fam)
 	}
 	if cfg.Workers != 0 && cfg.Workers != 1 {
 		return SigGenIFParallelCtx(ctx, in.Data, in.Sky, fam, cfg.Workers)
@@ -259,7 +273,9 @@ func SimpleGreedy(in Input, cfg Config) (*Result, error) {
 // SimpleGreedyCtx is SimpleGreedy with cancellation and anytime semantics:
 // the context is checked inside the greedy selection (which issues the range
 // queries through the distance oracle), and expiry returns the prefix
-// selected so far as a Partial result.
+// selected so far as a Partial result. An oracle failure (e.g. a dead page
+// under fault injection) aborts the selection immediately and surfaces the
+// oracle's error — never a Partial result silently built on bogus distances.
 func SimpleGreedyCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(len(in.Sky)); err != nil {
@@ -268,13 +284,17 @@ func SimpleGreedyCtx(ctx context.Context, in Input, cfg Config) (*Result, error)
 	if in.Tree == nil {
 		return nil, fmt.Errorf("core: Simple-Greedy requires a tree")
 	}
-	before := in.Tree.Stats()
+	r := in.reader()
+	before := r.Stats()
 	start := time.Now()
-	oracle := NewExactOracle(in.Tree, in.Data, in.Sky)
+	oracle := NewExactOracle(r, in.Data, in.Sky)
 	scores, err := oracle.DomScores()
 	if err != nil {
 		return nil, err
 	}
+	// A failed oracle call poisons every later distance, so the first error
+	// cancels the selection: greedy stops within one check stride instead of
+	// grinding on (and charging I/O for) corrupted comparisons.
 	var firstErr error
 	dist := func(i, j int) float64 {
 		d, err := oracle.Jd(i, j)
@@ -283,22 +303,23 @@ func SimpleGreedyCtx(ctx context.Context, in Input, cfg Config) (*Result, error)
 		}
 		return d
 	}
-	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(in.Sky), cfg.K, dist, scores)
-	elapsed := time.Since(start)
-	after := in.Tree.Stats()
+	selCtx := &abortCtx{Context: ctx, failed: &firstErr}
+	selected, err := dispersion.SelectDiverseSetCtx(selCtx, len(in.Sky), cfg.K, dist, scores)
 	stats := Stats{
-		Select: elapsed,
-		IO:     ioDelta(before, after),
+		Select: time.Since(start),
+		IO:     r.Stats().Sub(before),
 		Model:  pager.DefaultCostModel(),
+	}
+	if firstErr != nil {
+		// Checked before the context: a partial prefix whose distances came
+		// from a failing oracle is not a valid anytime answer.
+		return nil, firstErr
 	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return partialResult(in, selected, dist, stats), ctx.Err()
 		}
 		return nil, err
-	}
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	obj := dispersion.MinPairwise(selected, dist)
 
@@ -308,6 +329,23 @@ func SimpleGreedyCtx(ctx context.Context, in Input, cfg Config) (*Result, error)
 		ObjectiveValue: obj,
 		Stats:          stats,
 	}, nil
+}
+
+// abortCtx makes an error raised inside a distance callback look like a
+// cancellation to the polling loop around it, while delegating live checks
+// to the parent context unchanged (including custom poll-counting contexts
+// that override only Err). The selection loop and the callback run on one
+// goroutine, so the plain pointer read is race-free.
+type abortCtx struct {
+	context.Context
+	failed *error
+}
+
+func (c *abortCtx) Err() error {
+	if *c.failed != nil {
+		return context.Canceled
+	}
+	return c.Context.Err()
 }
 
 // BruteForce is the exhaustive baseline of Section 3.2: all pairwise exact
@@ -330,14 +368,15 @@ func BruteForceCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	if in.Tree == nil {
 		return nil, fmt.Errorf("core: Brute-Force requires a tree")
 	}
-	before := in.Tree.Stats()
+	r := in.reader()
+	before := r.Stats()
 	start := time.Now()
-	oracle := NewExactOracle(in.Tree, in.Data, in.Sky)
+	oracle := NewExactOracle(r, in.Data, in.Sky)
 	m := len(in.Sky)
 	stats := func() Stats {
 		return Stats{
 			Select: time.Since(start),
-			IO:     ioDelta(before, in.Tree.Stats()),
+			IO:     r.Stats().Sub(before),
 			Model:  pager.DefaultCostModel(),
 		}
 	}
@@ -414,13 +453,4 @@ func DiversifySets(lists [][]int, cfg Config) (*Result, error) {
 			MemoryBytes: fp.Matrix.MemoryBytes(),
 		},
 	}, nil
-}
-
-func ioDelta(before, after pager.Stats) pager.Stats {
-	return pager.Stats{
-		Reads:  after.Reads - before.Reads,
-		Hits:   after.Hits - before.Hits,
-		Faults: after.Faults - before.Faults,
-		Writes: after.Writes - before.Writes,
-	}
 }

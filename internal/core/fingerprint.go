@@ -115,15 +115,16 @@ func SigGenIFCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.
 // as the pseudocode's rowcount; each physical point is consumed exactly
 // once, so signatures stay consistent across columns.
 //
-// I/O is charged through the tree's buffer pool; callers typically Reopen
-// the tree with the 20% cache before measuring.
-func SigGenIB(tr *rtree.Tree, ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, error) {
+// I/O is charged through the reader — the tree's own pool, or a per-query
+// rtree.Session for isolated accounting; either way callers typically start
+// from a cold 20% cache before measuring.
+func SigGenIB(tr rtree.Reader, ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, error) {
 	return SigGenIBCtx(context.Background(), tr, ds, sky, fam)
 }
 
 // SigGenIBCtx is SigGenIB with cancellation, checked before every node read
 // (page granularity). An aborted traversal discards its partial signatures.
-func SigGenIBCtx(ctx context.Context, tr *rtree.Tree, ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, error) {
+func SigGenIBCtx(ctx context.Context, tr rtree.Reader, ds *data.Dataset, sky []int, fam *minhash.Family) (*Fingerprint, error) {
 	m := len(sky)
 	if m == 0 {
 		return nil, fmt.Errorf("core: empty skyline")
@@ -237,13 +238,7 @@ func SigGenIBCtx(ctx context.Context, tr *rtree.Tree, ds *data.Dataset, sky []in
 	if rowcount != uint64(tr.Len()) {
 		return nil, fmt.Errorf("core: SigGen-IB consumed %d rows of %d", rowcount, tr.Len())
 	}
-	after := tr.Stats()
-	fp.IO = pager.Stats{
-		Reads:  after.Reads - before.Reads,
-		Hits:   after.Hits - before.Hits,
-		Faults: after.Faults - before.Faults,
-		Writes: after.Writes - before.Writes,
-	}
+	fp.IO = tr.Stats().Sub(before)
 	return fp, nil
 }
 

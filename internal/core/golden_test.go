@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/pager"
+	"skydiver/internal/rtree"
+	"skydiver/internal/skyline"
+)
+
+// golden_test.go pins single-query I/O accounting to the numbers produced by
+// the sequential, shared-pool implementation that predates per-query I/O
+// sessions. The methodology is the paper's: a cold 20% cache, BBS warms it,
+// and the diversification phase is charged for exactly the I/O it adds on
+// top. A drift in any counter here means a change in simulated-cost results
+// across the whole evaluation section, so these are exact equalities, not
+// tolerances.
+
+// goldenQuery reproduces one single-query run on IND 2000×3 (seed 7): a
+// fresh per-query session over a shared tree, warmed by BBS through that
+// same session — the session-based equivalent of the old Reopen(0.2)+BBS
+// sequence.
+func goldenQuery(t *testing.T, tr *rtree.Tree, ds *data.Dataset) Input {
+	t.Helper()
+	sess := tr.NewSession(pager.DefaultCacheFraction)
+	sky, err := skyline.ComputeBBS(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sky) != 43 {
+		t.Fatalf("BBS skyline size = %d, want 43", len(sky))
+	}
+	if st := sess.Stats(); st.Reads != 9 || st.Hits != 0 || st.Faults != 9 {
+		t.Fatalf("BBS I/O = %+v, want reads=9 hits=0 faults=9", st)
+	}
+	return Input{Data: ds, Sky: sky, Tree: tr, Session: sess}
+}
+
+func TestGoldenSingleQueryAccounting(t *testing.T) {
+	ds := data.Independent(2000, 3, 7)
+	tr, err := rtree.BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []struct {
+		name   string
+		cfg    Config
+		algo   func(Input, Config) (*Result, error)
+		sel    string
+		io     pager.Stats
+		objFmt string
+	}{
+		{"MH-IF", Config{K: 4, Seed: 7}, SkyDiverMH,
+			"[10 1 18 21]", pager.Stats{Reads: 2000, Hits: 1986, Faults: 14}, "0.890000"},
+		{"MH-IB", Config{K: 4, Seed: 7, Mode: IndexBased}, SkyDiverMH,
+			"[10 1 16 20]", pager.Stats{Reads: 19, Hits: 0, Faults: 19}, "0.910000"},
+		{"LSH", Config{K: 4, Seed: 7}, SkyDiverLSH,
+			"[10 1 18 16]", pager.Stats{Reads: 2000, Hits: 1986, Faults: 14}, "92.000000"},
+		{"SG", Config{K: 4, Seed: 7}, SimpleGreedy,
+			"[10 1 21 20]", pager.Stats{Reads: 1618, Hits: 195, Faults: 1423}, "0.864720"},
+		{"BF", Config{K: 3, Seed: 7}, BruteForce,
+			"[1 5 20]", pager.Stats{Reads: 8989, Hits: 302, Faults: 8687}, "0.935673"},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			in := goldenQuery(t, tr, ds)
+			res, err := r.algo(in, r.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmt.Sprint(res.Selected); got != r.sel {
+				t.Errorf("selection = %s, want %s", got, r.sel)
+			}
+			if res.Stats.IO != r.io {
+				t.Errorf("I/O = %+v, want %+v", res.Stats.IO, r.io)
+			}
+			if got := fmt.Sprintf("%.6f", res.ObjectiveValue); got != r.objFmt {
+				t.Errorf("objective = %s, want %s", got, r.objFmt)
+			}
+		})
+	}
+}

@@ -10,16 +10,20 @@ import (
 // machinery behind the Simple-Greedy and Brute-Force baselines and the
 // quality metric of Figures 12 and 13. Pairwise results are memoized so a
 // selection run followed by a quality evaluation does not re-issue queries.
+//
+// An oracle is bound to one rtree.Reader and is not safe for concurrent use;
+// give each query its own oracle over its own I/O session.
 type ExactOracle struct {
-	tree   *rtree.Tree
+	tree   rtree.Reader
 	skyPts [][]float64
 	gamma  []int // |Γ(p)| per skyline point, filled lazily (-1 = unknown)
 	pair   map[[2]int]float64
 }
 
 // NewExactOracle creates an oracle over the skyline of the dataset indexed
-// by tr. The dominance counts are executed lazily, on first use.
-func NewExactOracle(tr *rtree.Tree, ds *data.Dataset, sky []int) *ExactOracle {
+// by tr — the tree itself or a per-query session. The dominance counts are
+// executed lazily, on first use.
+func NewExactOracle(tr rtree.Reader, ds *data.Dataset, sky []int) *ExactOracle {
 	o := &ExactOracle{
 		tree:   tr,
 		skyPts: make([][]float64, len(sky)),

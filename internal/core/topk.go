@@ -19,7 +19,7 @@ import (
 // point inside an entry is upper-bounded by the dominance count of the
 // entry's lower-left corner, so entries are expanded in decreasing
 // upper-bound order and a popped point is guaranteed to be the next best.
-func TopKDominating(tr *rtree.Tree, k int) (indexes []int, scores []int, err error) {
+func TopKDominating(tr rtree.Reader, k int) (indexes []int, scores []int, err error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("core: non-positive k %d", k)
 	}

@@ -67,13 +67,22 @@ func (f *Family) Hash(i int, x uint64) uint32 {
 }
 
 // hashOne computes (a·x + b) mod P folded to 32 bits. Values are uniform in
-// [0, P), so keeping the low 32 bits preserves uniformity.
+// [0, P), so keeping the low 32 bits preserves uniformity — except that the
+// all-ones word is reserved: it is the emptySlot ∞ sentinel, and a row
+// legitimately hashing there would make its column indistinguishable from
+// "dominates nothing", skewing EstimateJs for near-empty columns. Such a
+// value is clamped to MaxUint32−1 (a 2⁻³² bias, well below the estimator's
+// own variance).
 func hashOne(a, b, x uint64) uint32 {
 	v := mulmod61(a, x) + b
 	if v >= mersenne61 {
 		v -= mersenne61
 	}
-	return uint32(v)
+	h := uint32(v)
+	if h == emptySlot {
+		h--
+	}
+	return h
 }
 
 // mulmod61 returns a·x mod 2^61−1 without overflow, using the identity

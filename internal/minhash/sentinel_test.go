@@ -1,0 +1,47 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHashOneAvoidsEmptySlotSentinel pins the clamp that keeps hash outputs
+// off the reserved emptySlot value (math.MaxUint32, the ∞ of an untouched
+// signature slot). Before the clamp, a row hashing exactly there made its
+// column's slot indistinguishable from "dominates nothing".
+func TestHashOneAvoidsEmptySlotSentinel(t *testing.T) {
+	// a·x = 0, so v = b: pick b with low 32 bits all ones.
+	cases := []struct {
+		a, b, x uint64
+		want    uint32
+	}{
+		{1, uint64(emptySlot), 0, emptySlot - 1},         // exact sentinel, clamped
+		{1, 1<<33 | uint64(emptySlot), 0, emptySlot - 1}, // sentinel in the low word, clamped
+		{1, 5, 0, 5},                         // ordinary value, untouched
+		{3, emptySlot - 1, 0, emptySlot - 1}, // neighbor value, untouched
+	}
+	for _, c := range cases {
+		if got := hashOne(c.a, c.b, c.x); got != c.want {
+			t.Errorf("hashOne(%d, %#x, %d) = %#x, want %#x", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+// TestFamilyNeverEmitsSentinel sweeps a family over many row ids: no output
+// may collide with the sentinel, so a signature slot equal to emptySlot
+// always means "empty", never "minimum happened to be MaxUint32".
+func TestFamilyNeverEmitsSentinel(t *testing.T) {
+	fam, err := NewFamily(64, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv := make([]uint32, fam.Size())
+	for x := uint64(0); x < 5000; x++ {
+		fam.HashAll(hv, x)
+		for i, v := range hv {
+			if v == math.MaxUint32 {
+				t.Fatalf("hash %d of row %d hit the emptySlot sentinel", i, x)
+			}
+		}
+	}
+}

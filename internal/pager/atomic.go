@@ -1,0 +1,45 @@
+package pager
+
+import "sync/atomic"
+
+// AtomicStats is a lock-free I/O counter aggregate, safe for concurrent use.
+// Per-query buffer pools mirror their counter bumps into one AtomicStats
+// owned by the shared structure (see BufferPool.SetShared), so totals across
+// all sessions — e.g. the retries spent recovering injected transient faults
+// — remain available after the individual pools are gone, and reading them
+// never contends with in-flight queries.
+type AtomicStats struct {
+	reads, hits, faults, writes, retries atomic.Int64
+}
+
+// Add accumulates s into the aggregate.
+func (a *AtomicStats) Add(s Stats) {
+	if s.Reads != 0 {
+		a.reads.Add(s.Reads)
+	}
+	if s.Hits != 0 {
+		a.hits.Add(s.Hits)
+	}
+	if s.Faults != 0 {
+		a.faults.Add(s.Faults)
+	}
+	if s.Writes != 0 {
+		a.writes.Add(s.Writes)
+	}
+	if s.Retries != 0 {
+		a.retries.Add(s.Retries)
+	}
+}
+
+// Load returns a snapshot of the aggregated counters. Under concurrent
+// writers the fields are individually, not mutually, consistent — fine for
+// monitoring totals, which is what the aggregate exists for.
+func (a *AtomicStats) Load() Stats {
+	return Stats{
+		Reads:   a.reads.Load(),
+		Hits:    a.hits.Load(),
+		Faults:  a.faults.Load(),
+		Writes:  a.writes.Load(),
+		Retries: a.retries.Load(),
+	}
+}

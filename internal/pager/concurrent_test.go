@@ -1,0 +1,107 @@
+package pager
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// concurrent_test.go exercises the BufferPool under parallel readers — the
+// shared-nothing claim of per-query sessions rests on the pool itself being
+// race-free. Run it under -race (make race / make verify).
+
+// TestBufferPoolConcurrentGet hammers one pool from many goroutines and
+// checks the counter invariant reads = hits + faults still holds exactly.
+func TestBufferPoolConcurrentGet(t *testing.T) {
+	ps := NewPageStore()
+	const pages = 40
+	buf := make([]byte, PageSize)
+	for i := 0; i < pages; i++ {
+		id := ps.Allocate()
+		binary.LittleEndian.PutUint32(buf, uint32(i))
+		if err := ps.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp := NewBufferPool(ps, 8)
+
+	const goroutines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id := PageID((g*7 + r) % pages)
+				v, err := bp.Get(id, decodeFirstU32)
+				if err != nil {
+					t.Errorf("Get(%d): %v", id, err)
+					return
+				}
+				if v.(uint32) != uint32(id) {
+					t.Errorf("Get(%d) decoded %v", id, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := bp.Stats()
+	if st.Reads != goroutines*rounds {
+		t.Errorf("reads = %d, want %d", st.Reads, goroutines*rounds)
+	}
+	if st.Hits+st.Faults != st.Reads {
+		t.Errorf("hits %d + faults %d != reads %d", st.Hits, st.Faults, st.Reads)
+	}
+	if bp.Len() > 8 {
+		t.Errorf("pool overfilled: %d > 8", bp.Len())
+	}
+}
+
+// TestBufferPoolMirrorsShared checks that a pool wired to an AtomicStats
+// aggregate mirrors exactly its own counter deltas, including under
+// concurrent access from several pools — the mechanism AggregateStats uses
+// to total I/O across per-query sessions.
+func TestBufferPoolMirrorsShared(t *testing.T) {
+	ps := NewPageStore()
+	buf := make([]byte, PageSize)
+	for i := 0; i < 10; i++ {
+		id := ps.Allocate()
+		binary.LittleEndian.PutUint32(buf, uint32(i))
+		if err := ps.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var agg AtomicStats
+	const pools = 4
+	var wg sync.WaitGroup
+	locals := make([]Stats, pools)
+	for p := 0; p < pools; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			bp := NewBufferPool(ps, 3)
+			bp.SetShared(&agg)
+			for r := 0; r < 100; r++ {
+				if _, err := bp.Get(PageID((p+r)%10), decodeFirstU32); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+			locals[p] = bp.Stats()
+		}(p)
+	}
+	wg.Wait()
+	var sum Stats
+	for _, s := range locals {
+		sum.Reads += s.Reads
+		sum.Hits += s.Hits
+		sum.Faults += s.Faults
+		sum.Writes += s.Writes
+		sum.Retries += s.Retries
+	}
+	if got := agg.Load(); got != sum {
+		t.Errorf("aggregate %+v != sum of pool stats %+v", got, sum)
+	}
+}

@@ -58,6 +58,19 @@ func (s *Stats) Add(o Stats) {
 	s.Retries += o.Retries
 }
 
+// Sub returns the field-wise difference s − o. Pipelines use it to carve one
+// phase's I/O out of a session's running counters; unlike the ad-hoc deltas
+// it replaces, it carries every field, including Retries.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:   s.Reads - o.Reads,
+		Hits:    s.Hits - o.Hits,
+		Faults:  s.Faults - o.Faults,
+		Writes:  s.Writes - o.Writes,
+		Retries: s.Retries - o.Retries,
+	}
+}
+
 // HitRatio returns the fraction of reads served by the pool (0 when idle).
 func (s Stats) HitRatio() float64 {
 	if s.Reads == 0 {
@@ -170,15 +183,19 @@ func (ps *PageStore) WritePage(id PageID, buf []byte) error {
 // that a cache hit skips both the "disk" access and deserialization, just as
 // a real database buffer manager holds frames that index structures pin.
 //
-// BufferPool is not safe for concurrent use; each worker should own one
-// (experiments in this repository are single-threaded per pipeline, matching
-// the paper's single-query setting).
+// BufferPool is safe for concurrent use: all cache and counter state is
+// guarded by an internal mutex. Concurrent queries should still prefer one
+// pool (one I/O session) each — sharing a pool interleaves the cache
+// simulation and merges the per-query counters, whereas a private pool keeps
+// both faithful to the paper's single-query accounting.
 type BufferPool struct {
 	store    *PageStore
 	capacity int
-	stats    Stats
 	retry    RetryPolicy
 
+	mu      sync.Mutex
+	stats   Stats
+	shared  *AtomicStats // optional cross-pool aggregate, may be nil
 	entries map[PageID]*list.Element
 	lru     *list.List // front = most recently used
 }
@@ -214,19 +231,48 @@ func NewBufferPoolFraction(store *PageStore, fraction float64) *BufferPool {
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
 // Len returns the number of currently cached pages.
-func (bp *BufferPool) Len() int { return bp.lru.Len() }
+func (bp *BufferPool) Len() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.lru.Len()
+}
 
 // Stats returns a copy of the accumulated counters.
-func (bp *BufferPool) Stats() Stats { return bp.stats }
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
 
 // ResetStats zeroes the counters without evicting cached pages.
-func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
+
+// SetShared installs an atomic aggregate that mirrors every counter bump of
+// this pool, letting an owner total I/O across many per-query pools without
+// polling each one. Install before first use; nil removes the mirror.
+func (bp *BufferPool) SetShared(agg *AtomicStats) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.shared = agg
+}
 
 // SetRetryPolicy replaces the pool's transient-fault retry policy.
-func (bp *BufferPool) SetRetryPolicy(r RetryPolicy) { bp.retry = r }
+func (bp *BufferPool) SetRetryPolicy(r RetryPolicy) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.retry = r
+}
 
 // RetryPolicy returns the pool's transient-fault retry policy.
-func (bp *BufferPool) RetryPolicy() RetryPolicy { return bp.retry }
+func (bp *BufferPool) RetryPolicy() RetryPolicy {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.retry
+}
 
 // Get returns the decoded payload of page id, consulting the cache first.
 // On a miss it reads the raw page from the store, invokes decode, caches the
@@ -234,6 +280,14 @@ func (bp *BufferPool) RetryPolicy() RetryPolicy { return bp.retry }
 // exponential backoff up to the pool's RetryPolicy; permanent faults and
 // exhausted retries surface as errors.
 func (bp *BufferPool) Get(id PageID, decode func(raw []byte) (any, error)) (any, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	before := bp.stats
+	defer func() {
+		if bp.shared != nil {
+			bp.shared.Add(bp.stats.Sub(before))
+		}
+	}()
 	bp.stats.Reads++
 	if el, ok := bp.entries[id]; ok {
 		bp.stats.Hits++
@@ -263,6 +317,8 @@ func (bp *BufferPool) Get(id PageID, decode func(raw []byte) (any, error)) (any,
 // Put installs a decoded payload for page id (e.g. right after building and
 // writing a node) without touching the fault counters.
 func (bp *BufferPool) Put(id PageID, decoded any) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if el, ok := bp.entries[id]; ok {
 		el.Value.(*poolEntry).decoded = decoded
 		bp.lru.MoveToFront(el)
@@ -273,6 +329,8 @@ func (bp *BufferPool) Put(id PageID, decoded any) {
 
 // Invalidate drops page id from the cache if present.
 func (bp *BufferPool) Invalidate(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if el, ok := bp.entries[id]; ok {
 		bp.lru.Remove(el)
 		delete(bp.entries, id)
@@ -281,6 +339,8 @@ func (bp *BufferPool) Invalidate(id PageID) {
 
 // Clear drops all cached pages, keeping the statistics.
 func (bp *BufferPool) Clear() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	bp.lru.Init()
 	bp.entries = make(map[PageID]*list.Element, bp.capacity)
 }

@@ -15,16 +15,16 @@ import (
 //   - otherwise the subtree is opened, down to per-point leaf checks.
 //
 // Callers must supply full/none predicates that are sound in this sense.
-func (t *Tree) aggregateCount(full, none func(geom.Rect) bool, leafPred func([]float64) bool) (int, error) {
-	if t.size == 0 {
+func (s *Session) aggregateCount(full, none func(geom.Rect) bool, leafPred func([]float64) bool) (int, error) {
+	if s.tree.size == 0 {
 		return 0, nil
 	}
 	count := 0
-	stack := []pager.PageID{t.root}
+	stack := []pager.PageID{s.tree.root}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n, err := t.ReadNode(id)
+		n, err := s.ReadNode(id)
 		if err != nil {
 			return 0, err
 		}
@@ -51,50 +51,62 @@ func (t *Tree) aggregateCount(full, none func(geom.Rect) bool, leafPred func([]f
 
 // RangeCount returns the number of indexed points inside r (boundaries
 // included), using aggregate pruning.
-func (t *Tree) RangeCount(r geom.Rect) (int, error) {
-	return t.aggregateCount(
+func (s *Session) RangeCount(r geom.Rect) (int, error) {
+	return s.aggregateCount(
 		func(rect geom.Rect) bool { return r.ContainsRect(rect) },
 		func(rect geom.Rect) bool { return !r.Intersects(rect) },
 		func(p []float64) bool { return r.Contains(p) },
 	)
 }
 
+// RangeCount is Session.RangeCount through the tree's default pool.
+func (t *Tree) RangeCount(r geom.Rect) (int, error) { return t.view().RangeCount(r) }
+
 // DominanceCount returns |Γ(p)|: the number of indexed points strictly
 // dominated by p. This is the aggregate "range query of large volume" that
 // the Simple-Greedy baseline issues per skyline point (Section 3.2).
-func (t *Tree) DominanceCount(p []float64) (int, error) {
-	return t.aggregateCount(
+func (s *Session) DominanceCount(p []float64) (int, error) {
+	return s.aggregateCount(
 		func(rect geom.Rect) bool { return geom.Dominates(p, rect.Lo) },
 		func(rect geom.Rect) bool { return !geom.Dominates(p, rect.Hi) },
 		func(x []float64) bool { return geom.Dominates(p, x) },
 	)
 }
 
+// DominanceCount is Session.DominanceCount through the tree's default pool.
+func (t *Tree) DominanceCount(p []float64) (int, error) { return t.view().DominanceCount(p) }
+
 // CommonDominanceCount returns |Γ(p) ∩ Γ(q)|: the number of indexed points
 // strictly dominated by both p and q. The intersection region is the
 // dominance region of the componentwise maximum u of p and q; the aggregate
 // pruning uses u while leaf checks apply the exact pair predicate, so the
 // result is exact even on region boundaries.
-func (t *Tree) CommonDominanceCount(p, q []float64) (int, error) {
-	u := geom.UpperCorner(make([]float64, t.dims), p, q)
-	return t.aggregateCount(
+func (s *Session) CommonDominanceCount(p, q []float64) (int, error) {
+	u := geom.UpperCorner(make([]float64, s.tree.dims), p, q)
+	return s.aggregateCount(
 		func(rect geom.Rect) bool { return geom.Dominates(u, rect.Lo) },
 		func(rect geom.Rect) bool { return !(geom.Dominates(p, rect.Hi) && geom.Dominates(q, rect.Hi)) },
 		func(x []float64) bool { return geom.Dominates(p, x) && geom.Dominates(q, x) },
 	)
 }
 
+// CommonDominanceCount is Session.CommonDominanceCount through the tree's
+// default pool.
+func (t *Tree) CommonDominanceCount(p, q []float64) (int, error) {
+	return t.view().CommonDominanceCount(p, q)
+}
+
 // RangeQuery invokes fn for every indexed point inside r. Returning false
 // from fn stops the traversal early.
-func (t *Tree) RangeQuery(r geom.Rect, fn func(rowID uint32, p []float64) bool) error {
-	if t.size == 0 {
+func (s *Session) RangeQuery(r geom.Rect, fn func(rowID uint32, p []float64) bool) error {
+	if s.tree.size == 0 {
 		return nil
 	}
-	stack := []pager.PageID{t.root}
+	stack := []pager.PageID{s.tree.root}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n, err := t.ReadNode(id)
+		n, err := s.ReadNode(id)
 		if err != nil {
 			return err
 		}
@@ -114,18 +126,23 @@ func (t *Tree) RangeQuery(r geom.Rect, fn func(rowID uint32, p []float64) bool) 
 	return nil
 }
 
+// RangeQuery is Session.RangeQuery through the tree's default pool.
+func (t *Tree) RangeQuery(r geom.Rect, fn func(rowID uint32, p []float64) bool) error {
+	return t.view().RangeQuery(r, fn)
+}
+
 // Walk visits every node of the tree in depth-first order, passing the node
 // and its level above the leaves (0 = leaf). Returning false stops the walk.
-func (t *Tree) Walk(fn func(n *Node, level int) bool) error {
+func (s *Session) Walk(fn func(n *Node, level int) bool) error {
 	type frame struct {
 		id    pager.PageID
 		level int
 	}
-	stack := []frame{{t.root, t.height - 1}}
+	stack := []frame{{s.tree.root, s.tree.height - 1}}
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n, err := t.ReadNode(f.id)
+		n, err := s.ReadNode(f.id)
 		if err != nil {
 			return err
 		}
@@ -140,3 +157,6 @@ func (t *Tree) Walk(fn func(n *Node, level int) bool) error {
 	}
 	return nil
 }
+
+// Walk is Session.Walk through the tree's default pool.
+func (t *Tree) Walk(fn func(n *Node, level int) bool) error { return t.view().Walk(fn) }

@@ -1,0 +1,133 @@
+package rtree
+
+import (
+	"sync"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/pager"
+)
+
+// session_test.go covers per-query I/O sessions: isolation of cache state
+// and counters between concurrent queries, and the aggregate view the tree
+// keeps across all of them. Run under -race (make race / make verify).
+
+// sessionWorkload runs a fixed read-only query mix through one reader and
+// returns the total count it computed (a checksum the test compares across
+// sessions).
+func sessionWorkload(t *testing.T, ds *data.Dataset, r Reader) int {
+	t.Helper()
+	total := 0
+	for i := 0; i < 40; i++ {
+		c, err := r.DominanceCount(ds.Point(i * 17 % ds.Len()))
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		total += c
+	}
+	for i := 0; i < 10; i++ {
+		c, err := r.CommonDominanceCount(ds.Point(i), ds.Point(ds.Len()-1-i))
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		total += c
+	}
+	return total
+}
+
+// TestSessionIsolation runs the same workload solo and then in a pack of
+// concurrent sessions: every session must report exactly the solo run's
+// counters — concurrent queries cannot warm (or poison) each other's cache.
+func TestSessionIsolation(t *testing.T) {
+	ds := data.Independent(3000, 3, 11)
+	tr, err := BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := tr.NewSession(pager.DefaultCacheFraction)
+	wantTotal := sessionWorkload(t, ds, solo)
+	wantStats := solo.Stats()
+	if wantStats.Faults == 0 || wantStats.Hits == 0 {
+		t.Fatalf("workload too small to exercise the cache: %+v", wantStats)
+	}
+
+	aggBefore := tr.AggregateStats()
+	const sessions = 8
+	var wg sync.WaitGroup
+	stats := make([]pager.Stats, sessions)
+	totals := make([]int, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := tr.NewSession(pager.DefaultCacheFraction)
+			totals[s] = sessionWorkload(t, ds, sess)
+			stats[s] = sess.Stats()
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < sessions; s++ {
+		if totals[s] != wantTotal {
+			t.Errorf("session %d: counts %d, want %d", s, totals[s], wantTotal)
+		}
+		if stats[s] != wantStats {
+			t.Errorf("session %d: stats %+v, want %+v", s, stats[s], wantStats)
+		}
+	}
+
+	// The tree-level aggregate grew by exactly the sum of the sessions.
+	got := tr.AggregateStats().Sub(aggBefore)
+	want := pager.Stats{
+		Reads:  wantStats.Reads * sessions,
+		Hits:   wantStats.Hits * sessions,
+		Faults: wantStats.Faults * sessions,
+	}
+	if got != want {
+		t.Errorf("aggregate delta %+v, want %+v", got, want)
+	}
+}
+
+// TestSessionSharesImmutablePages checks a session sees the same tree as the
+// default pool: identical skyline-relevant query answers through both paths.
+func TestSessionSharesImmutablePages(t *testing.T) {
+	ds := data.Anticorrelated(2000, 3, 5)
+	tr, err := BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := tr.NewSession(pager.DefaultCacheFraction)
+	for i := 0; i < 25; i++ {
+		p := ds.Point(i * 13 % ds.Len())
+		a, err := tr.DominanceCount(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sess.DominanceCount(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("point %d: tree count %d != session count %d", i, a, b)
+		}
+	}
+	if sess.Tree() != tr {
+		t.Error("session does not report its tree")
+	}
+	// ResetStats zeroes counters but keeps the cache warm: with a
+	// full-capacity session (no evictions), re-running a query after a reset
+	// must be all hits, no faults.
+	full := tr.NewSession(1.0)
+	if _, err := full.DominanceCount(ds.Point(0)); err != nil {
+		t.Fatal(err)
+	}
+	full.ResetStats()
+	if _, err := full.DominanceCount(ds.Point(0)); err != nil {
+		t.Fatal(err)
+	}
+	st := full.Stats()
+	if st.Faults != 0 || st.Hits == 0 {
+		t.Errorf("warm re-run stats %+v, want pure hits", st)
+	}
+}

@@ -3,6 +3,7 @@ package rtree
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"skydiver/internal/geom"
 	"skydiver/internal/pager"
@@ -10,9 +11,23 @@ import (
 
 // Tree is an aggregate R*-tree over d-dimensional points, stored on
 // fixed-size pages and accessed through an LRU buffer pool.
+//
+// Concurrency: a fully built tree is immutable and safe for concurrent
+// readers. The preferred way to query concurrently is one Session per query
+// (NewSession), which gives each query a private buffer pool — faithful
+// per-query cache simulation and I/O counters — over the shared page store.
+// The tree's own default pool is also safe to share (it locks internally),
+// but interleaved queries then mix their cache state and counters.
+// Mutations (Insert, Delete, bulk loading, Reopen) are not safe to run
+// concurrently with anything else; build first, then serve.
 type Tree struct {
 	store *pager.PageStore
-	pool  *pager.BufferPool
+	pool  atomic.Pointer[pager.BufferPool]
+
+	// queryStats aggregates the I/O of every pool opened on this tree — the
+	// default pool and all sessions — so totals like retries-spent survive
+	// short-lived per-query pools.
+	queryStats pager.AtomicStats
 
 	dims   int
 	root   pager.PageID
@@ -47,7 +62,7 @@ func New(dims int) (*Tree, error) {
 		minLeaf:     max(2, int(minFillRatio*float64(maxL))),
 		height:      1,
 	}
-	t.pool = pager.NewBufferPool(t.store, 1<<16)
+	t.setPool(pager.NewBufferPool(t.store, 1<<16))
 	root := &Node{Leaf: true}
 	var err error
 	t.root, err = t.writeNewNode(root)
@@ -75,23 +90,46 @@ func (t *Tree) Root() pager.PageID { return t.root }
 // Store exposes the underlying page store (tests and tooling).
 func (t *Tree) Store() *pager.PageStore { return t.store }
 
-// Stats returns the buffer pool's accumulated I/O counters.
-func (t *Tree) Stats() pager.Stats { return t.pool.Stats() }
-
-// ResetStats zeroes the I/O counters.
-func (t *Tree) ResetStats() { t.pool.ResetStats() }
-
-// Reopen replaces the buffer pool with a cold one sized to the given
-// fraction of the tree's pages, emulating the paper's fresh 20% cache before
-// each measured run.
-func (t *Tree) Reopen(cacheFraction float64) {
-	t.pool = pager.NewBufferPoolFraction(t.store, cacheFraction)
+// setPool installs bp as the tree's default pool, mirroring its counters
+// into the tree-wide aggregate.
+func (t *Tree) setPool(bp *pager.BufferPool) {
+	bp.SetShared(&t.queryStats)
+	t.pool.Store(bp)
 }
 
-// ReadNode fetches and decodes the node on page id through the buffer pool,
-// charging a fault on a cache miss.
+// defaultPool returns the tree's own buffer pool.
+func (t *Tree) defaultPool() *pager.BufferPool { return t.pool.Load() }
+
+// Stats returns the default buffer pool's accumulated I/O counters. Queries
+// running in their own Session do not appear here; see AggregateStats.
+func (t *Tree) Stats() pager.Stats { return t.defaultPool().Stats() }
+
+// AggregateStats totals the I/O of every pool ever opened on this tree — the
+// default pool plus all per-query sessions — surviving the sessions
+// themselves. It is safe to read concurrently with running queries.
+func (t *Tree) AggregateStats() pager.Stats { return t.queryStats.Load() }
+
+// ResetStats zeroes the default pool's I/O counters.
+func (t *Tree) ResetStats() { t.defaultPool().ResetStats() }
+
+// Reopen replaces the default buffer pool with a cold one sized to the given
+// fraction of the tree's pages, emulating the paper's fresh 20% cache before
+// each measured run. Not safe to call concurrently with in-flight queries on
+// the default pool (sessions are unaffected).
+func (t *Tree) Reopen(cacheFraction float64) {
+	t.setPool(pager.NewBufferPoolFraction(t.store, cacheFraction))
+}
+
+// ReadNode fetches and decodes the node on page id through the default
+// buffer pool, charging a fault on a cache miss.
 func (t *Tree) ReadNode(id pager.PageID) (*Node, error) {
-	v, err := t.pool.Get(id, func(raw []byte) (any, error) {
+	return readNode(t, t.defaultPool(), id)
+}
+
+// readNode is the shared fetch-and-decode path of the tree's default pool
+// and of sessions.
+func readNode(t *Tree, pool *pager.BufferPool, id pager.PageID) (*Node, error) {
+	v, err := pool.Get(id, func(raw []byte) (any, error) {
 		return decodeNode(id, raw, t.dims)
 	})
 	if err != nil {
@@ -109,7 +147,7 @@ func (t *Tree) writeNode(n *Node) error {
 	if err := t.store.WritePage(n.ID, buf); err != nil {
 		return err
 	}
-	t.pool.Put(n.ID, n)
+	t.defaultPool().Put(n.ID, n)
 	return nil
 }
 

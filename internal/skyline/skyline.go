@@ -185,8 +185,9 @@ func (h *bbsHeap) Pop() any          { old := *h; n := len(old); it := old[n-1];
 // expands entries in ascending L1-mindist order, discarding any entry whose
 // lower-left corner is dominated by an already-found skyline point; popped
 // points whose coordinates are undominated join the skyline progressively.
-// I/O is charged through the tree's buffer pool.
-func ComputeBBS(tr *rtree.Tree) ([]int, error) {
+// I/O is charged through the reader — pass the tree itself for its default
+// pool, or a per-query rtree.Session for isolated accounting.
+func ComputeBBS(tr rtree.Reader) ([]int, error) {
 	return ComputeBBSCtx(context.Background(), tr)
 }
 
@@ -194,7 +195,7 @@ func ComputeBBS(tr *rtree.Tree) ([]int, error) {
 // read (page granularity). A cancelled computation returns the context's
 // error; no partial skyline is reported because an incomplete BBS result is
 // not a valid skyline subset bound for downstream fingerprinting.
-func ComputeBBSCtx(ctx context.Context, tr *rtree.Tree) ([]int, error) {
+func ComputeBBSCtx(ctx context.Context, tr rtree.Reader) ([]int, error) {
 	var sky []int
 	err := ComputeBBSProgressiveCtx(ctx, tr, func(rowID int, _ []float64) bool {
 		sky = append(sky, rowID)
@@ -211,14 +212,14 @@ func ComputeBBSCtx(ctx context.Context, tr *rtree.Tree) ([]int, error) {
 // ascending L1 order — the progressiveness property the paper credits BBS
 // with (Section 2). Returning false from fn stops the computation early,
 // e.g. after the first k skyline points.
-func ComputeBBSProgressive(tr *rtree.Tree, fn func(rowID int, p []float64) bool) error {
+func ComputeBBSProgressive(tr rtree.Reader, fn func(rowID int, p []float64) bool) error {
 	return ComputeBBSProgressiveCtx(context.Background(), tr, fn)
 }
 
 // ComputeBBSProgressiveCtx is ComputeBBSProgressive with cancellation,
 // checked before every node read so a cancelled traversal returns within one
 // page quantum.
-func ComputeBBSProgressiveCtx(ctx context.Context, tr *rtree.Tree, fn func(rowID int, p []float64) bool) error {
+func ComputeBBSProgressiveCtx(ctx context.Context, tr rtree.Reader, fn func(rowID int, p []float64) bool) error {
 	if tr.Len() == 0 {
 		return ctx.Err()
 	}

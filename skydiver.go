@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"skydiver/internal/core"
@@ -152,11 +153,22 @@ type Result struct {
 // Dataset is an indexed multidimensional dataset ready for skyline
 // computation and diversification. All methods canonicalize preferences
 // internally; results are reported in the original orientation.
+//
+// A Dataset is safe for concurrent use: any number of goroutines may call
+// Diversify, Skyline and the other query methods on one shared Dataset. The
+// index and the skyline are built exactly once (concurrent first callers
+// wait for the builder), and every query checks out a private I/O session —
+// its own simulated buffer pool over the shared index pages — so per-query
+// cache behavior and fault accounting never interleave. InjectFaults
+// reconfigures shared state and should be sequenced before (or between)
+// query waves, not raced against them.
 type Dataset struct {
 	original *data.Dataset // user orientation
 	canon    *data.Dataset // min-preferred orientation
-	tree     *rtree.Tree
-	sky      []int
+
+	mu   sync.Mutex  // guards lazy construction of tree and sky
+	tree *rtree.Tree // immutable once built
+	sky  []int       // immutable once computed; callers receive copies
 }
 
 // NewDataset builds a dataset from rows. prefs may be nil, meaning smaller
@@ -194,18 +206,58 @@ func (d *Dataset) Dims() int { return d.original.Dims() }
 func (d *Dataset) Point(i int) []float64 { return d.original.Point(i) }
 
 // ensureIndex bulk-loads the aggregate R*-tree on first use and opens it
-// with the paper's 20% buffer-pool setting.
-func (d *Dataset) ensureIndex() error {
+// with the paper's 20% buffer-pool setting. Concurrent first callers
+// serialize on the dataset mutex; exactly one builds. The returned tree is
+// immutable and safe to read without the lock.
+func (d *Dataset) ensureIndex() (*rtree.Tree, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.tree != nil {
-		return nil
+		return d.tree, nil
 	}
 	tr, err := rtree.BulkLoad(d.canon)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	tr.Reopen(0.2)
+	tr.Reopen(pager.DefaultCacheFraction)
 	d.tree = tr
-	return nil
+	return tr, nil
+}
+
+// newSession builds the index if needed and opens a fresh per-query I/O
+// session at the paper's 20% cache setting.
+func (d *Dataset) newSession() (*rtree.Session, error) {
+	tr, err := d.ensureIndex()
+	if err != nil {
+		return nil, err
+	}
+	return tr.NewSession(pager.DefaultCacheFraction), nil
+}
+
+// skylineSession returns the cached skyline (the internal slice — callers
+// inside this package must not mutate it) together with a per-query session.
+// On first use the skyline is computed with BBS through that same session,
+// so a single query's fault accounting matches the sequential methodology:
+// BBS warms the query's cold 20% cache, the diversification phase runs on
+// whatever warmth BBS left. Concurrent first callers wait; only one runs
+// BBS. Successful results are cached; cancelled runs are not, so a later
+// call recomputes.
+func (d *Dataset) skylineSession(ctx context.Context) ([]int, *rtree.Session, error) {
+	sess, err := d.newSession()
+	if err != nil {
+		return nil, nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.sky != nil {
+		return d.sky, sess, nil
+	}
+	sky, err := skyline.ComputeBBSCtx(ctx, sess)
+	if err != nil {
+		return nil, nil, wrapCtxErr(err)
+	}
+	d.sky = sky
+	return sky, sess, nil
 }
 
 // Skyline returns the dataset indexes of the skyline points (computed once
@@ -217,31 +269,30 @@ func (d *Dataset) Skyline() ([]int, error) {
 // SkylineContext is Skyline with cancellation, checked at page granularity
 // during the BBS traversal. Successful results are cached; cancelled runs
 // are not, so a later call recomputes. Deadline expiries are reported as
-// ErrDeadlineExceeded.
+// ErrDeadlineExceeded. The returned slice is the caller's to keep: it is a
+// copy, so mutating it cannot corrupt the cached skyline that later queries
+// share.
 func (d *Dataset) SkylineContext(ctx context.Context) ([]int, error) {
-	if d.sky != nil {
-		return d.sky, nil
-	}
-	if err := d.ensureIndex(); err != nil {
+	sky, _, err := d.skylineSession(ctx)
+	if err != nil {
 		return nil, err
 	}
-	sky, err := skyline.ComputeBBSCtx(ctx, d.tree)
-	if err != nil {
-		return nil, wrapCtxErr(err)
-	}
-	d.sky = sky
-	return sky, nil
+	out := make([]int, len(sky))
+	copy(out, sky)
+	return out, nil
 }
 
 // SkylineProgressive streams skyline points as BBS discovers them, in
 // ascending L1 order of the canonicalized attributes — useful when only the
 // first few skyline points are needed. Returning false from fn stops the
-// computation. The full skyline is not cached by this method.
+// computation. The full skyline is not cached by this method. Each call runs
+// in its own I/O session.
 func (d *Dataset) SkylineProgressive(fn func(index int, point []float64) bool) error {
-	if err := d.ensureIndex(); err != nil {
+	sess, err := d.newSession()
+	if err != nil {
 		return err
 	}
-	return skyline.ComputeBBSProgressive(d.tree, func(rowID int, _ []float64) bool {
+	return skyline.ComputeBBSProgressive(sess, func(rowID int, _ []float64) bool {
 		return fn(rowID, d.original.Point(rowID))
 	})
 }
@@ -278,10 +329,11 @@ const (
 func (d *Dataset) SkylineUsing(algo SkylineAlgorithm) ([]int, error) {
 	switch algo {
 	case BBS:
-		if err := d.ensureIndex(); err != nil {
+		sess, err := d.newSession()
+		if err != nil {
 			return nil, err
 		}
-		return skyline.ComputeBBS(d.tree)
+		return skyline.ComputeBBS(sess)
 	case BNL:
 		return skyline.ComputeBNL(d.canon), nil
 	case SFS:
@@ -331,10 +383,11 @@ func (d *Dataset) SkylineExternal(windowCap int) (indexes []int, passes int, err
 // dominance-based ranking of Yiu & Mamoulis the paper builds its seeding
 // rule on. Unlike the skyline, the result may contain dominated points.
 func (d *Dataset) TopKDominating(k int) (indexes []int, scores []int, err error) {
-	if err := d.ensureIndex(); err != nil {
+	sess, err := d.newSession()
+	if err != nil {
 		return nil, nil, err
 	}
-	return core.TopKDominating(d.tree, k)
+	return core.TopKDominating(sess, k)
 }
 
 // Diversify returns the K most diverse skyline points under the configured
@@ -358,7 +411,7 @@ func (d *Dataset) Diversify(opts Options) (*Result, error) {
 // under latency budgets inspect the partial result instead of discarding
 // the completed work.
 func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, error) {
-	sky, err := d.SkylineContext(ctx)
+	sky, sess, err := d.skylineSession(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +421,7 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 	if opts.K > len(sky) {
 		return nil, fmt.Errorf("skydiver: K = %d exceeds skyline size %d", opts.K, len(sky))
 	}
-	in := core.Input{Data: d.canon, Sky: sky, Tree: d.tree}
+	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess}
 	cfg := core.Config{
 		K:             opts.K,
 		SignatureSize: opts.SignatureSize,
@@ -426,7 +479,7 @@ func (d *Dataset) publicResult(res *core.Result) *Result {
 // dataset indexes (which must be skyline points) — the quality metric of the
 // paper's Figures 12 and 13. It issues aggregate range-count queries.
 func (d *Dataset) ExactDiversity(indexes []int) (float64, error) {
-	sky, err := d.Skyline()
+	sky, sess, err := d.skylineSession(context.Background())
 	if err != nil {
 		return 0, err
 	}
@@ -442,7 +495,7 @@ func (d *Dataset) ExactDiversity(indexes []int) (float64, error) {
 		}
 		set[i] = j
 	}
-	oracle := core.NewExactOracle(d.tree, d.canon, sky)
+	oracle := core.NewExactOracle(sess, d.canon, sky)
 	return oracle.MinPairwiseJd(set)
 }
 
@@ -489,11 +542,12 @@ func ParseFaultPolicy(s string) (FaultPolicy, error) {
 // backoff; permanent faults surface as errors wrapping ErrPermanentFault
 // from whichever operation touched the dead page — never as panics.
 func (d *Dataset) InjectFaults(p FaultPolicy) error {
-	if err := d.ensureIndex(); err != nil {
+	tr, err := d.ensureIndex()
+	if err != nil {
 		return err
 	}
 	if p.Rate == 0 {
-		d.tree.Store().SetFaultInjector(nil)
+		tr.Store().SetFaultInjector(nil)
 		return nil
 	}
 	fi, err := pager.NewFaultInjector(pager.FaultPolicy{
@@ -502,33 +556,39 @@ func (d *Dataset) InjectFaults(p FaultPolicy) error {
 	if err != nil {
 		return err
 	}
-	d.tree.Store().SetFaultInjector(fi)
+	tr.Store().SetFaultInjector(fi)
 	return nil
 }
 
 // FaultStats reports what fault injection did so far: the number of faults
-// injected into the index's read path and the number of retries the buffer
-// pool spent recovering transient ones. Both are zero without InjectFaults.
+// injected into the index's read path and the number of retries spent
+// recovering transient ones, totaled across every query's I/O session. Both
+// are zero without InjectFaults. Safe to call concurrently with running
+// queries.
 func (d *Dataset) FaultStats() (injected, retries int64) {
-	if d.tree == nil {
+	d.mu.Lock()
+	tr := d.tree
+	d.mu.Unlock()
+	if tr == nil {
 		return 0, 0
 	}
-	if fi := d.tree.Store().FaultInjector(); fi != nil {
+	if fi := tr.Store().FaultInjector(); fi != nil {
 		injected = fi.Stats().Injected()
 	}
-	return injected, d.tree.Stats().Retries
+	return injected, tr.AggregateStats().Retries
 }
 
 // DominationScore returns |Γ(p)| for the dataset point with the given index:
 // the number of points it strictly dominates.
 func (d *Dataset) DominationScore(index int) (int, error) {
-	if err := d.ensureIndex(); err != nil {
+	sess, err := d.newSession()
+	if err != nil {
 		return 0, err
 	}
 	if index < 0 || index >= d.canon.Len() {
 		return 0, fmt.Errorf("skydiver: index %d out of range", index)
 	}
-	return d.tree.DominanceCount(d.canon.Point(index))
+	return sess.DominanceCount(d.canon.Point(index))
 }
 
 // DiversifyRelative selects the k most diverse items of candidates judged
