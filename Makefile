@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race concurrency fuzz verify bench
+.PHONY: build vet test race concurrency fuzz verify bench bench-full
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,21 @@ concurrency:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFaultPolicy -fuzztime 20s ./internal/pager/
 
+# Single-shot benchmark pass (one iteration per benchmark, -benchtime=1x):
+# cheap enough for CI, and the JSON snapshots make kernel regressions
+# reviewable in diffs. BENCH_phase1.json covers the Phase-1 hot path (MinHash
+# kernels and SigGen fingerprinting); BENCH_select.json covers Phase-2 greedy
+# selection and cached concurrent serving. For stable numbers rerun locally
+# with bench-full.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench 'EstimateJs|HashAll|SigGen' -benchmem -benchtime=1x -count=1 \
+		./internal/minhash ./internal/core | $(GO) run ./cmd/benchjson -o BENCH_phase1.json
+	$(GO) test -run '^$$' -bench 'SelectParallel|SelectSequential|SelectDiverseSet|ConcurrentServing' \
+		-benchmem -benchtime=1x -count=1 ./internal/dispersion . | $(GO) run ./cmd/benchjson -o BENCH_select.json
+
+# The full multi-iteration benchmark sweep (slow; local use).
+bench-full:
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Tier-1 verification: static checks, build, the full suite under the race
 # detector, and the concurrent-serving suite.

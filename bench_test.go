@@ -147,6 +147,42 @@ func BenchmarkConcurrentServing(b *testing.B) {
 	})
 }
 
+// BenchmarkConcurrentServingCached measures repeated same-parameter query
+// throughput with the fingerprint cache on: after the first build every
+// query reuses the resident signatures, so this is the steady state of a
+// serving process answering a popular query. Its counterpart
+// BenchmarkConcurrentServingNoCache pays the full Phase-1 pass every time;
+// the ratio of the two ns/op values is the cache's serving speedup (the
+// acceptance bar is ≥ 2×).
+func BenchmarkConcurrentServingCached(b *testing.B) {
+	benchConcurrentSameQuery(b, false)
+}
+
+// BenchmarkConcurrentServingNoCache is the cache-bypassed baseline for
+// BenchmarkConcurrentServingCached.
+func BenchmarkConcurrentServingNoCache(b *testing.B) {
+	benchConcurrentSameQuery(b, true)
+}
+
+func benchConcurrentSameQuery(b *testing.B, noCache bool) {
+	b.Helper()
+	ds := benchDataset(b, Independent, 20000, 4)
+	opts := Options{K: 10, Seed: 7, NoCache: noCache}
+	// Warm once so the cached variant measures steady-state hits, not the
+	// one-time build.
+	if _, err := ds.Diversify(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := ds.Diversify(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSkylineANT measures skyline computation (BBS) setup cost on a
 // skyline-heavy anticorrelated dataset.
 func BenchmarkSkylineANT(b *testing.B) {

@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array of benchmark records, one per result line:
+//
+//	[{"name": "BenchmarkEstimateJs-1", "ns_per_op": 731.0, "allocs_per_op": 0}, ...]
+//
+// Only the fields the repository's performance tracking cares about are kept
+// (name, ns/op, allocs/op — the latter -1 when the run lacked -benchmem).
+// Non-benchmark lines (PASS, ok, pkg headers) are ignored. Exits non-zero if
+// no benchmark line was found, so a misspelled -bench regexp fails CI instead
+// of silently emitting [].
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=1x ./... | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is -1 when the benchmark ran without -benchmem.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	records, err := parse(os.Stdin)
+	if err != nil {
+		fail(err)
+	}
+	if len(records) == 0 {
+		fail(fmt.Errorf("no benchmark result lines on stdin (bad -bench regexp?)"))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(records))
+}
+
+// parse extracts one record per benchmark result line. The format is
+// "BenchmarkName-P <iters> <value> <unit> [<value> <unit>]...", where
+// value/unit pairs include "ns/op" always and "allocs/op" under -benchmem.
+func parse(r io.Reader) ([]record, error) {
+	var records []record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		rec := record{Name: fields[0], NsPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // trailing non-metric text; stop pairing
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				rec.NsPerOp = v
+			case "allocs/op":
+				rec.AllocsPerOp = int64(v)
+			}
+		}
+		if rec.NsPerOp < 0 {
+			continue // a benchmark line without ns/op is not a result line
+		}
+		records = append(records, rec)
+	}
+	return records, sc.Err()
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

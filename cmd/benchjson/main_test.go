@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: skydiver/internal/minhash
+cpu: some CPU
+BenchmarkEstimateJs-1            	 1584726	       731.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEstimateJsMany-1        	    4279	    271842 ns/op	         2.000 est/alloc	       1 allocs/op
+BenchmarkHashAll100-1            	 2951896	       405.9 ns/op
+PASS
+ok  	skydiver/internal/minhash	6.521s
+`
+	recs, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(recs), recs)
+	}
+	if recs[0].Name != "BenchmarkEstimateJs-1" || recs[0].NsPerOp != 731.2 || recs[0].AllocsPerOp != 0 {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[1].NsPerOp != 271842 || recs[1].AllocsPerOp != 1 {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+	// No -benchmem on the third line: allocs must be the -1 sentinel.
+	if recs[2].NsPerOp != 405.9 || recs[2].AllocsPerOp != -1 {
+		t.Errorf("record 2 = %+v", recs[2])
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	recs, err := parse(strings.NewReader("PASS\nok \tpkg\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("parsed %d records from non-benchmark output", len(recs))
+	}
+}

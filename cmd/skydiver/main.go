@@ -47,6 +47,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "serve N identical queries concurrently and verify they agree (concurrent-serving check)")
 		jsonOut  = flag.Bool("json", false, "emit the result as a JSON object instead of text")
 		faults   = flag.String("faults", "", "inject page faults, e.g. rate=0.01,permanent=0.1,latency=1ms,seed=7 (see -help-faults semantics in README)")
+		noCache  = flag.Bool("nocache", false, "bypass the per-dataset fingerprint cache (every query pays the full Phase-1 pass)")
 	)
 	flag.Parse()
 
@@ -93,6 +94,7 @@ func main() {
 		UseIndex:      *useIdx,
 		Workers:       *workers,
 		Seed:          *seed,
+		NoCache:       *noCache,
 	}, *parallel)
 	if err != nil && res == nil {
 		fail(err)

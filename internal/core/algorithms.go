@@ -48,10 +48,17 @@ type Config struct {
 	// LSHBuckets is B, the buckets per zone; used by SkyDiverLSH only
 	// (default 20).
 	LSHBuckets int
-	// Workers parallelizes index-free fingerprinting across goroutines
-	// (0 or 1 = sequential; <0 = GOMAXPROCS). Output is identical to the
-	// sequential pass. Ignored in IndexBased mode.
+	// Workers parallelizes the CPU-bound stages across goroutines: the
+	// fingerprint pass (index-free shard scans, or index-based subtree
+	// traversals) and the greedy selection's per-round distance updates
+	// (0 or 1 = sequential; <0 = GOMAXPROCS). Output is bit-for-bit
+	// identical to the sequential run for any value; in IndexBased mode the
+	// hit/fault split of the I/O counters may vary with scheduling.
 	Workers int
+	// NoCache bypasses the fingerprint cache for this run: Phase 1 always
+	// executes, and its result is not stored. The knob for measuring cold
+	// costs against a warm serving process.
+	NoCache bool
 }
 
 // withDefaults fills unset fields.
@@ -89,6 +96,10 @@ type Input struct {
 	// When nil, index I/O goes through the tree's default pool (the legacy
 	// shared-cache accounting used by the experiment harness).
 	Session *rtree.Session
+	// Cache, when non-nil, memoizes Phase-1 fingerprints across queries
+	// with singleflight semantics. It must belong to the dataset: keys do
+	// not identify the data, only the generator parameters.
+	Cache *FingerprintCache
 }
 
 // reader returns the index reader the pipeline should query: the per-query
@@ -108,22 +119,56 @@ func (in Input) dataIndexes(selected []int) []int {
 	return out
 }
 
-// fingerprint runs Phase 1 according to the config.
-func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, error) {
+// fingerprint runs Phase 1 according to the config, consulting the input's
+// fingerprint cache first (unless bypassed). The bool reports a cache hit:
+// the signatures were reused from a previous query — or from another query's
+// in-flight build — and this run performed no Phase-1 work or I/O, which is
+// why a hit's Fingerprint carries zero IO stats regardless of what the
+// original build paid.
+func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, bool, error) {
 	fam, err := minhash.NewFamily(cfg.SignatureSize, cfg.Seed)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if cfg.Mode == IndexBased {
-		if in.Tree == nil {
-			return nil, fmt.Errorf("core: index-based fingerprinting requires a tree")
+	build := func() (*Fingerprint, error) {
+		if cfg.Mode == IndexBased {
+			if in.Tree == nil {
+				return nil, fmt.Errorf("core: index-based fingerprinting requires a tree")
+			}
+			if cfg.Workers != 0 && cfg.Workers != 1 {
+				return SigGenIBParallelCtx(ctx, in.reader(), in.Data, in.Sky, fam, cfg.Workers)
+			}
+			return SigGenIBCtx(ctx, in.reader(), in.Data, in.Sky, fam)
 		}
-		return SigGenIBCtx(ctx, in.reader(), in.Data, in.Sky, fam)
+		if cfg.Workers != 0 && cfg.Workers != 1 {
+			return SigGenIFParallelCtx(ctx, in.Data, in.Sky, fam, cfg.Workers)
+		}
+		return SigGenIFCtx(ctx, in.Data, in.Sky, fam)
 	}
-	if cfg.Workers != 0 && cfg.Workers != 1 {
-		return SigGenIFParallelCtx(ctx, in.Data, in.Sky, fam, cfg.Workers)
+	if in.Cache == nil || cfg.NoCache {
+		fp, err := build()
+		return fp, false, err
 	}
-	return SigGenIFCtx(ctx, in.Data, in.Sky, fam)
+	key := FingerprintKey{Mode: cfg.Mode, T: cfg.SignatureSize, Seed: cfg.Seed}
+	fp, cached, err := in.Cache.Get(ctx, key, build)
+	if err != nil {
+		return nil, false, err
+	}
+	if cached {
+		// Share the (immutable) signatures but report no I/O: this query
+		// never touched the data file or the index for Phase 1.
+		return &Fingerprint{Matrix: fp.Matrix, DomScore: fp.DomScore}, true, nil
+	}
+	return fp, false, nil
+}
+
+// selectDiverse dispatches the greedy selection: sequential for 0/1 workers,
+// sharded otherwise (bit-identical either way).
+func selectDiverse(ctx context.Context, m, k int, dist dispersion.DistFunc, distMany dispersion.DistManyFunc, score []float64, workers int) ([]int, error) {
+	if workers == 0 || workers == 1 {
+		return dispersion.SelectDiverseSetCtx(ctx, m, k, dist, score)
+	}
+	return dispersion.SelectDiverseSetParallelCtx(ctx, m, k, dist, distMany, score, workers)
 }
 
 // partialResult packages the anytime prefix of a cancelled run: the greedy
@@ -164,7 +209,7 @@ func SkyDiverMHCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	fp, err := fingerprint(ctx, in, cfg)
+	fp, cached, err := fingerprint(ctx, in, cfg)
 	fpTime := time.Since(start)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -175,14 +220,15 @@ func SkyDiverMHCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 
 	start = time.Now()
 	dist := func(i, j int) float64 { return fp.Matrix.EstimateJd(i, j) }
-	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(in.Sky), cfg.K, dist, fp.DomScore)
+	selected, err := selectDiverse(ctx, len(in.Sky), cfg.K, dist, fp.Matrix.EstimateJdMany, fp.DomScore, cfg.Workers)
 	selTime := time.Since(start)
 	stats := Stats{
-		Fingerprint: fpTime,
-		Select:      selTime,
-		IO:          fp.IO,
-		Model:       pager.DefaultCostModel(),
-		MemoryBytes: fp.Matrix.MemoryBytes(),
+		Fingerprint:       fpTime,
+		FingerprintCached: cached,
+		Select:            selTime,
+		IO:                fp.IO,
+		Model:             pager.DefaultCostModel(),
+		MemoryBytes:       fp.Matrix.MemoryBytes(),
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -215,7 +261,7 @@ func SkyDiverLSHCtx(ctx context.Context, in Input, cfg Config) (*Result, error) 
 		return nil, err
 	}
 	start := time.Now()
-	fp, err := fingerprint(ctx, in, cfg)
+	fp, cached, err := fingerprint(ctx, in, cfg)
 	if err != nil {
 		if ctx.Err() != nil {
 			return partialResult(in, nil, nil, Stats{Fingerprint: time.Since(start), Model: pager.DefaultCostModel()}), ctx.Err()
@@ -237,14 +283,15 @@ func SkyDiverLSHCtx(ctx context.Context, in Input, cfg Config) (*Result, error) 
 
 	start = time.Now()
 	dist := func(i, j int) float64 { return float64(vectors.Hamming(i, j)) }
-	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(in.Sky), cfg.K, dist, fp.DomScore)
+	selected, err := selectDiverse(ctx, len(in.Sky), cfg.K, dist, vectors.HammingMany, fp.DomScore, cfg.Workers)
 	selTime := time.Since(start)
 	stats := Stats{
-		Fingerprint: fpTime,
-		Select:      selTime,
-		IO:          fp.IO,
-		Model:       pager.DefaultCostModel(),
-		MemoryBytes: vectors.MemoryBytes(),
+		Fingerprint:       fpTime,
+		FingerprintCached: cached,
+		Select:            selTime,
+		IO:                fp.IO,
+		Model:             pager.DefaultCostModel(),
+		MemoryBytes:       vectors.MemoryBytes(),
 	}
 	if err != nil {
 		if ctx.Err() != nil {

@@ -1,0 +1,23 @@
+package core
+
+// bitset is a fixed-size bitmap over dataset row indexes. The skyline
+// membership test sits on the hot path of every SigGen-IF pass — once per
+// data row — where a map[int]bool costs a hash and a pointer chase per probe;
+// one bit per row costs a shift and a mask, and the whole set for a million
+// rows is 128 KiB of contiguous words.
+type bitset []uint64
+
+// newBitset returns a bitset able to hold n bits, all clear.
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+// set marks bit i.
+func (b bitset) set(i int) {
+	b[uint(i)/64] |= 1 << (uint(i) % 64)
+}
+
+// get reports whether bit i is set.
+func (b bitset) get(i int) bool {
+	return b[uint(i)/64]&(1<<(uint(i)%64)) != 0
+}

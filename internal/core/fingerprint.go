@@ -65,9 +65,9 @@ func SigGenIFCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.
 		entries[j] = skyEntry{pt: p, l1: geom.L1(p), col: j}
 	}
 	sort.Slice(entries, func(a, b int) bool { return entries[a].l1 < entries[b].l1 })
-	inSky := make(map[int]bool, m)
+	inSky := newBitset(ds.Len())
 	for _, s := range sky {
-		inSky[s] = true
+		inSky.set(s)
 	}
 
 	hv := make([]uint32, t)
@@ -79,7 +79,7 @@ func SigGenIFCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.
 			}
 		}
 		counter.Touch(i)
-		if inSky[i] {
+		if inSky.get(i) {
 			continue
 		}
 		p := ds.Point(i)

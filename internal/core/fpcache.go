@@ -1,0 +1,182 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// FingerprintKey identifies one Phase-1 build. Fingerprints are a pure
+// function of the dataset plus these three parameters: the generator mode
+// (IF and IB produce different row-id assignments, hence different
+// signatures), the signature size t, and the hash-family seed. Worker counts
+// are deliberately absent — the parallel generators are pinned bit-identical
+// to their sequential forms, so they share cache lines with them.
+type FingerprintKey struct {
+	Mode FingerprintMode
+	T    int
+	Seed int64
+}
+
+// fpEntry is one cache slot. done is closed once the build finished and fp /
+// err are published; waiters block on it rather than re-running SigGen.
+type fpEntry struct {
+	done chan struct{}
+	fp   *Fingerprint
+	err  error
+}
+
+// fpItem is what the LRU list holds: the key travels with the entry so
+// eviction can unlink the map.
+type fpItem struct {
+	key   FingerprintKey
+	entry *fpEntry
+}
+
+// FingerprintCacheStats are the cache's monotonic counters plus its current
+// size. Hits counts queries served without a SigGen pass — both lookups of a
+// completed entry and waiters that latched onto an in-flight build.
+type FingerprintCacheStats struct {
+	// Builds is the number of SigGen passes actually executed.
+	Builds int64
+	// Hits is the number of Get calls that returned without building.
+	Hits int64
+	// Misses is the number of Get calls that had to build.
+	Misses int64
+	// Entries is the number of fingerprints currently resident.
+	Entries int
+}
+
+// defaultFingerprintCacheCap bounds a cache constructed with a non-positive
+// capacity. Distinct (mode, t, seed) combinations per dataset are few in any
+// real deployment; 16 is generous.
+const defaultFingerprintCacheCap = 16
+
+// FingerprintCache memoizes Phase-1 fingerprints per dataset with
+// singleflight semantics: N concurrent queries for the same key run exactly
+// one SigGen pass, the rest block until it publishes. Entries are never
+// invalidated — datasets are immutable, so a fingerprint can only become
+// wrong by keying it to the wrong dataset (hold the cache inside the Dataset
+// it describes). Capacity is a bounded LRU; failed builds are not cached.
+//
+// Cached *Fingerprint values are shared between queries and must be treated
+// as immutable by every consumer (the pipelines only read them).
+type FingerprintCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[FingerprintKey]*list.Element
+	stats FingerprintCacheStats
+
+	// buildHook, when non-nil, runs at the start of every build, outside the
+	// lock. Tests use it to hold a build open while concurrent waiters pile
+	// up; it is never set in production code.
+	buildHook func(FingerprintKey)
+}
+
+// NewFingerprintCache creates a cache holding at most capacity fingerprints
+// (non-positive capacity selects the default).
+func NewFingerprintCache(capacity int) *FingerprintCache {
+	if capacity <= 0 {
+		capacity = defaultFingerprintCacheCap
+	}
+	return &FingerprintCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[FingerprintKey]*list.Element),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *FingerprintCache) Stats() FingerprintCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.items)
+	return s
+}
+
+// removeLocked unlinks el from the list and, when it is still the key's
+// current element, from the map. c.mu must be held.
+func (c *FingerprintCache) removeLocked(el *list.Element) {
+	it := el.Value.(*fpItem)
+	if cur, ok := c.items[it.key]; ok && cur == el {
+		delete(c.items, it.key)
+	}
+	c.ll.Remove(el)
+}
+
+// Get returns the fingerprint for key, building it with build on a miss. The
+// second return reports whether the result came without running build in
+// this call — a completed cache entry or another query's in-flight build.
+//
+// Waiting is cancellable: a waiter whose ctx expires returns its ctx error
+// without disturbing the build. A failed build is returned to its caller and
+// its waiters retry — the first to re-enter becomes the new builder with its
+// own context, so one cancelled query can never poison the key for others.
+func (c *FingerprintCache) Get(ctx context.Context, key FingerprintKey, build func() (*Fingerprint, error)) (*Fingerprint, bool, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*fpItem).entry
+			select {
+			case <-e.done:
+				if e.err == nil {
+					c.ll.MoveToFront(el)
+					c.stats.Hits++
+					c.mu.Unlock()
+					return e.fp, true, nil
+				}
+				// A completed failure still resident (its builder removes it,
+				// but we may have raced ahead of that): drop and rebuild.
+				c.removeLocked(el)
+				c.mu.Unlock()
+				continue
+			default:
+				// In-flight: wait outside the lock.
+				c.mu.Unlock()
+				select {
+				case <-e.done:
+					if e.err == nil {
+						c.mu.Lock()
+						c.stats.Hits++
+						c.mu.Unlock()
+						return e.fp, true, nil
+					}
+					continue // possibly become the new builder
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+			}
+		}
+		// Miss: become the builder.
+		e := &fpEntry{done: make(chan struct{})}
+		el := c.ll.PushFront(&fpItem{key: key, entry: e})
+		c.items[key] = el
+		c.stats.Misses++
+		c.stats.Builds++
+		for c.ll.Len() > c.cap {
+			c.removeLocked(c.ll.Back())
+		}
+		hook := c.buildHook
+		c.mu.Unlock()
+
+		if hook != nil {
+			hook(key)
+		}
+		fp, err := build()
+		c.mu.Lock()
+		e.fp, e.err = fp, err
+		if err != nil {
+			// Never cache failures. The entry may already have been evicted
+			// and replaced; only remove it if it is still the key's current
+			// element.
+			if cur, ok := c.items[key]; ok && cur == el {
+				c.removeLocked(el)
+			}
+		}
+		c.mu.Unlock()
+		close(e.done)
+		return fp, false, err
+	}
+}

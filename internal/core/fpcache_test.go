@@ -1,0 +1,323 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/minhash"
+	"skydiver/internal/pager"
+)
+
+func fakeFingerprint(t *testing.T) *Fingerprint {
+	t.Helper()
+	return &Fingerprint{Matrix: minhash.NewMatrix(4, 2), DomScore: []float64{1, 2}}
+}
+
+// TestFingerprintCacheSingleflight holds one build open while concurrent
+// queries for the same key pile up: exactly one SigGen pass may run, every
+// other query must receive the builder's result.
+func TestFingerprintCacheSingleflight(t *testing.T) {
+	c := NewFingerprintCache(4)
+	key := FingerprintKey{Mode: IndexFree, T: 100, Seed: 7}
+	want := fakeFingerprint(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	c.buildHook = func(FingerprintKey) { close(started) }
+
+	const waiters = 8
+	results := make([]*Fingerprint, waiters+1)
+	cachedFlags := make([]bool, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fp, cached, err := c.Get(context.Background(), key, func() (*Fingerprint, error) {
+			<-release
+			return want, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[0], cachedFlags[0] = fp, cached
+	}()
+	<-started // the build is in flight; everyone below must latch onto it
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fp, cached, err := c.Get(context.Background(), key, func() (*Fingerprint, error) {
+				t.Error("second build ran during singleflight")
+				return fakeFingerprint(t), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], cachedFlags[i] = fp, cached
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, fp := range results {
+		if fp != want {
+			t.Fatalf("query %d got a different fingerprint", i)
+		}
+		if wantCached := i != 0; cachedFlags[i] != wantCached {
+			t.Errorf("query %d cached = %v, want %v", i, cachedFlags[i], wantCached)
+		}
+	}
+	s := c.Stats()
+	if s.Builds != 1 || s.Misses != 1 || s.Hits != waiters || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 build, 1 miss, %d hits, 1 entry", s, waiters)
+	}
+}
+
+// TestFingerprintCacheLRU: the oldest untouched key falls out at capacity
+// and rebuilding it counts as a fresh miss.
+func TestFingerprintCacheLRU(t *testing.T) {
+	c := NewFingerprintCache(2)
+	get := func(seed int64) bool {
+		_, cached, err := c.Get(context.Background(), FingerprintKey{T: 10, Seed: seed}, func() (*Fingerprint, error) {
+			return fakeFingerprint(t), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cached
+	}
+	get(1)
+	get(2)
+	get(1) // touch 1 so 2 becomes the LRU victim
+	get(3) // evicts 2
+	if !get(1) {
+		t.Error("key 1 should have survived")
+	}
+	if get(2) {
+		t.Error("key 2 should have been evicted")
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Errorf("entries = %d, want capacity 2", s.Entries)
+	}
+}
+
+// TestFingerprintCacheErrorNotCached: a failed build is handed to its caller
+// but never stored, so the next query rebuilds.
+func TestFingerprintCacheErrorNotCached(t *testing.T) {
+	c := NewFingerprintCache(4)
+	key := FingerprintKey{T: 5}
+	boom := errors.New("pager: dead page")
+	if _, _, err := c.Get(context.Background(), key, func() (*Fingerprint, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	fp, cached, err := c.Get(context.Background(), key, func() (*Fingerprint, error) {
+		return fakeFingerprint(t), nil
+	})
+	if err != nil || cached || fp == nil {
+		t.Fatalf("rebuild after failure: fp=%v cached=%v err=%v", fp, cached, err)
+	}
+	if s := c.Stats(); s.Builds != 2 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 2 builds and 1 entry", s)
+	}
+}
+
+// TestFingerprintCacheWaiterCancel: a waiter whose context dies leaves the
+// build untouched — the builder still publishes for everyone after it.
+func TestFingerprintCacheWaiterCancel(t *testing.T) {
+	c := NewFingerprintCache(4)
+	key := FingerprintKey{T: 5}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	c.buildHook = func(FingerprintKey) { close(started) }
+	want := fakeFingerprint(t)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(context.Background(), key, func() (*Fingerprint, error) {
+			<-release
+			return want, nil
+		})
+		done <- err
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Get(ctx, key, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	fp, cached, err := c.Get(context.Background(), key, nil)
+	if err != nil || !cached || fp != want {
+		t.Fatalf("post-cancel hit: fp=%p cached=%v err=%v", fp, cached, err)
+	}
+}
+
+// TestFingerprintCacheBuilderErrorWaiterRetries: when the in-flight build
+// fails (e.g. its query's context expired), a queued waiter becomes the new
+// builder with its own context instead of inheriting the failure.
+func TestFingerprintCacheBuilderErrorWaiterRetries(t *testing.T) {
+	c := NewFingerprintCache(4)
+	key := FingerprintKey{T: 5}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// The retrying waiter fires the hook too; only the first firing signals.
+	c.buildHook = func(FingerprintKey) {
+		select {
+		case <-started:
+		default:
+			close(started)
+		}
+	}
+	boom := errors.New("cancelled mid-build")
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(context.Background(), key, func() (*Fingerprint, error) {
+			<-release
+			return nil, boom
+		})
+		firstDone <- err
+	}()
+	<-started
+	want := fakeFingerprint(t)
+	secondDone := make(chan struct{})
+	var fp *Fingerprint
+	var cached bool
+	var err2 error
+	go func() {
+		defer close(secondDone)
+		fp, cached, err2 = c.Get(context.Background(), key, func() (*Fingerprint, error) {
+			return want, nil
+		})
+	}()
+	close(release)
+	if err := <-firstDone; !errors.Is(err, boom) {
+		t.Fatalf("builder err = %v", err)
+	}
+	<-secondDone
+	if err2 != nil || cached || fp != want {
+		t.Fatalf("retrying waiter: fp=%p cached=%v err=%v", fp, cached, err2)
+	}
+	if s := c.Stats(); s.Builds != 2 {
+		t.Errorf("builds = %d, want 2", s.Builds)
+	}
+}
+
+// TestPipelineFingerprintCache wires the cache through the MH pipeline: the
+// first query builds and pays Phase-1 I/O, the second is served from cache
+// with zero Phase-1 I/O and the FingerprintCached flag set, and a NoCache
+// query rebuilds without touching the cache.
+func TestPipelineFingerprintCache(t *testing.T) {
+	ds := data.Independent(3000, 3, 21)
+	in := testInput(t, ds)
+	in.Cache = NewFingerprintCache(0)
+	cfg := Config{K: 5, Seed: 3}
+
+	first, err := SkyDiverMH(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.FingerprintCached {
+		t.Error("first query cannot be a cache hit")
+	}
+	if first.Stats.IO.Reads == 0 {
+		t.Error("first query should have scanned the data file")
+	}
+
+	second, err := SkyDiverMH(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Stats.FingerprintCached {
+		t.Error("second identical query should hit the cache")
+	}
+	if second.Stats.IO != (pager.Stats{}) {
+		t.Errorf("cache hit charged I/O: %+v", second.Stats.IO)
+	}
+	if len(second.Selected) != len(first.Selected) {
+		t.Fatal("cached selection differs in size")
+	}
+	for i := range first.Selected {
+		if first.Selected[i] != second.Selected[i] {
+			t.Fatalf("cached selection diverges at %d: %v vs %v", i, first.Selected, second.Selected)
+		}
+	}
+
+	cfg.NoCache = true
+	third, err := SkyDiverMH(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Stats.FingerprintCached {
+		t.Error("NoCache query reported a cache hit")
+	}
+	if third.Stats.IO.Reads == 0 {
+		t.Error("NoCache query should have re-scanned the data file")
+	}
+	if s := in.Cache.Stats(); s.Builds != 1 {
+		t.Errorf("cache saw %d builds, want 1 (NoCache must bypass entirely)", s.Builds)
+	}
+
+	// Different parameters miss: a new seed is a different fingerprint.
+	cfg.NoCache = false
+	cfg.Seed = 4
+	fourth, err := SkyDiverMH(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth.Stats.FingerprintCached {
+		t.Error("different seed reported a cache hit")
+	}
+	if s := in.Cache.Stats(); s.Builds != 2 || s.Entries != 2 {
+		t.Errorf("cache stats = %+v, want 2 builds / 2 entries", s)
+	}
+}
+
+// TestExactOraclePairMemoEviction pins the bounded memo: the map never
+// exceeds its cap, and a re-queried evicted pair is recomputed to the exact
+// same value.
+func TestExactOraclePairMemoEviction(t *testing.T) {
+	ds := data.Independent(2000, 3, 41)
+	in := testInput(t, ds)
+	if len(in.Sky) < 6 {
+		t.Fatalf("skyline too small (%d) for the eviction scenario", len(in.Sky))
+	}
+	ref := NewExactOracle(in.Tree, ds, in.Sky) // uncapped reference
+	o := NewExactOracle(in.Tree, ds, in.Sky)
+	o.SetPairMemoCap(3)
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {1, 2}, {2, 3}}
+	want := make([]float64, len(pairs))
+	for i, p := range pairs {
+		d, err := ref.Jd(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = d
+		got, err := o.Jd(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("pair %v: %v, want %v", p, got, want[i])
+		}
+		if len(o.pair) > 3 {
+			t.Fatalf("memo grew to %d entries past cap 3", len(o.pair))
+		}
+	}
+	// {0,1} was evicted long ago; recomputation must agree.
+	d, err := o.Jd(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != want[0] {
+		t.Fatalf("evicted pair recomputed to %v, want %v", d, want[0])
+	}
+	if len(o.pair) > 3 {
+		t.Fatalf("memo at %d entries past cap 3", len(o.pair))
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+	"skydiver/internal/minhash"
+	"skydiver/internal/pager"
+	"skydiver/internal/rtree"
+)
+
+// SigGenIBParallel is the subtree-sharded variant of SigGen-IB: the top of
+// the R*-tree is expanded by a sequential planner until enough partially
+// dominated subtrees exist, then workers traverse those subtrees
+// concurrently. The output is bit-for-bit identical to the sequential
+// SigGenIB for any worker count.
+//
+// Why that holds: the sequential traversal assigns row ids with a running
+// counter, and its stack discipline makes every partially dominated entry's
+// subtree consume exactly Entry.Count consecutive ids. Within one node at
+// counter value B, immediately consumed entries (leaf points, and non-leaf
+// entries no skyline point partially dominates) take their ids in entry
+// order; the partial children are then popped last-pushed-first, so in
+// reverse entry order, each receiving the next Count-sized contiguous block.
+// The planner replays exactly that arithmetic to give every subtree task its
+// absolute starting id, after which subtrees are order-independent: min-fold
+// per slot is commutative and associative, and domination scores are integer
+// counts whose float64 sums are exact. workers <= 0 uses GOMAXPROCS.
+//
+// Concurrent node reads go through the reader's internally locked pool, so
+// sharing one per-query session across the subtree workers is race-free; the
+// total page reads and the resulting fingerprint are schedule-independent,
+// but the hit/fault split can vary run to run because workers interleave
+// differently in the shared LRU. Callers that pin fault counts (the golden
+// harness) should use the sequential SigGenIB.
+func SigGenIBParallel(tr rtree.Reader, ds *data.Dataset, sky []int, fam *minhash.Family, workers int) (*Fingerprint, error) {
+	return SigGenIBParallelCtx(context.Background(), tr, ds, sky, fam, workers)
+}
+
+// ibSkyEntry is one skyline point prepared for dominance scans: the point,
+// its L1 norm for early termination, and its signature column.
+type ibSkyEntry struct {
+	pt  []float64
+	l1  float64
+	col int
+}
+
+// ibTask is one independent unit of traversal: the subtree rooted at page,
+// whose rows occupy the id range [base, base+count).
+type ibTask struct {
+	page  pager.PageID
+	base  uint64
+	count uint64
+}
+
+// ibScanner bundles the per-goroutine state of an index-based signature
+// pass: a private fingerprint, hash scratch, and the shared read-only
+// skyline entries and hash family.
+type ibScanner struct {
+	entries []ibSkyEntry
+	fam     *minhash.Family
+	fp      *Fingerprint
+	hv      []uint32
+	full    []int
+	rows    uint64 // running row-id counter (absolute)
+}
+
+func newIBScanner(entries []ibSkyEntry, fam *minhash.Family, m int) *ibScanner {
+	return &ibScanner{
+		entries: entries,
+		fam:     fam,
+		fp:      &Fingerprint{Matrix: minhash.NewMatrix(fam.Size(), m), DomScore: make([]float64, m)},
+		hv:      make([]uint32, fam.Size()),
+		full:    make([]int, 0, m),
+	}
+}
+
+// updateFull folds count fresh row ids (starting at the scanner's counter)
+// into the signatures of the fully dominating columns, mirroring the
+// sequential updateFull exactly.
+func (sc *ibScanner) updateFull(full []int, count int) {
+	if len(full) == 0 {
+		sc.rows += uint64(count)
+		return
+	}
+	for r := 0; r < count; r++ {
+		sc.fam.HashAll(sc.hv, sc.rows)
+		sc.rows++
+		for _, c := range full {
+			sc.fp.Matrix.UpdateColumn(c, sc.hv)
+		}
+	}
+	for _, c := range full {
+		sc.fp.DomScore[c] += float64(count)
+	}
+}
+
+// classifyRect fills sc.full with the columns fully dominating rect and
+// reports whether any column partially dominates it.
+func (sc *ibScanner) classifyRect(rect geom.Rect) (fullCols []int, anyPartial bool) {
+	sc.full = sc.full[:0]
+	hiL1 := geom.L1(rect.Hi)
+	for i := range sc.entries {
+		e := &sc.entries[i]
+		if e.l1 >= hiL1 {
+			break
+		}
+		switch geom.DomRelation(e.pt, rect) {
+		case geom.DomFull:
+			sc.full = append(sc.full, e.col)
+		case geom.DomPartial:
+			return nil, true
+		}
+	}
+	return sc.full, false
+}
+
+// classifyPoint fills sc.full with the columns dominating point p (partial
+// dominance cannot occur for a point).
+func (sc *ibScanner) classifyPoint(p []float64) []int {
+	sc.full = sc.full[:0]
+	pL1 := geom.L1(p)
+	for i := range sc.entries {
+		e := &sc.entries[i]
+		if e.l1 >= pL1 {
+			break
+		}
+		if geom.Dominates(e.pt, p) {
+			sc.full = append(sc.full, e.col)
+		}
+	}
+	return sc.full
+}
+
+// scanNode consumes one node's immediately processable entries in entry
+// order and returns the partially dominated children in entry order,
+// leaving sc.rows advanced past every consumed row.
+func (sc *ibScanner) scanNode(node *rtree.Node) []rtree.Entry {
+	var pending []rtree.Entry
+	for i := range node.Entries {
+		e := &node.Entries[i]
+		if node.Leaf {
+			sc.updateFull(sc.classifyPoint(e.Point()), 1)
+			continue
+		}
+		fullCols, anyPartial := sc.classifyRect(e.Rect)
+		if anyPartial {
+			pending = append(pending, *e)
+			continue
+		}
+		sc.updateFull(fullCols, int(e.Count))
+	}
+	return pending
+}
+
+// runSubtree traverses one task's subtree with the sequential stack
+// discipline, consuming exactly task.count row ids starting at task.base.
+func (sc *ibScanner) runSubtree(ctx context.Context, tr rtree.Reader, task ibTask) error {
+	sc.rows = task.base
+	stack := []ibTask{task}
+	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node, err := tr.ReadNode(cur.page)
+		if err != nil {
+			return err
+		}
+		pending := sc.scanNode(node)
+		// Partial children are pushed in entry order and popped in reverse,
+		// matching the sequential traversal; bases stay implicit because the
+		// scanner's counter advances through them in exactly that order.
+		stack = append(stack, make([]ibTask, len(pending))...)
+		for i := range pending {
+			stack[len(stack)-len(pending)+i] = ibTask{page: pending[i].Child}
+		}
+	}
+	if got := sc.rows - task.base; got != task.count {
+		return fmt.Errorf("core: SigGen-IB subtree at page %d consumed %d rows of %d", task.page, got, task.count)
+	}
+	return nil
+}
+
+// SigGenIBParallelCtx is SigGenIBParallel with cancellation (checked before
+// every node read) and worker panic containment; error selection is
+// deterministic (first failed task by task index). An aborted or failed run
+// discards all partial signatures.
+func SigGenIBParallelCtx(ctx context.Context, tr rtree.Reader, ds *data.Dataset, sky []int, fam *minhash.Family, workers int) (*Fingerprint, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return SigGenIBCtx(ctx, tr, ds, sky, fam)
+	}
+	m := len(sky)
+	if m == 0 {
+		return nil, fmt.Errorf("core: empty skyline")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if tr.Dims() != ds.Dims() {
+		return nil, fmt.Errorf("core: tree dims %d != dataset dims %d", tr.Dims(), ds.Dims())
+	}
+	entries := make([]ibSkyEntry, m)
+	for j, s := range sky {
+		p := ds.Point(s)
+		entries[j] = ibSkyEntry{pt: p, l1: geom.L1(p), col: j}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].l1 < entries[b].l1 })
+	before := tr.Stats()
+
+	// Planner: expand the largest remaining subtree until there are enough
+	// tasks to keep the workers busy. Immediate entries met on the way are
+	// consumed by the planner itself at their sequential row ids; every
+	// emitted task gets the absolute base the sequential counter would have
+	// reached it with.
+	planner := newIBScanner(entries, fam, m)
+	tasks := []ibTask{{page: tr.Root(), base: 0, count: uint64(tr.Len())}}
+	target := 2 * workers
+	expansions := 0
+	for len(tasks) > 0 && len(tasks) < target && expansions < 4*target {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Split the biggest task; ties go to the lowest index so planning is
+		// deterministic.
+		bi := 0
+		for i := 1; i < len(tasks); i++ {
+			if tasks[i].count > tasks[bi].count {
+				bi = i
+			}
+		}
+		tk := tasks[bi]
+		tasks = append(tasks[:bi], tasks[bi+1:]...)
+		node, err := tr.ReadNode(tk.page)
+		if err != nil {
+			return nil, err
+		}
+		expansions++
+		planner.rows = tk.base
+		pending := planner.scanNode(node)
+		consumed := planner.rows - tk.base
+		// The sequential stack pops the partial children in reverse entry
+		// order, so the LAST child starts right after the node's immediate
+		// consumptions and each earlier child follows its successor's block.
+		base := tk.base + consumed
+		children := make([]ibTask, len(pending))
+		for i := len(pending) - 1; i >= 0; i-- {
+			children[i] = ibTask{page: pending[i].Child, base: base, count: uint64(pending[i].Count)}
+			base += uint64(pending[i].Count)
+		}
+		if base != tk.base+tk.count {
+			return nil, fmt.Errorf("core: SigGen-IB planner at page %d accounted %d rows of %d", tk.page, base-tk.base, tk.count)
+		}
+		tasks = append(tasks, children...)
+	}
+
+	// Workers drain the task list through an atomic cursor; each folds its
+	// subtrees into a private fingerprint. Assignment order is irrelevant —
+	// every task's row ids are absolute.
+	shards := make([]*Fingerprint, workers)
+	taskErrs := make([]error, len(tasks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := newIBScanner(entries, fam, m)
+			shards[w] = sc.fp
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				func() {
+					// Contain panics, as the IF workers do: a bad subtree
+					// surfaces as its task's error, not a process crash.
+					defer func() {
+						if r := recover(); r != nil {
+							taskErrs[i] = fmt.Errorf("core: SigGen-IB worker panicked on page %d: %v", tasks[i].page, r)
+						}
+					}()
+					taskErrs[i] = sc.runSubtree(ctx, tr, tasks[i])
+				}()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range taskErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge planner + shards: per-slot minima and score sums, both
+	// order-insensitive.
+	out := planner.fp
+	for _, fp := range shards {
+		if fp == nil {
+			continue
+		}
+		for c := 0; c < m; c++ {
+			out.Matrix.UpdateColumn(c, fp.Matrix.Column(c))
+			out.DomScore[c] += fp.DomScore[c]
+		}
+	}
+	// Row accounting: the root task covers [0, Len) exactly; every planner
+	// expansion was verified to repartition its range into the consumed
+	// prefix plus the children's blocks, and every executed task was
+	// verified to consume exactly its block — so all Len() rows were
+	// consumed exactly once, the sequential invariant.
+	out.IO = tr.Stats().Sub(before)
+	return out, nil
+}

@@ -13,11 +13,25 @@ import (
 //
 // An oracle is bound to one rtree.Reader and is not safe for concurrent use;
 // give each query its own oracle over its own I/O session.
+// defaultPairMemoCap bounds the pairwise memo: C(m, 2) grows quadratically
+// in the skyline size, and a long-lived oracle (quality sweeps over large
+// skylines) would otherwise hold every pair it ever touched. 2^20 entries
+// are ~24 MB — ample for any skyline the experiments use, small enough to
+// never matter in a serving process.
+const defaultPairMemoCap = 1 << 20
+
 type ExactOracle struct {
 	tree   rtree.Reader
 	skyPts [][]float64
 	gamma  []int // |Γ(p)| per skyline point, filled lazily (-1 = unknown)
-	pair   map[[2]int]float64
+	// pair memoizes pairwise distances up to pairCap entries; pairFIFO is
+	// the insertion-order ring used for eviction (FIFO — deterministic, and
+	// the access pattern of greedy selection has no recency structure worth
+	// tracking).
+	pair     map[[2]int]float64
+	pairCap  int
+	pairFIFO [][2]int
+	pairPos  int
 }
 
 // NewExactOracle creates an oracle over the skyline of the dataset indexed
@@ -25,10 +39,11 @@ type ExactOracle struct {
 // executed lazily, on first use.
 func NewExactOracle(tr rtree.Reader, ds *data.Dataset, sky []int) *ExactOracle {
 	o := &ExactOracle{
-		tree:   tr,
-		skyPts: make([][]float64, len(sky)),
-		gamma:  make([]int, len(sky)),
-		pair:   make(map[[2]int]float64),
+		tree:    tr,
+		skyPts:  make([][]float64, len(sky)),
+		gamma:   make([]int, len(sky)),
+		pair:    make(map[[2]int]float64),
+		pairCap: defaultPairMemoCap,
 	}
 	for j, s := range sky {
 		o.skyPts[j] = ds.Point(s)
@@ -95,8 +110,36 @@ func (o *ExactOracle) Jd(i, j int) (float64, error) {
 	if union > 0 {
 		d = 1 - float64(inter)/float64(union)
 	}
-	o.pair[key] = d
+	o.memoize(key, d)
 	return d, nil
+}
+
+// SetPairMemoCap replaces the pairwise memo bound (minimum 1) and clears the
+// memo, so the ring and the map stay consistent. Gamma caches are kept —
+// they are O(m), not O(m²). Shrinking the cap trades repeated
+// common-dominance queries for memory.
+func (o *ExactOracle) SetPairMemoCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	o.pairCap = n
+	o.pair = make(map[[2]int]float64)
+	o.pairFIFO = nil
+	o.pairPos = 0
+}
+
+// memoize records one pairwise distance, evicting the oldest entry once the
+// memo is full.
+func (o *ExactOracle) memoize(key [2]int, d float64) {
+	if len(o.pair) >= o.pairCap {
+		old := o.pairFIFO[o.pairPos]
+		delete(o.pair, old)
+		o.pairFIFO[o.pairPos] = key
+		o.pairPos = (o.pairPos + 1) % o.pairCap
+	} else {
+		o.pairFIFO = append(o.pairFIFO, key)
+	}
+	o.pair[key] = d
 }
 
 // MinPairwiseJd returns the minimum exact Jaccard distance within a set of

@@ -73,9 +73,9 @@ func SigGenIFParallelCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *
 		entries[j] = skyEntry{pt: p, l1: geom.L1(p), col: j}
 	}
 	sort.Slice(entries, func(a, b int) bool { return entries[a].l1 < entries[b].l1 })
-	inSky := make(map[int]bool, m)
+	inSky := newBitset(n)
 	for _, s := range sky {
-		inSky[s] = true
+		inSky.set(s)
 	}
 
 	pageQuantum := pager.NewSequentialCounter(8*ds.Dims() + 4).RecordsPerPage()
@@ -115,7 +115,7 @@ func SigGenIFParallelCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *
 						return
 					}
 				}
-				if inSky[i] {
+				if inSky.get(i) {
 					continue
 				}
 				p := ds.Point(i)

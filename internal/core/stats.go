@@ -21,6 +21,10 @@ import (
 type Stats struct {
 	// Fingerprint is the CPU time of the signature-generation phase.
 	Fingerprint time.Duration
+	// FingerprintCached reports that Phase 1 was served from the dataset's
+	// fingerprint cache — no signature pass ran and no Phase-1 I/O was
+	// charged (IO then covers only the selection phase, if any).
+	FingerprintCached bool
 	// Select is the CPU time of the selection phase.
 	Select time.Duration
 	// IO accumulates page accesses (R-tree probes and/or sequential scan).

@@ -143,21 +143,41 @@ func SelectDiverseSetCtx(ctx context.Context, m, k int, dist DistFunc, score []f
 // variant avoids — then grows it greedily like SelectDiverseSet. It exists
 // for the seeding ablation; SkyDiver itself uses SelectDiverseSet.
 func SelectDiverseSetFarthestSeed(m, k int, dist DistFunc) ([]int, error) {
+	return SelectDiverseSetFarthestSeedCtx(context.Background(), m, k, dist)
+}
+
+// SelectDiverseSetFarthestSeedCtx is SelectDiverseSetFarthestSeed with
+// cancellation, checked every cancelCheckStride distance evaluations —
+// including inside the O(m²) farthest-pair seeding scan, which on a large
+// skyline dwarfs the greedy rounds and previously could not be interrupted
+// at all. Cancellation during seeding returns an empty selection with the
+// context's error; after seeding, the prefix selected so far (anytime, like
+// SelectDiverseSetCtx).
+func SelectDiverseSetFarthestSeedCtx(ctx context.Context, m, k int, dist DistFunc) ([]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("dispersion: non-positive k %d", k)
 	}
 	if k > m {
 		return nil, fmt.Errorf("dispersion: k %d exceeds item count %d", k, m)
 	}
+	if err := ctx.Err(); err != nil {
+		return []int{}, err
+	}
 	if k == 1 || m == 1 {
 		return []int{0}, nil
 	}
 	bi, bj := 0, 1
 	bd := math.Inf(-1)
+	evals := 0
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			if d := dist(i, j); d > bd {
 				bi, bj, bd = i, j, d
+			}
+			if evals++; evals%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return []int{}, err
+				}
 			}
 		}
 	}
@@ -168,9 +188,17 @@ func SelectDiverseSetFarthestSeed(m, k int, dist DistFunc) ([]int, error) {
 	for i := 0; i < m; i++ {
 		if !inSet[i] {
 			minDist[i] = math.Min(dist(i, bi), dist(i, bj))
+			if evals += 2; evals%cancelCheckStride < 2 {
+				if err := ctx.Err(); err != nil {
+					return selected, err
+				}
+			}
 		}
 	}
 	for len(selected) < k {
+		if err := ctx.Err(); err != nil {
+			return selected, err
+		}
 		best := -1
 		for i := 0; i < m; i++ {
 			if inSet[i] {
@@ -186,6 +214,11 @@ func SelectDiverseSetFarthestSeed(m, k int, dist DistFunc) ([]int, error) {
 			if !inSet[i] {
 				if d := dist(i, best); d < minDist[i] {
 					minDist[i] = d
+				}
+				if evals++; evals%cancelCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return selected, err
+					}
 				}
 			}
 		}
@@ -280,18 +313,36 @@ func BruteForceCtx(ctx context.Context, m, k int, dist DistFunc, obj Objective) 
 // of distances to the chosen set. Used by the Figure 2 comparison of the two
 // dispersion flavors.
 func GreedyMaxSum(m, k int, dist DistFunc) ([]int, error) {
+	return GreedyMaxSumCtx(context.Background(), m, k, dist)
+}
+
+// GreedyMaxSumCtx is GreedyMaxSum with cancellation, checked every
+// cancelCheckStride distance evaluations — the O(m²) farthest-pair seeding
+// scan included. Cancellation during seeding returns an empty selection;
+// later, the anytime prefix selected so far, in both cases alongside the
+// context's error.
+func GreedyMaxSumCtx(ctx context.Context, m, k int, dist DistFunc) ([]int, error) {
 	if k < 1 || k > m {
 		return nil, fmt.Errorf("dispersion: invalid k %d for %d items", k, m)
+	}
+	if err := ctx.Err(); err != nil {
+		return []int{}, err
 	}
 	if k == 1 || m == 1 {
 		return []int{0}, nil
 	}
 	bi, bj := 0, 1
 	bd := math.Inf(-1)
+	evals := 0
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			if d := dist(i, j); d > bd {
 				bi, bj, bd = i, j, d
+			}
+			if evals++; evals%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return []int{}, err
+				}
 			}
 		}
 	}
@@ -302,9 +353,17 @@ func GreedyMaxSum(m, k int, dist DistFunc) ([]int, error) {
 	for i := 0; i < m; i++ {
 		if !inSet[i] {
 			sumDist[i] = dist(i, bi) + dist(i, bj)
+			if evals += 2; evals%cancelCheckStride < 2 {
+				if err := ctx.Err(); err != nil {
+					return selected, err
+				}
+			}
 		}
 	}
 	for len(selected) < k {
+		if err := ctx.Err(); err != nil {
+			return selected, err
+		}
 		best := -1
 		for i := 0; i < m; i++ {
 			if inSet[i] {
@@ -319,6 +378,11 @@ func GreedyMaxSum(m, k int, dist DistFunc) ([]int, error) {
 		for i := 0; i < m; i++ {
 			if !inSet[i] {
 				sumDist[i] += dist(i, best)
+				if evals++; evals%cancelCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return selected, err
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,237 @@
+package dispersion
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DistManyFunc is the batched form of DistFunc: it writes dist(i, js[c])
+// into out[c] for every candidate in js. Implementations must agree with the
+// scalar oracle bit for bit (the signature-matrix and LSH bit-vector
+// distances do: their arithmetic is identical, only the access order
+// changes), because SelectDiverseSetParallelCtx is pinned to produce exactly
+// the sequential selection.
+type DistManyFunc func(i int, js []int, out []float64)
+
+// parallelMinItems is the smallest item count worth fanning out: below it,
+// goroutine startup and the per-round barrier cost more than the O(m) work
+// they split.
+const parallelMinItems = 2048
+
+// SelectDiverseSetParallelCtx is SelectDiverseSetCtx with the per-round O(m)
+// work — the min-distance update against the freshly selected point and the
+// argmax scan for the next pick — sharded across workers. distMany, when
+// non-nil, replaces the scalar oracle inside each shard with one batched
+// call per round (the cache-blocked estimator kernels); dist remains
+// required for the small-m sequential fallback. workers <= 0 uses
+// GOMAXPROCS.
+//
+// The selection is deterministic and identical to the sequential code for
+// any worker count: every minDist[i] sees the same update sequence it would
+// see sequentially (each entry is owned by exactly one shard), and the
+// shard-local argmax candidates are merged in ascending shard order under
+// the sequential comparison rule — strictly greater distance wins, equal
+// distance falls back to strictly greater score — so the lowest index wins
+// all remaining ties, exactly like the sequential left-to-right scan.
+//
+// The distance oracles must be safe for concurrent calls (pure functions
+// over in-memory structures are; the I/O-issuing exact oracle is not — keep
+// Simple-Greedy on the sequential variant).
+func SelectDiverseSetParallelCtx(ctx context.Context, m, k int, dist DistFunc, distMany DistManyFunc, score []float64, workers int) ([]int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || m < parallelMinItems {
+		return SelectDiverseSetCtx(ctx, m, k, dist, score)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dispersion: non-positive k %d", k)
+	}
+	if k > m {
+		return nil, fmt.Errorf("dispersion: k %d exceeds item count %d", k, m)
+	}
+	if score != nil && len(score) != m {
+		return nil, fmt.Errorf("dispersion: score vector has %d entries for %d items", len(score), m)
+	}
+	if err := ctx.Err(); err != nil {
+		return []int{}, err
+	}
+	sc := func(i int) float64 {
+		if score == nil {
+			return 0
+		}
+		return score[i]
+	}
+	// Seed: maximum score (sequential scan — O(m) comparisons, no oracle).
+	first := 0
+	for i := 1; i < m; i++ {
+		if sc(i) > sc(first) {
+			first = i
+		}
+	}
+	selected := make([]int, 0, k)
+	selected = append(selected, first)
+	if k == 1 {
+		// Match the sequential variant's oracle-free exit shape: no distance
+		// is ever needed for a single pick. (The sequential code computes the
+		// initial minDist vector even for k = 1; its values are discarded, so
+		// skipping them changes no output.)
+		return selected, nil
+	}
+
+	inSet := make([]bool, m)
+	inSet[first] = true
+	minDist := make([]float64, m)
+
+	// Shards: fixed contiguous ranges so each minDist entry has one owner.
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	type shardBest struct {
+		idx int // -1 = shard exhausted
+	}
+	bests := make([]shardBest, workers)
+	errs := make([]error, workers)
+
+	// Per-shard scratch for the batched oracle: candidate indexes and their
+	// distances, reused across rounds.
+	jsBuf := make([][]int, workers)
+	outBuf := make([][]float64, workers)
+	for w := 0; w < workers; w++ {
+		if distMany != nil {
+			n := chunk
+			jsBuf[w] = make([]int, 0, n)
+			outBuf[w] = make([]float64, n)
+		}
+	}
+
+	// Persistent workers, one round per release: cheaper than spawning
+	// workers×k goroutines and keeps the scratch buffers warm. Each worker
+	// owns a dedicated channel so every shard runs exactly once per round (a
+	// shared channel would let a fast worker steal a slow one's release and
+	// leave that shard's argmax stale).
+	var (
+		wg       sync.WaitGroup
+		starts   = make([]chan int, workers) // per-worker: the freshly selected point
+		done     = make(chan struct{})
+		roundSem sync.WaitGroup
+	)
+	for w := range starts {
+		starts[w] = make(chan int, 1)
+	}
+	firstRound := true
+	runShard := func(w, cur int, first bool) {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m {
+			hi = m
+		}
+		best := -1
+		if distMany != nil {
+			js := jsBuf[w][:0]
+			for i := lo; i < hi; i++ {
+				if !inSet[i] {
+					js = append(js, i)
+				}
+			}
+			jsBuf[w] = js
+			out := outBuf[w][:len(js)]
+			distMany(cur, js, out)
+			for c, i := range js {
+				d := out[c]
+				if first {
+					minDist[i] = d
+				} else if d < minDist[i] {
+					minDist[i] = d
+				}
+				if best == -1 || minDist[i] > minDist[best] ||
+					(minDist[i] == minDist[best] && sc(i) > sc(best)) {
+					best = i
+				}
+			}
+		} else {
+			evals := 0
+			for i := lo; i < hi; i++ {
+				if inSet[i] {
+					continue
+				}
+				d := dist(i, cur)
+				if first {
+					minDist[i] = d
+				} else if d < minDist[i] {
+					minDist[i] = d
+				}
+				if best == -1 || minDist[i] > minDist[best] ||
+					(minDist[i] == minDist[best] && sc(i) > sc(best)) {
+					best = i
+				}
+				if evals++; evals%cancelCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						bests[w] = shardBest{idx: best}
+						return
+					}
+				}
+			}
+		}
+		bests[w] = shardBest{idx: best}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case cur := <-starts[w]:
+					runShard(w, cur, firstRound)
+					roundSem.Done()
+				case <-done:
+					return
+				}
+			}
+		}(w)
+	}
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+
+	cur := first
+	for len(selected) < k {
+		if err := ctx.Err(); err != nil {
+			return selected, err
+		}
+		// Release one round: every worker updates its shard against cur and
+		// reports its shard-local argmax.
+		roundSem.Add(workers)
+		for w := 0; w < workers; w++ {
+			starts[w] <- cur
+		}
+		roundSem.Wait()
+		firstRound = false
+		for w := 0; w < workers; w++ {
+			if errs[w] != nil {
+				return selected, errs[w]
+			}
+		}
+		// Merge in ascending shard order with the sequential comparison:
+		// identical to one left-to-right scan over all items.
+		best := -1
+		for w := 0; w < workers; w++ {
+			i := bests[w].idx
+			if i == -1 {
+				continue
+			}
+			if best == -1 || minDist[i] > minDist[best] ||
+				(minDist[i] == minDist[best] && sc(i) > sc(best)) {
+				best = i
+			}
+		}
+		selected = append(selected, best)
+		inSet[best] = true
+		cur = best
+	}
+	return selected, nil
+}

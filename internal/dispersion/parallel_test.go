@@ -1,0 +1,283 @@
+package dispersion
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"skydiver/internal/minhash"
+)
+
+// parallel_test.go pins SelectDiverseSetParallelCtx to the sequential
+// selection — same items, same order, every worker count, scalar and batched
+// oracle — and covers cancellation of the new ctx variants.
+
+// synthDist builds a deterministic pseudo-random symmetric metric-ish
+// distance over m items with deliberately many ties (values quantized to
+// 1/8ths) so the tie-break rules are actually exercised.
+func synthDist(m int, seed int64) DistFunc {
+	r := rand.New(rand.NewSource(seed))
+	vals := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := float64(r.Intn(8)+1) / 8
+			vals[i*m+j] = d
+			vals[j*m+i] = d
+		}
+	}
+	return func(i, j int) float64 { return vals[i*m+j] }
+}
+
+// synthScore builds scores with repeated values, again to stress ties.
+func synthScore(m int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	s := make([]float64, m)
+	for i := range s {
+		s[i] = float64(r.Intn(5))
+	}
+	return s
+}
+
+// TestParallelSelectionMatchesSequential is the golden pin: for a grid of
+// sizes, k values and worker counts, the parallel selection must return the
+// exact sequence the sequential code returns — including through the
+// small-m fallback and with the batched oracle plugged in.
+func TestParallelSelectionMatchesSequential(t *testing.T) {
+	for _, m := range []int{1, 2, 17, 100, 2048, 3001} {
+		dist := synthDist(m, int64(m))
+		score := synthScore(m, int64(m)+1)
+		distMany := func(i int, js []int, out []float64) {
+			for c, j := range js {
+				out[c] = dist(i, j)
+			}
+		}
+		for _, k := range []int{1, 2, 5, 10} {
+			if k > m {
+				continue
+			}
+			want, err := SelectDiverseSet(m, k, dist, score)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+				got, err := SelectDiverseSetParallelCtx(context.Background(), m, k, dist, nil, score, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("m=%d k=%d workers=%d scalar: got %v, want %v", m, k, workers, got, want)
+				}
+				got, err = SelectDiverseSetParallelCtx(context.Background(), m, k, dist, distMany, score, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("m=%d k=%d workers=%d batched: got %v, want %v", m, k, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSelectionNilScore covers the score-free path.
+func TestParallelSelectionNilScore(t *testing.T) {
+	m := 2500
+	dist := synthDist(m, 9)
+	want, err := SelectDiverseSet(m, 6, dist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SelectDiverseSetParallelCtx(context.Background(), m, 6, dist, nil, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestParallelSelectionValidation mirrors the sequential validation errors.
+func TestParallelSelectionValidation(t *testing.T) {
+	dist := synthDist(10, 1)
+	if _, err := SelectDiverseSetParallelCtx(context.Background(), 5000, 0, dist, nil, nil, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SelectDiverseSetParallelCtx(context.Background(), 5000, 5001, dist, nil, nil, 2); err == nil {
+		t.Error("k>m accepted")
+	}
+	if _, err := SelectDiverseSetParallelCtx(context.Background(), 5000, 3, dist, nil, []float64{1}, 2); err == nil {
+		t.Error("bad score length accepted")
+	}
+}
+
+// TestParallelSelectionCancelled checks the anytime contract: a cancelled
+// parallel run returns a valid prefix of the sequential selection together
+// with the context error.
+func TestParallelSelectionCancelled(t *testing.T) {
+	m := 4096
+	dist := synthDist(m, 3)
+	want, err := SelectDiverseSet(m, 8, dist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var rounds atomic.Int32 // the batched oracle runs on two workers at once
+	got, err := SelectDiverseSetParallelCtx(ctx, m, 8, dist, func(i int, js []int, out []float64) {
+		for c, j := range js {
+			out[c] = dist(i, j)
+		}
+		if rounds.Add(1) >= 6 {
+			cancel()
+		}
+	}, nil, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) >= 8 {
+		t.Fatalf("cancelled run returned a full selection of %d items", len(got))
+	}
+	for i, v := range got {
+		if v != want[i] {
+			t.Fatalf("partial prefix diverges at %d: got %v, want prefix of %v", i, got, want)
+		}
+	}
+}
+
+// TestFarthestSeedCtxCancel pins the new cancellation point inside the
+// O(m²) seeding scan: a pre-cancelled context must abort with no selection,
+// and a context cancelled mid-scan must abort within one check stride.
+func TestFarthestSeedCtxCancel(t *testing.T) {
+	m := 600 // m² = 360000 pair evaluations ≫ cancelCheckStride
+	dist := synthDist(m, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := SelectDiverseSetFarthestSeedCtx(ctx, m, 5, dist)
+	if !errors.Is(err, context.Canceled) || len(got) != 0 {
+		t.Fatalf("pre-cancelled: got %v, err %v", got, err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	evals := 0
+	counting := func(i, j int) float64 {
+		evals++
+		if evals == 2*cancelCheckStride {
+			cancel2()
+		}
+		return dist(i, j)
+	}
+	_, err = SelectDiverseSetFarthestSeedCtx(ctx2, m, 5, counting)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-seeding cancel: err = %v", err)
+	}
+	if evals > 3*cancelCheckStride {
+		t.Fatalf("cancellation latency: %d evaluations after cancel at %d", evals, 2*cancelCheckStride)
+	}
+
+	// Uncancelled ctx variant matches the plain function.
+	want, err := SelectDiverseSetFarthestSeed(m, 5, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = SelectDiverseSetFarthestSeedCtx(context.Background(), m, 5, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ctx variant diverged: %v vs %v", got, want)
+	}
+}
+
+// TestGreedyMaxSumCtxCancel is the same contract for the max-sum heuristic.
+func TestGreedyMaxSumCtxCancel(t *testing.T) {
+	m := 600
+	dist := synthDist(m, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := GreedyMaxSumCtx(ctx, m, 5, dist)
+	if !errors.Is(err, context.Canceled) || len(got) != 0 {
+		t.Fatalf("pre-cancelled: got %v, err %v", got, err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	evals := 0
+	counting := func(i, j int) float64 {
+		evals++
+		if evals == 2*cancelCheckStride {
+			cancel2()
+		}
+		return dist(i, j)
+	}
+	_, err = GreedyMaxSumCtx(ctx2, m, 5, counting)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-seeding cancel: err = %v", err)
+	}
+	if evals > 3*cancelCheckStride {
+		t.Fatalf("cancellation latency: %d evaluations after cancel at %d", evals, 2*cancelCheckStride)
+	}
+
+	want, err := GreedyMaxSum(m, 5, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = GreedyMaxSumCtx(context.Background(), m, 5, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ctx variant diverged: %v vs %v", got, want)
+	}
+}
+
+// benchSignatureDist builds a distance oracle with the cost profile of the
+// real selection phase: each evaluation scans two t-slot MinHash signatures.
+// (A plain array-lookup distance would make the round barrier look expensive
+// relative to work that, in production, is two orders of magnitude heavier.)
+func benchSignatureDist(m, t int) (DistFunc, DistManyFunc, []float64) {
+	mat := minhash.NewMatrix(t, m)
+	fam, err := minhash.NewFamily(t, 11)
+	if err != nil {
+		panic(err)
+	}
+	hv := make([]uint32, t)
+	for row := 0; row < 2*m; row++ {
+		fam.HashAll(hv, uint64(row))
+		mat.UpdateColumn(row%m, hv)
+		mat.UpdateColumn((row*7+3)%m, hv)
+	}
+	score := make([]float64, m)
+	for i := range score {
+		score[i] = float64(i % 13)
+	}
+	dist := func(i, j int) float64 { return mat.EstimateJd(i, j) }
+	return dist, mat.EstimateJdMany, score
+}
+
+// BenchmarkSelectParallel measures the parallel selection against its
+// sequential twin on a selection-phase-shaped workload (m = 4096 skyline
+// points, t = 400 slots, k = 32). Workers are pinned to 4 rather than
+// GOMAXPROCS so the parallel machinery is always on the measured path — on a
+// single-CPU host this reports the coordination overhead (which should stay
+// within a few percent of sequential), on a multicore host the speedup.
+func BenchmarkSelectParallel(b *testing.B) {
+	dist, distMany, score := benchSignatureDist(4096, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectDiverseSetParallelCtx(context.Background(), 4096, 32, dist, distMany, score, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectSequential is the baseline for BenchmarkSelectParallel.
+func BenchmarkSelectSequential(b *testing.B) {
+	dist, _, score := benchSignatureDist(4096, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectDiverseSet(4096, 32, dist, score); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

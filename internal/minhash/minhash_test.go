@@ -257,20 +257,3 @@ func BenchmarkHashAll100(b *testing.B) {
 		f.HashAll(dst, uint64(i))
 	}
 }
-
-func BenchmarkEstimateJs(b *testing.B) {
-	m := NewMatrix(100, 2)
-	hv := make([]uint32, 100)
-	f, _ := NewFamily(100, 1)
-	for x := uint64(0); x < 100; x++ {
-		f.HashAll(hv, x)
-		m.UpdateColumn(0, hv)
-		if x%2 == 0 {
-			m.UpdateColumn(1, hv)
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.EstimateJs(0, 1)
-	}
-}

@@ -47,6 +47,13 @@ var (
 // would merge their counters again, defeating its purpose — but using one is
 // race-free even if misused that way, since the underlying pool locks
 // internally. Session counters are mirrored into the tree's AggregateStats.
+//
+// Sharing one session between the workers of a single query, however, is
+// intended: SigGen-IB's parallel traversal issues concurrent ReadNode calls
+// through one session so the whole query is charged to one pool. Total reads
+// and faults+hits stay deterministic; only the hit/fault split can vary with
+// worker interleaving, since which racing reader misses first is a matter of
+// scheduling.
 type Session struct {
 	tree *Tree
 	pool *pager.BufferPool

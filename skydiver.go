@@ -119,9 +119,16 @@ type Options struct {
 	LSHBuckets int
 	// Seed drives all hashing; runs are deterministic per seed.
 	Seed int64
-	// Workers parallelizes index-free fingerprinting (0 or 1 = sequential,
-	// <0 = all CPUs). The result is identical to the sequential pass.
+	// Workers parallelizes the CPU-bound stages — fingerprinting (index-free
+	// shard scans or index-based subtree traversals) and the greedy
+	// selection's distance updates — across goroutines (0 or 1 = sequential,
+	// <0 = all CPUs). The selected points are identical to the sequential
+	// run for any value.
 	Workers int
+	// NoCache bypasses the dataset's fingerprint cache: Phase 1 always runs
+	// and its result is not stored. Use it to measure cold-start costs, or
+	// for one-off parameter probes that should not evict resident entries.
+	NoCache bool
 }
 
 // Result reports the chosen diverse skyline points.
@@ -148,6 +155,11 @@ type Result struct {
 	PageFaults int64
 	// MemoryBytes is the signature/bit-vector footprint (0 for Greedy/Exact).
 	MemoryBytes int
+	// FingerprintCached reports that Phase 1 was served from the dataset's
+	// fingerprint cache: no signature pass ran, and the run was charged no
+	// Phase-1 I/O. Always false for Greedy/Exact (which keep no signatures)
+	// and under Options.NoCache.
+	FingerprintCached bool
 }
 
 // Dataset is an indexed multidimensional dataset ready for skyline
@@ -169,6 +181,11 @@ type Dataset struct {
 	mu   sync.Mutex  // guards lazy construction of tree and sky
 	tree *rtree.Tree // immutable once built
 	sky  []int       // immutable once computed; callers receive copies
+
+	// fpCache memoizes Phase-1 fingerprints across queries (keyed on mode,
+	// signature size and seed) with singleflight builds. Internally locked;
+	// never invalidated — the dataset is immutable.
+	fpCache *core.FingerprintCache
 }
 
 // NewDataset builds a dataset from rows. prefs may be nil, meaning smaller
@@ -189,7 +206,18 @@ func fromInternal(ds *data.Dataset, prefs []Pref) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{original: ds, canon: canon}, nil
+	return &Dataset{original: ds, canon: canon, fpCache: core.NewFingerprintCache(0)}, nil
+}
+
+// FingerprintCacheStats snapshots the dataset's fingerprint-cache counters.
+type FingerprintCacheStats = core.FingerprintCacheStats
+
+// FingerprintCacheStats reports how the fingerprint cache has served queries
+// so far: SigGen builds executed, hits (queries answered from a resident or
+// in-flight fingerprint), misses, and resident entries. Safe to call
+// concurrently with running queries.
+func (d *Dataset) FingerprintCacheStats() FingerprintCacheStats {
+	return d.fpCache.Stats()
 }
 
 // Name returns the dataset name.
@@ -421,7 +449,7 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 	if opts.K > len(sky) {
 		return nil, fmt.Errorf("skydiver: K = %d exceeds skyline size %d", opts.K, len(sky))
 	}
-	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess}
+	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache}
 	cfg := core.Config{
 		K:             opts.K,
 		SignatureSize: opts.SignatureSize,
@@ -429,6 +457,7 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 		LSHThreshold:  opts.LSHThreshold,
 		LSHBuckets:    opts.LSHBuckets,
 		Workers:       opts.Workers,
+		NoCache:       opts.NoCache,
 	}
 	if opts.UseIndex {
 		cfg.Mode = core.IndexBased
@@ -457,14 +486,15 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 
 func (d *Dataset) publicResult(res *core.Result) *Result {
 	out := &Result{
-		Indexes:        res.DataIndexes,
-		Partial:        res.Partial,
-		Points:         make([][]float64, len(res.DataIndexes)),
-		ObjectiveValue: res.ObjectiveValue,
-		CPUTime:        res.Stats.CPU(),
-		IOTime:         res.Stats.IOTime(),
-		PageFaults:     res.Stats.IO.Faults,
-		MemoryBytes:    res.Stats.MemoryBytes,
+		Indexes:           res.DataIndexes,
+		Partial:           res.Partial,
+		Points:            make([][]float64, len(res.DataIndexes)),
+		ObjectiveValue:    res.ObjectiveValue,
+		CPUTime:           res.Stats.CPU(),
+		IOTime:            res.Stats.IOTime(),
+		PageFaults:        res.Stats.IO.Faults,
+		MemoryBytes:       res.Stats.MemoryBytes,
+		FingerprintCached: res.Stats.FingerprintCached,
 	}
 	for i, idx := range res.DataIndexes {
 		p := d.original.Point(idx)
