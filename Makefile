@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race concurrency fuzz verify bench bench-full
+.PHONY: build vet test race concurrency resilience stress fuzz verify bench bench-full
 
 build:
 	$(GO) build ./...
@@ -8,16 +8,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order within each package, so accidental
+# order dependence (shared caches, leaked globals) fails in CI instead of
+# lurking. The seed is printed on failure for reproduction.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # The concurrent-serving suite on its own: the race-enabled query waves plus
 # the session, pool, and golden accounting regressions they depend on.
 concurrency:
-	$(GO) test -race -run 'Concurrent|Session|BufferPool|Golden' . ./internal/rtree ./internal/pager ./internal/core
+	$(GO) test -race -shuffle=on -run 'Concurrent|Session|BufferPool|Golden' . ./internal/rtree ./internal/pager ./internal/core
+
+# The resilience suite on its own: race-enabled admission-control waves,
+# breaker trip/recovery, budget exhaustion and the degradation ladder.
+resilience:
+	$(GO) test -race -shuffle=on -run 'Admission|Breaker|Budget|Degrade|Overload' . ./internal/admission ./internal/budget ./internal/pager
+
+# Overload/fault/budget stress harness against an in-process dataset.
+stress:
+	$(GO) run ./cmd/skystress
 
 # Fuzz the pager fault-policy decoder and retry path for a short burst.
 fuzz:
@@ -40,5 +52,5 @@ bench-full:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Tier-1 verification: static checks, build, the full suite under the race
-# detector, and the concurrent-serving suite.
-verify: vet build race concurrency
+# detector, and the concurrent-serving and resilience suites.
+verify: vet build race concurrency resilience

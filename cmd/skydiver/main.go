@@ -9,6 +9,10 @@
 //	skydiver -gen ant -n 100000 -d 4 -k 10
 //	skydiver -in hotels.csv -prefs min,max -k 5 -algo sg
 //	skydiver -gen fc -d 5 -k 10 -algo lsh -verbose
+//	skydiver -gen ant -k 10 -parallel 8 -maxinflight 2 -budget pages=512,wall=50ms -shed
+//
+// Outcomes are distinguished by exit code (see -h): 0 complete, 1 error,
+// 2 bad command line, 3 partial, 4 shed by admission control, 5 degraded.
 package main
 
 import (
@@ -27,6 +31,29 @@ import (
 
 	"skydiver"
 )
+
+// Exit codes, also documented in the usage text. Precedence when several
+// apply: overloaded > partial > degraded.
+const (
+	exitOK         = 0
+	exitError      = 1
+	exitUsage      = 2 // emitted by the flag package itself
+	exitPartial    = 3
+	exitOverloaded = 4
+	exitDegraded   = 5
+)
+
+const usageExitCodes = `
+exit codes:
+  0  complete result
+  1  error, no result produced
+  2  bad command line
+  3  partial result: the deadline, a signal or the -budget cut the run short,
+     and the valid diverse prefix selected so far was printed
+  4  query shed by admission control (-maxinflight saturated); no work done
+  5  degraded result: -shed served a fallback (cached or reduced-fidelity
+     fingerprint, index-free scan, or budget-bounded prefix)
+`
 
 func main() {
 	var (
@@ -48,7 +75,19 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the result as a JSON object instead of text")
 		faults   = flag.String("faults", "", "inject page faults, e.g. rate=0.01,permanent=0.1,latency=1ms,seed=7 (see -help-faults semantics in README)")
 		noCache  = flag.Bool("nocache", false, "bypass the per-dataset fingerprint cache (every query pays the full Phase-1 pass)")
+
+		maxInFlight = flag.Int("maxinflight", 0, "admission control: at most N queries run concurrently; the rest queue or are shed with exit code 4 (0 = unlimited)")
+		maxQueue    = flag.Int("maxqueue", 0, "admission control: up to N queries wait for a slot beyond -maxinflight before shedding (0 = shed immediately)")
+		queueWait   = flag.Duration("queuewait", 0, "admission control: longest a queued query may wait before being shed (0 = wait indefinitely)")
+		budgetSpec  = flag.String("budget", "", "per-query resource budget, e.g. pages=512,wall=50ms,est=1000000; exhaustion yields a partial result (exit code 3) or, with -shed, a degraded one")
+		shed        = flag.Bool("shed", false, "degrade instead of failing when storage is sick or the -budget is spent: serve from a resident fingerprint, fall back to the index-free scan, or return the budget-bounded prefix (exit code 5)")
+		breaker     = flag.Bool("breaker", false, "install the storage circuit breaker: a page store faulting above the trip ratio fails queries fast instead of burning retry backoff")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nflags:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), usageExitCodes)
+	}
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM cancel the run; with -timeout the deadline does too.
@@ -75,12 +114,38 @@ func main() {
 			fail(err)
 		}
 	}
-	m, err := ds.SkylineSize()
+	if *breaker {
+		if err := ds.SetBreakerPolicy(skydiver.DefaultBreakerPolicy()); err != nil {
+			fail(err)
+		}
+	}
+	if *maxInFlight > 0 {
+		err := ds.SetAdmissionPolicy(skydiver.AdmissionPolicy{
+			MaxInFlight: *maxInFlight,
+			MaxQueue:    *maxQueue,
+			QueueWait:   *queueWait,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	queryBudget, err := skydiver.ParseBudget(*budgetSpec)
 	if err != nil {
 		fail(err)
 	}
+	skySize := "?"
+	m, err := ds.SkylineSize()
+	if err != nil {
+		// With -shed the query itself may still be served (the degradation
+		// ladder recomputes the skyline in memory); without it, give up now.
+		if !*shed {
+			fail(err)
+		}
+	} else {
+		skySize = strconv.Itoa(m)
+	}
 	if !*jsonOut {
-		fmt.Printf("dataset %s: n=%d d=%d skyline=%d\n", ds.Name(), ds.Len(), ds.Dims(), m)
+		fmt.Printf("dataset %s: n=%d d=%d skyline=%s\n", ds.Name(), ds.Len(), ds.Dims(), skySize)
 	}
 
 	algorithm, err := parseAlgo(*algo)
@@ -95,7 +160,17 @@ func main() {
 		Workers:       *workers,
 		Seed:          *seed,
 		NoCache:       *noCache,
+		Budget:        queryBudget,
+		AllowDegraded: *shed,
 	}, *parallel)
+	if err != nil && errors.Is(err, skydiver.ErrOverloaded) {
+		if *jsonOut {
+			printJSON(ds, nil, *k, algorithm, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "skydiver: %v\n", err)
+		}
+		os.Exit(exitOverloaded)
+	}
 	if err != nil && res == nil {
 		fail(err)
 	}
@@ -121,7 +196,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skydiver: %v\n", err)
-		os.Exit(3)
+		os.Exit(exitPartial)
+	}
+	if res.Degraded {
+		os.Exit(exitDegraded)
 	}
 }
 
@@ -176,20 +254,26 @@ func printText(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skyd
 	if res.Partial {
 		fmt.Printf("PARTIAL result (%d of %d requested) — run interrupted: %v\n", len(res.Indexes), k, runErr)
 	}
+	if res.Degraded {
+		fmt.Printf("DEGRADED result (%s)\n", res.DegradedReason)
+	}
 	fmt.Printf("%d most diverse skyline points (%s):\n", len(res.Indexes), algorithm)
 	for rank, idx := range res.Indexes {
-		score, err := ds.DominationScore(idx)
-		if err != nil {
-			fail(err)
+		// The annotations below re-read the dataset; under an open circuit
+		// breaker or a spent budget they can fail even though the result is
+		// valid, so degrade them to "?" instead of aborting.
+		scoreStr := "?"
+		if score, err := ds.DominationScore(idx); err == nil {
+			scoreStr = strconv.Itoa(score)
 		}
-		fmt.Printf("  %2d. row %-8d |Γ|=%-7d %v\n", rank+1, idx, score, res.Points[rank])
+		fmt.Printf("  %2d. row %-8d |Γ|=%-7s %v\n", rank+1, idx, scoreStr, res.Points[rank])
 	}
 	if len(res.Indexes) > 1 {
-		div, err := ds.ExactDiversity(res.Indexes)
-		if err != nil {
-			fail(err)
+		if div, err := ds.ExactDiversity(res.Indexes); err == nil {
+			fmt.Printf("exact diversity (min pairwise Jaccard distance): %.4f\n", div)
+		} else {
+			fmt.Println("exact diversity: unavailable (storage unreadable)")
 		}
-		fmt.Printf("exact diversity (min pairwise Jaccard distance): %.4f\n", div)
 	}
 	if verbose {
 		injected, retries := ds.FaultStats()
@@ -206,6 +290,9 @@ type jsonResult struct {
 	Algorithm string      `json:"algorithm"`
 	K         int         `json:"k"`
 	Partial   bool        `json:"partial"`
+	Degraded  bool        `json:"degraded"`
+	Reason    string      `json:"degraded_reason,omitempty"`
+	Shed      bool        `json:"shed,omitempty"`
 	Error     string      `json:"error,omitempty"`
 	Indexes   []int       `json:"indexes"`
 	Points    [][]float64 `json:"points"`
@@ -215,6 +302,8 @@ type jsonResult struct {
 	Faults    int64       `json:"page_faults"`
 }
 
+// printJSON emits the machine-readable result. res may be nil when admission
+// control shed the query before any work ran.
 func printJSON(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skydiver.Algorithm, runErr error) {
 	out := jsonResult{
 		Dataset:   ds.Name(),
@@ -222,13 +311,20 @@ func printJSON(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skyd
 		D:         ds.Dims(),
 		Algorithm: algorithm.String(),
 		K:         k,
-		Partial:   res.Partial,
-		Indexes:   res.Indexes,
-		Points:    res.Points,
-		Objective: res.ObjectiveValue,
-		CPU:       res.CPUTime.Seconds(),
-		IO:        res.IOTime.Seconds(),
-		Faults:    res.PageFaults,
+	}
+	if res != nil {
+		out.Partial = res.Partial
+		out.Degraded = res.Degraded
+		out.Reason = res.DegradedReason
+		out.Indexes = res.Indexes
+		out.Points = res.Points
+		out.Objective = res.ObjectiveValue
+		out.CPU = res.CPUTime.Seconds()
+		out.IO = res.IOTime.Seconds()
+		out.Faults = res.PageFaults
+	}
+	if runErr != nil && errors.Is(runErr, skydiver.ErrOverloaded) {
+		out.Shed = true
 	}
 	if out.Indexes == nil {
 		out.Indexes = []int{}

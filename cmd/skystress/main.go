@@ -1,0 +1,209 @@
+// Command skystress drives an in-process Dataset through sustained overload,
+// storage faults and tight per-query budgets at once — the resilience
+// features exercised together rather than one per test. It reports admission,
+// breaker and outcome counters and exits non-zero if any invariant breaks:
+//
+//   - every query either succeeds, returns a flagged partial/degraded result,
+//     or fails with a classified error (overloaded / budget / storage) —
+//     never an unclassified failure, never a silent truncation;
+//   - admitted queries with identical options that complete un-degraded
+//     return identical selections;
+//   - the limiter and breaker drain back to idle when the storm stops.
+//
+// Usage:
+//
+//	skystress [-n 20000] [-d 4] [-queries 400] [-clients 32] [-seconds 0]
+//
+// With -seconds > 0 the harness loops waves until the deadline instead of
+// running a fixed query count.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skydiver"
+)
+
+type tally struct {
+	ok, partial, degraded, overloaded, budget, storage, other atomic.Int64
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 20000, "dataset cardinality")
+		d       = flag.Int("d", 4, "dataset dimensionality")
+		queries = flag.Int("queries", 400, "queries per wave")
+		clients = flag.Int("clients", 32, "concurrent clients")
+		seconds = flag.Int("seconds", 0, "run waves for this many seconds (0 = one wave)")
+	)
+	flag.Parse()
+
+	ds, err := skydiver.Generate(skydiver.Anticorrelated, *n, *d, 1)
+	if err != nil {
+		fail(err)
+	}
+	if err := ds.SetAdmissionPolicy(skydiver.AdmissionPolicy{
+		MaxInFlight: 4, MaxQueue: 8, QueueWait: 25 * time.Millisecond,
+	}); err != nil {
+		fail(err)
+	}
+	if err := ds.SetBreakerPolicy(skydiver.BreakerPolicy{
+		Window: 32, MinSamples: 8, TripRatio: 0.5, Cooldown: 50 * time.Millisecond, Probes: 2,
+	}); err != nil {
+		fail(err)
+	}
+
+	// Baseline answer on a healthy, unloaded store; un-degraded successes
+	// under the storm must match it exactly.
+	opts := skydiver.Options{K: 5, SignatureSize: 64, Seed: 1, UseIndex: true}
+	want, err := ds.Diversify(opts)
+	if err != nil {
+		fail(err)
+	}
+
+	// The storm: flip fault injection on and off between waves while clients
+	// hammer the dataset with budgeted, shed-enabled queries.
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	var t tally
+	violations := 0
+	wave := 0
+	for {
+		wave++
+		faulty := wave%2 == 1 // the default single wave runs against a sick store
+		if faulty {
+			policy, err := skydiver.ParseFaultPolicy("rate=0.6,latency=0,seed=11")
+			if err != nil {
+				fail(err)
+			}
+			if err := ds.InjectFaults(policy); err != nil {
+				fail(err)
+			}
+		} else if err := ds.InjectFaults(skydiver.FaultPolicy{}); err != nil {
+			fail(err)
+		}
+		violations += runWave(ds, opts, want, *queries, *clients, &t)
+		if *seconds <= 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+
+	// The storm is over: the limiter and breaker must drain to idle and a
+	// plain query must serve the exact baseline again.
+	if err := ds.InjectFaults(skydiver.FaultPolicy{}); err != nil {
+		fail(err)
+	}
+	as := ds.AdmissionStats()
+	if as.InFlight != 0 || as.Waiting != 0 {
+		fmt.Fprintf(os.Stderr, "VIOLATION: limiter not drained: %+v\n", as)
+		violations++
+	}
+	time.Sleep(60 * time.Millisecond) // let the breaker cooldown lapse
+	res, err := ds.DiversifyContext(context.Background(), opts)
+	if err != nil || !same(res, want) {
+		fmt.Fprintf(os.Stderr, "VIOLATION: post-storm query diverged: %v\n", err)
+		violations++
+	}
+
+	bs, _ := ds.BreakerStats()
+	fmt.Printf("waves=%d ok=%d partial=%d degraded=%d overloaded=%d budget=%d storage=%d other=%d\n",
+		wave, t.ok.Load(), t.partial.Load(), t.degraded.Load(), t.overloaded.Load(),
+		t.budget.Load(), t.storage.Load(), t.other.Load())
+	fmt.Printf("admission: %+v\n", as)
+	fmt.Printf("breaker:   %+v\n", bs)
+	if t.other.Load() > 0 {
+		fmt.Fprintln(os.Stderr, "VIOLATION: unclassified failures observed")
+		violations++
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "skystress: %d invariant violations\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("skystress: all invariants held")
+}
+
+// runWave fires queries from a bounded pool of clients and classifies every
+// outcome. It returns the number of invariant violations observed.
+func runWave(ds *skydiver.Dataset, opts skydiver.Options, want *skydiver.Result, queries, clients int, t *tally) int {
+	sem := make(chan struct{}, clients)
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+	for q := 0; q < queries; q++ {
+		// Three traffic classes: tight-budget shed-enabled queries (may
+		// degrade), cold NoCache queries that redo Phase 1 against the
+		// (possibly faulting) store, and cached plain queries that must stay
+		// bit-identical to the baseline.
+		qopts := opts
+		switch q % 3 {
+		case 0:
+			// Cold + tightly budgeted: Phase 1 cannot finish within 64 page
+			// reads, forcing the degradation ladder.
+			qopts.Budget = skydiver.Budget{MaxPageReads: 64, MaxWall: 5 * time.Second}
+			qopts.AllowDegraded = true
+			qopts.NoCache = true
+		case 1:
+			qopts.NoCache = true
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(qopts skydiver.Options) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := ds.DiversifyContext(context.Background(), qopts)
+			switch {
+			case err == nil && res.Degraded:
+				t.degraded.Add(1)
+			case err == nil && res.Partial:
+				// A nil error with a partial flag would be a contract break.
+				violations.Add(1)
+				t.other.Add(1)
+			case err == nil:
+				t.ok.Add(1)
+				if !qopts.Budget.Enabled() && !same(res, want) {
+					fmt.Fprintf(os.Stderr, "VIOLATION: plain query diverged: %v\n", res.Indexes)
+					violations.Add(1)
+				}
+			case errors.Is(err, skydiver.ErrOverloaded):
+				t.overloaded.Add(1)
+			case errors.Is(err, skydiver.ErrBudgetExceeded):
+				t.budget.Add(1)
+				if res != nil && !res.Partial {
+					violations.Add(1)
+				}
+			case errors.Is(err, skydiver.ErrCircuitOpen) ||
+				errors.Is(err, skydiver.ErrTransientFault) ||
+				errors.Is(err, skydiver.ErrPermanentFault):
+				t.storage.Add(1)
+			default:
+				fmt.Fprintf(os.Stderr, "VIOLATION: unclassified error: %v\n", err)
+				t.other.Add(1)
+				violations.Add(1)
+			}
+		}(qopts)
+	}
+	wg.Wait()
+	return int(violations.Load())
+}
+
+func same(a, b *skydiver.Result) bool {
+	if a == nil || b == nil || len(a.Indexes) != len(b.Indexes) {
+		return false
+	}
+	for i := range a.Indexes {
+		if a.Indexes[i] != b.Indexes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "skystress: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,186 @@
+// Package admission implements per-dataset admission control for the
+// SkyDiver serving path: a concurrency limiter with a bounded FIFO wait
+// queue and a queue deadline, so an overloaded dataset sheds queries fast
+// and predictably instead of piling up goroutines until everything is slow.
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded marks a query shed by admission control: the in-flight limit
+// was reached and the wait queue was full, or the query's queue wait
+// exceeded the configured deadline. Shed queries did no work.
+var ErrOverloaded = errors.New("skydiver: overloaded, query shed by admission control")
+
+// Policy configures a Limiter.
+type Policy struct {
+	// MaxInFlight is the number of queries allowed to run concurrently.
+	// Must be at least 1.
+	MaxInFlight int
+	// MaxQueue is the number of queries allowed to wait for a slot beyond
+	// MaxInFlight; an arrival finding the queue full is shed immediately.
+	// 0 = no queue, fail fast at the in-flight limit.
+	MaxQueue int
+	// QueueWait bounds the time a query may wait in the queue before being
+	// shed. 0 = wait until admitted or the caller's context expires.
+	QueueWait time.Duration
+}
+
+// Validate checks the policy's ranges.
+func (p Policy) Validate() error {
+	if p.MaxInFlight < 1 {
+		return fmt.Errorf("admission: MaxInFlight %d, want at least 1", p.MaxInFlight)
+	}
+	if p.MaxQueue < 0 {
+		return fmt.Errorf("admission: negative MaxQueue %d", p.MaxQueue)
+	}
+	if p.QueueWait < 0 {
+		return fmt.Errorf("admission: negative QueueWait %v", p.QueueWait)
+	}
+	return nil
+}
+
+// Stats are the limiter's monotonic counters plus its instantaneous load.
+type Stats struct {
+	// Admitted counts queries granted a slot (immediately or after queueing).
+	Admitted int64
+	// Queued counts queries that had to wait before a decision.
+	Queued int64
+	// ShedQueueFull counts queries rejected because the queue was full.
+	ShedQueueFull int64
+	// ShedTimeout counts queries shed after waiting out QueueWait (or their
+	// own context).
+	ShedTimeout int64
+	// InFlight and Waiting are the current occupancy.
+	InFlight, Waiting int
+}
+
+// waiter is one queued query. granted is flipped under the limiter lock by
+// the releasing query that hands its slot over; ch wakes the waiter.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+// Limiter is a FIFO admission controller. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Limiter struct {
+	mu    sync.Mutex
+	p     Policy
+	busy  int
+	queue []*waiter
+	stats Stats
+}
+
+// New creates a limiter for the policy.
+func New(p Policy) (*Limiter, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Limiter{p: p}, nil
+}
+
+// Policy returns the limiter's configuration.
+func (l *Limiter) Policy() Policy {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p
+}
+
+// Stats returns a snapshot of the counters and current occupancy.
+func (l *Limiter) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.InFlight = l.busy
+	s.Waiting = len(l.queue)
+	return s
+}
+
+// Acquire admits the calling query or sheds it. A nil return means the query
+// holds a slot and must call Release when done. Shedding returns an error
+// wrapping ErrOverloaded; a caller cancellation while queued returns the
+// context's error. Admission is strictly FIFO among queued queries.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	l.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if l.busy < l.p.MaxInFlight {
+		l.busy++
+		l.stats.Admitted++
+		l.mu.Unlock()
+		return nil
+	}
+	if len(l.queue) >= l.p.MaxQueue {
+		l.stats.ShedQueueFull++
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %d in flight, queue of %d full", ErrOverloaded, l.p.MaxInFlight, l.p.MaxQueue)
+	}
+	w := &waiter{ch: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.stats.Queued++
+	wait := l.p.QueueWait
+	l.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case <-w.ch:
+		return nil
+	case <-timeout:
+		return l.abandon(w, fmt.Errorf("%w: queued longer than %v", ErrOverloaded, wait))
+	case <-ctx.Done():
+		return l.abandon(w, ctx.Err())
+	}
+}
+
+// abandon removes a timed-out or cancelled waiter from the queue. If the
+// grant raced ahead of the timeout, the slot is already ours: keep it and
+// report admission rather than discarding a granted slot.
+func (l *Limiter) abandon(w *waiter, cause error) error {
+	l.mu.Lock()
+	if w.granted {
+		l.mu.Unlock()
+		return nil
+	}
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+	if errors.Is(cause, ErrOverloaded) {
+		l.stats.ShedTimeout++
+	}
+	l.mu.Unlock()
+	return cause
+}
+
+// Release returns the caller's slot, handing it to the head of the queue if
+// anyone is waiting.
+func (l *Limiter) Release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		w.granted = true
+		l.stats.Admitted++
+		close(w.ch)
+		return
+	}
+	if l.busy > 0 {
+		l.busy--
+	}
+}

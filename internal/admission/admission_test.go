@@ -1,0 +1,206 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	cases := []struct {
+		p  Policy
+		ok bool
+	}{
+		{Policy{MaxInFlight: 1}, true},
+		{Policy{MaxInFlight: 4, MaxQueue: 8, QueueWait: time.Second}, true},
+		{Policy{MaxInFlight: 0}, false},
+		{Policy{MaxInFlight: 1, MaxQueue: -1}, false},
+		{Policy{MaxInFlight: 1, QueueWait: -time.Second}, false},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tc.p, err, tc.ok)
+		}
+	}
+}
+
+func TestImmediateAdmission(t *testing.T) {
+	l, err := New(Policy{MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Third arrival with no queue: shed immediately.
+	if err := l.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	l.Release()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	s := l.Stats()
+	if s.Admitted != 3 || s.ShedQueueFull != 1 || s.InFlight != 2 {
+		t.Fatalf("stats = %+v, want 3 admitted, 1 shed, 2 in flight", s)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	l, err := New(Policy{MaxInFlight: 1, MaxQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Start waiters strictly one after another so queue order is known.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			l.Release()
+		}(i)
+		// Wait until this goroutine is actually parked in the queue.
+		for l.Stats().Waiting != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	l.Release() // hand the slot down the chain
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("admission order %d, want %d (FIFO violated)", got, want)
+		}
+		want++
+	}
+}
+
+func TestQueueWaitTimeout(t *testing.T) {
+	l, err := New(Policy{MaxInFlight: 1, MaxQueue: 1, QueueWait: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = l.Acquire(context.Background())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded after queue wait", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("shed took %v, far beyond the 20ms queue deadline", waited)
+	}
+	s := l.Stats()
+	if s.ShedTimeout != 1 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v, want 1 timeout shed and an empty queue", s)
+	}
+	// The slot is still held by the first query; release restores service.
+	l.Release()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueuedCallerCancellation(t *testing.T) {
+	l, err := New(Policy{MaxInFlight: 1, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx) }()
+	for l.Stats().Waiting != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := l.Stats(); s.Waiting != 0 {
+		t.Fatalf("cancelled waiter still queued: %+v", s)
+	}
+	// A pre-cancelled context never enters the queue.
+	pre, precancel := context.WithCancel(context.Background())
+	precancel()
+	if err := l.Acquire(pre); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled acquire: %v", err)
+	}
+}
+
+// TestConcurrentLoad drives far more queries than the limiter admits and
+// checks the accounting invariants under the race detector: every query is
+// either admitted or shed, and in-flight never exceeds the limit.
+func TestConcurrentLoad(t *testing.T) {
+	const maxInFlight = 4
+	l, err := New(Policy{MaxInFlight: maxInFlight, MaxQueue: 8, QueueWait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted, shed, peak atomic.Int64
+	var inFlight atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				if !errors.Is(err, ErrOverloaded) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				shed.Add(1)
+				return
+			}
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			admitted.Add(1)
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > maxInFlight {
+		t.Errorf("peak concurrency %d exceeds MaxInFlight %d", got, maxInFlight)
+	}
+	if admitted.Load()+shed.Load() != 64 {
+		t.Errorf("admitted %d + shed %d != 64", admitted.Load(), shed.Load())
+	}
+	if admitted.Load() < maxInFlight {
+		t.Errorf("only %d admitted, want at least %d", admitted.Load(), maxInFlight)
+	}
+	s := l.Stats()
+	if s.InFlight != 0 || s.Waiting != 0 {
+		t.Errorf("limiter not drained: %+v", s)
+	}
+	if s.Admitted != admitted.Load() {
+		t.Errorf("stats admitted %d, workers counted %d", s.Admitted, admitted.Load())
+	}
+}

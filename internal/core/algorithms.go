@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"skydiver/internal/budget"
 	"skydiver/internal/data"
 	"skydiver/internal/dispersion"
 	"skydiver/internal/lsh"
@@ -100,6 +101,13 @@ type Input struct {
 	// with singleflight semantics. It must belong to the dataset: keys do
 	// not identify the data, only the generator parameters.
 	Cache *FingerprintCache
+	// Fingerprint, when non-nil, is injected as the Phase-1 result: the
+	// pipeline skips signature generation entirely (no Phase-1 work or I/O)
+	// and reports a cache hit. The graceful-degradation ladder uses it to
+	// serve a substitute fingerprint when storage is unavailable or the
+	// query's budget is spent. Its Matrix.T() must match the config's
+	// SignatureSize for pipelines that band signatures (LSH).
+	Fingerprint *Fingerprint
 }
 
 // reader returns the index reader the pipeline should query: the per-query
@@ -126,6 +134,11 @@ func (in Input) dataIndexes(selected []int) []int {
 // why a hit's Fingerprint carries zero IO stats regardless of what the
 // original build paid.
 func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, bool, error) {
+	if in.Fingerprint != nil {
+		// Injected by the caller (degradation ladder): share the immutable
+		// signatures, report no I/O, count as a hit.
+		return &Fingerprint{Matrix: in.Fingerprint.Matrix, DomScore: in.Fingerprint.DomScore}, true, nil
+	}
 	fam, err := minhash.NewFamily(cfg.SignatureSize, cfg.Seed)
 	if err != nil {
 		return nil, false, err
@@ -169,6 +182,29 @@ func selectDiverse(ctx context.Context, m, k int, dist dispersion.DistFunc, dist
 		return dispersion.SelectDiverseSetCtx(ctx, m, k, dist, score)
 	}
 	return dispersion.SelectDiverseSetParallelCtx(ctx, m, k, dist, distMany, score, workers)
+}
+
+// chargeEstimations wraps the distance callbacks with budget accounting when
+// the context carries a tracker, so MaxEstimations bounds Phase-2 work at the
+// same Err-poll granularity as cancellation. Without a tracker the callbacks
+// are returned unchanged, keeping the unbudgeted hot path free of atomics.
+func chargeEstimations(ctx context.Context, dist dispersion.DistFunc, distMany dispersion.DistManyFunc) (dispersion.DistFunc, dispersion.DistManyFunc) {
+	tr := budget.From(ctx)
+	if tr == nil {
+		return dist, distMany
+	}
+	charged := func(i, j int) float64 {
+		tr.ChargeEstimations(1)
+		return dist(i, j)
+	}
+	var chargedMany dispersion.DistManyFunc
+	if distMany != nil {
+		chargedMany = func(i int, js []int, out []float64) {
+			tr.ChargeEstimations(int64(len(js)))
+			distMany(i, js, out)
+		}
+	}
+	return charged, chargedMany
 }
 
 // partialResult packages the anytime prefix of a cancelled run: the greedy
@@ -219,8 +255,10 @@ func SkyDiverMHCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	}
 
 	start = time.Now()
-	dist := func(i, j int) float64 { return fp.Matrix.EstimateJd(i, j) }
-	selected, err := selectDiverse(ctx, len(in.Sky), cfg.K, dist, fp.Matrix.EstimateJdMany, fp.DomScore, cfg.Workers)
+	dist, distMany := chargeEstimations(ctx,
+		func(i, j int) float64 { return fp.Matrix.EstimateJd(i, j) },
+		fp.Matrix.EstimateJdMany)
+	selected, err := selectDiverse(ctx, len(in.Sky), cfg.K, dist, distMany, fp.DomScore, cfg.Workers)
 	selTime := time.Since(start)
 	stats := Stats{
 		Fingerprint:       fpTime,
@@ -282,8 +320,10 @@ func SkyDiverLSHCtx(ctx context.Context, in Input, cfg Config) (*Result, error) 
 	}
 
 	start = time.Now()
-	dist := func(i, j int) float64 { return float64(vectors.Hamming(i, j)) }
-	selected, err := selectDiverse(ctx, len(in.Sky), cfg.K, dist, vectors.HammingMany, fp.DomScore, cfg.Workers)
+	dist, distMany := chargeEstimations(ctx,
+		func(i, j int) float64 { return float64(vectors.Hamming(i, j)) },
+		vectors.HammingMany)
+	selected, err := selectDiverse(ctx, len(in.Sky), cfg.K, dist, distMany, fp.DomScore, cfg.Workers)
 	selTime := time.Since(start)
 	stats := Stats{
 		Fingerprint:       fpTime,
@@ -343,13 +383,13 @@ func SimpleGreedyCtx(ctx context.Context, in Input, cfg Config) (*Result, error)
 	// cancels the selection: greedy stops within one check stride instead of
 	// grinding on (and charging I/O for) corrupted comparisons.
 	var firstErr error
-	dist := func(i, j int) float64 {
+	dist, _ := chargeEstimations(ctx, func(i, j int) float64 {
 		d, err := oracle.Jd(i, j)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		return d
-	}
+	}, nil)
 	selCtx := &abortCtx{Context: ctx, failed: &firstErr}
 	selected, err := dispersion.SelectDiverseSetCtx(selCtx, len(in.Sky), cfg.K, dist, scores)
 	stats := Stats{
@@ -442,7 +482,7 @@ func BruteForceCtx(ctx context.Context, in Input, cfg Config) (*Result, error) {
 			dmat[j*m+i] = d
 		}
 	}
-	dist := func(i, j int) float64 { return dmat[i*m+j] }
+	dist, _ := chargeEstimations(ctx, func(i, j int) float64 { return dmat[i*m+j] }, nil)
 	selected, obj, err := dispersion.BruteForceCtx(ctx, m, cfg.K, dist, dispersion.MaxMin)
 	if err != nil {
 		if ctx.Err() != nil {

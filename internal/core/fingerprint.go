@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"skydiver/internal/budget"
 	"skydiver/internal/data"
 	"skydiver/internal/geom"
 	"skydiver/internal/minhash"
@@ -72,10 +73,19 @@ func SigGenIFCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.
 
 	hv := make([]uint32, t)
 	cols := make([]int, 0, 16)
+	tracker := budget.From(ctx)
 	for i := 0; i < ds.Len(); i++ {
-		if i%pageQuantum == 0 && i > 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		if i%pageQuantum == 0 {
+			// Charge the page the scan is about to consume, then poll: a query
+			// whose page budget just ran out stops at this boundary and the
+			// partial signatures are discarded, never silently merged.
+			if tracker != nil {
+				tracker.ChargePages(1)
+			}
+			if i > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 			}
 		}
 		counter.Touch(i)

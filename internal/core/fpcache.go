@@ -116,6 +116,11 @@ func (c *FingerprintCache) removeLocked(el *list.Element) {
 // own context, so one cancelled query can never poison the key for others.
 func (c *FingerprintCache) Get(ctx context.Context, key FingerprintKey, build func() (*Fingerprint, error)) (*Fingerprint, bool, error) {
 	for {
+		// Poll before (re-)entering: contexts that surface budget exhaustion
+		// only through Err (not Done) still stop a would-be builder here.
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
 			e := el.Value.(*fpItem).entry
@@ -179,4 +184,63 @@ func (c *FingerprintCache) Get(ctx context.Context, key FingerprintKey, build fu
 		close(e.done)
 		return fp, false, err
 	}
+}
+
+// substituteRank orders resident fingerprints by how well they stand in for
+// want: the exact key, then same mode and size (a different seed estimates
+// the same distances), then same mode with more slots (strictly more
+// information), then same mode with fewer, then the other mode (different
+// row-id universe — estimates remain unbiased for full dominance sets, the
+// weakest but still meaningful stand-in).
+func substituteRank(want, have FingerprintKey) int {
+	switch {
+	case have == want:
+		return 0
+	case have.Mode == want.Mode && have.T == want.T:
+		return 1
+	case have.Mode == want.Mode && have.T > want.T:
+		return 2
+	case have.Mode == want.Mode:
+		return 3
+	case have.T >= want.T:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Substitute returns the best resident completed fingerprint to stand in for
+// key, without building anything: the graceful-degradation ladder calls it
+// when Phase 1 cannot run (storage breaker open, page budget spent) to serve
+// an approximate answer from memory instead of failing. Preference follows
+// substituteRank; ties break toward the most recently used entry. The bool
+// reports whether anything usable was resident.
+func (c *FingerprintCache) Substitute(key FingerprintKey) (*Fingerprint, FingerprintKey, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bestRank := int(^uint(0) >> 1)
+	var bestFP *Fingerprint
+	var bestKey FingerprintKey
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		it := el.Value.(*fpItem)
+		select {
+		case <-it.entry.done:
+		default:
+			continue // still building
+		}
+		if it.entry.err != nil {
+			continue
+		}
+		if r := substituteRank(key, it.key); r < bestRank {
+			bestRank, bestFP, bestKey = r, it.entry.fp, it.key
+			if r == 0 {
+				break
+			}
+		}
+	}
+	if bestFP == nil {
+		return nil, FingerprintKey{}, false
+	}
+	c.stats.Hits++
+	return bestFP, bestKey, true
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"skydiver/internal/budget"
 	"skydiver/internal/data"
 	"skydiver/internal/geom"
 	"skydiver/internal/minhash"
@@ -108,8 +109,16 @@ func SigGenIFParallelCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *
 			fp := &Fingerprint{Matrix: minhash.NewMatrix(t, m), DomScore: make([]float64, m)}
 			hv := make([]uint32, t)
 			cols := make([]int, 0, 16)
+			tracker := budget.From(ctx)
 			for i := lo; i < hi; i++ {
 				if (i-lo)%pageQuantum == 0 {
+					// Budget accounting mirrors the sequential pass: each worker
+					// charges the page quantum it is about to scan. The total
+					// charged equals the sequential pass to within one page per
+					// shard boundary.
+					if tracker != nil {
+						tracker.ChargePages(1)
+					}
 					if err := ctx.Err(); err != nil {
 						errs[w] = err
 						return

@@ -48,11 +48,12 @@ type Monitor struct {
 	next   uint64
 	window []Item // oldest first
 
-	// cache of the last computed answer.
+	// cache of the last successfully computed answer. Errors are never
+	// cached: a failed recomputation leaves the cache unpopulated, so the
+	// next query retries from scratch instead of replaying the failure.
 	cacheSeq   uint64 // next at the time of the cached computation
 	cachedSky  []Item
 	cachedPick []Item
-	cachedErr  error
 	// RefreshCPU records the cost of the last recomputation.
 	RefreshCPU time.Duration
 }
@@ -137,17 +138,20 @@ func (m *Monitor) DiverseCtx(ctx context.Context) ([]Item, error) {
 const refreshCheckStride = 256
 
 // refresh recomputes the cached skyline and selection when the stream has
-// advanced since the last computation. Context errors are returned without
-// being cached, so a later query with a live context recomputes cleanly.
+// advanced since the last computation. No error of any kind is cached —
+// cancellations and failures alike leave the cache unpopulated, so the next
+// query recomputes cleanly instead of inheriting a dead query's outcome.
 func (m *Monitor) refresh(ctx context.Context) error {
-	if m.cacheSeq == m.next && (m.cachedSky != nil || m.cachedErr != nil) {
-		return m.cachedErr
-	}
+	// A dead context fails even on a warm cache — standard context
+	// discipline — but leaves the cache itself untouched for live queries.
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if m.cacheSeq == m.next && m.cachedSky != nil {
+		return nil
+	}
 	m.cacheSeq = m.next
-	m.cachedSky, m.cachedPick, m.cachedErr = nil, nil, nil
+	m.cachedSky, m.cachedPick = nil, nil
 	if len(m.window) == 0 {
 		m.cachedSky = []Item{}
 		m.cachedPick = []Item{}
@@ -162,7 +166,7 @@ func (m *Monitor) refresh(ctx context.Context) error {
 	}
 	ds, err := data.New("window", m.dims, vals)
 	if err != nil {
-		m.cachedErr = err
+		m.cachedSky, m.cachedPick = nil, nil
 		return err
 	}
 	sky := skyline.ComputeSFS(ds)
@@ -177,7 +181,7 @@ func (m *Monitor) refresh(ctx context.Context) error {
 	// Fingerprint by one pass over the window — the index-free pipeline.
 	fam, err := minhash.NewFamily(m.sigSize, m.seed)
 	if err != nil {
-		m.cachedErr = err
+		m.cachedSky, m.cachedPick = nil, nil
 		return err
 	}
 	matrix := minhash.NewMatrix(m.sigSize, len(sky))
@@ -219,13 +223,7 @@ func (m *Monitor) refresh(ctx context.Context) error {
 	dist := func(i, j int) float64 { return matrix.EstimateJd(i, j) }
 	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(sky), k, dist, domScore)
 	if err != nil {
-		if ctx.Err() != nil {
-			// Don't poison the cache with a cancellation: the next query
-			// with a live context recomputes from scratch.
-			m.cachedSky, m.cachedPick = nil, nil
-			return err
-		}
-		m.cachedErr = err
+		m.cachedSky, m.cachedPick = nil, nil
 		return err
 	}
 	m.cachedPick = make([]Item, len(selected))

@@ -1,0 +1,149 @@
+package dynamic
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// countdownCtx cancels itself after a budget of successful Err checks,
+// deterministically targeting the N-th cancellation point of a recompute.
+type countdownCtx struct {
+	context.Context
+	mu    sync.Mutex
+	allow int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.allow <= 0 {
+		return context.Canceled
+	}
+	c.allow--
+	return nil
+}
+
+// countingCtx counts how many cancellation points a recompute passes.
+type countingCtx struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingCtx) Err() error {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return nil
+}
+
+func poisonTestMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(3, 1024, 5, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1024; i++ {
+		if _, err := m.Add([]float64{r.Float64(), r.Float64(), r.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestFailedRecomputeNeverPoisons cancels a window recomputation at every one
+// of its cancellation points in turn and checks, after each failure, that the
+// very next query recomputes cleanly — a failed query must leave the cache
+// unpopulated, never cache its own error or a half-built answer.
+func TestFailedRecomputeNeverPoisons(t *testing.T) {
+	m := poisonTestMonitor(t)
+	counter := &countingCtx{Context: context.Background()}
+	want, err := m.DiverseCtx(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.calls < 2 {
+		t.Fatalf("recompute passed only %d cancellation points", counter.calls)
+	}
+	for allow := 0; allow < counter.calls; allow++ {
+		// A fresh point invalidates the cache, forcing a full recompute.
+		if _, err := m.Add([]float64{0.5, 0.5, 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		ctx := &countdownCtx{Context: context.Background(), allow: allow}
+		if _, err := m.DiverseCtx(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("allow=%d: err = %v, want context.Canceled", allow, err)
+		}
+		// The failed attempt must not be cached: the next query succeeds.
+		picks, err := m.Diverse()
+		if err != nil {
+			t.Fatalf("allow=%d: recompute after failure: %v", allow, err)
+		}
+		if len(picks) != len(want) {
+			t.Fatalf("allow=%d: %d picks after failed attempt, want %d", allow, len(picks), len(want))
+		}
+	}
+}
+
+// TestFailedRecomputeKeepsSkylineConsistent: after a failed recompute, both
+// query surfaces (Skyline and Diverse) serve the same freshly computed
+// window, not a mix of pre- and post-failure state.
+func TestFailedRecomputeKeepsSkylineConsistent(t *testing.T) {
+	m := poisonTestMonitor(t)
+	ctx := &countdownCtx{Context: context.Background(), allow: 1}
+	if _, err := m.SkylineCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	sky, err := m.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks, err := m.Diverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSky := make(map[uint64]bool, len(sky))
+	for _, it := range sky {
+		onSky[it.Seq] = true
+	}
+	for _, p := range picks {
+		if !onSky[p.Seq] {
+			t.Errorf("pick seq %d not on the recomputed skyline", p.Seq)
+		}
+	}
+	if len(picks) != 5 {
+		t.Errorf("%d picks, want 5", len(picks))
+	}
+}
+
+// TestPreCancelledQueryLeavesCacheUsable: a query that arrives already
+// cancelled fails without touching the cache, and the cached answer keeps
+// serving subsequent queries without recomputation.
+func TestPreCancelledQueryLeavesCacheUsable(t *testing.T) {
+	m := poisonTestMonitor(t)
+	want, err := m.Diverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.DiverseCtx(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	got, err := m.Diverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cached answer changed: %d picks, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq {
+			t.Fatalf("cached answer changed at %d: seq %d, want %d", i, got[i].Seq, want[i].Seq)
+		}
+	}
+}

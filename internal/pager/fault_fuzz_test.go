@@ -15,6 +15,12 @@ func FuzzFaultPolicy(f *testing.F) {
 	f.Add("rate=1,permanent=1")
 	f.Add("rate=,permanent=nan")
 	f.Add("latency=2h,rate=0.99,seed=-1")
+	// Canonical String() encodings, seeding the corpus with exact round-trip
+	// shapes (see TestFaultPolicyRoundTrip).
+	f.Add("rate=0,permanent=0,latency=0s,seed=0")
+	f.Add("rate=0.01,permanent=0,latency=0s,seed=7")
+	f.Add("rate=1,permanent=0.25,latency=2ms,seed=-1")
+	f.Add("rate=0.3333333333333333,permanent=1,latency=1m3s,seed=9223372036854775807")
 	f.Fuzz(func(t *testing.T, s string) {
 		policy, err := ParseFaultPolicy(s)
 		if err != nil {

@@ -1,0 +1,77 @@
+package pager
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestFaultPolicyRoundTrip pins String ↔ ParseFaultPolicy as exact inverses
+// over the whole valid policy space: any policy that validates must encode to
+// a string that parses back to the identical policy. This is the contract the
+// CLI's -faults flag and every fault-injection repro recipe rely on.
+func TestFaultPolicyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Mix interior, boundary and out-of-range values so valid policies of
+	// every shape are exercised (out-of-range draws simply skip the pin).
+	pick := func() float64 {
+		switch r.Intn(5) {
+		case 0:
+			return 0
+		case 1:
+			return 1
+		case 2:
+			return -r.Float64()
+		case 3:
+			return 1 + r.Float64()
+		default:
+			return r.Float64()
+		}
+	}
+	checked := 0
+	for i := 0; i < 2000; i++ {
+		p := FaultPolicy{
+			Rate:          pick(),
+			PermanentRate: pick(),
+			Latency:       time.Duration(r.Intn(2000)-10) * time.Millisecond,
+			Seed:          r.Int63() - r.Int63(),
+		}
+		if p.Validate() != nil {
+			continue
+		}
+		checked++
+		again, err := ParseFaultPolicy(p.String())
+		if err != nil {
+			t.Fatalf("String() of valid policy %+v = %q does not parse: %v", p, p.String(), err)
+		}
+		if again != p {
+			t.Fatalf("round trip of %+v via %q = %+v", p, p.String(), again)
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d valid policies drawn; generator broken", checked)
+	}
+}
+
+// TestFaultPolicyRoundTripExamples pins a few exact encodings so an
+// accidental format change fails loudly with a readable diff.
+func TestFaultPolicyRoundTripExamples(t *testing.T) {
+	cases := []struct {
+		p    FaultPolicy
+		want string
+	}{
+		{FaultPolicy{}, "rate=0,permanent=0,latency=0s,seed=0"},
+		{FaultPolicy{Rate: 0.01, Seed: 7}, "rate=0.01,permanent=0,latency=0s,seed=7"},
+		{FaultPolicy{Rate: 1, PermanentRate: 0.25, Latency: 2 * time.Millisecond, Seed: -1},
+			"rate=1,permanent=0.25,latency=2ms,seed=-1"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.p, got, tc.want)
+		}
+		back, err := ParseFaultPolicy(tc.want)
+		if err != nil || back != tc.p {
+			t.Errorf("ParseFaultPolicy(%q) = %+v, %v, want %+v", tc.want, back, err, tc.p)
+		}
+	}
+}

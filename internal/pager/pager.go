@@ -13,6 +13,7 @@ package pager
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -104,9 +105,10 @@ func (c CostModel) IOTime(s Stats) time.Duration {
 // FaultInjector makes physical reads fail according to a FaultPolicy, so
 // storage-level robustness is testable without a real flaky disk.
 type PageStore struct {
-	mu     sync.RWMutex
-	pages  [][]byte
-	faults *FaultInjector
+	mu      sync.RWMutex
+	pages   [][]byte
+	faults  *FaultInjector
+	breaker *Breaker
 }
 
 // NewPageStore creates an empty store.
@@ -140,6 +142,22 @@ func (ps *PageStore) FaultInjector() *FaultInjector {
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
 	return ps.faults
+}
+
+// SetBreaker installs (or, with nil, removes) a storage circuit breaker on
+// the store's physical read path. Buffer pools over this store consult it
+// before every physical read; cache hits are never gated.
+func (ps *PageStore) SetBreaker(b *Breaker) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.breaker = b
+}
+
+// Breaker returns the installed circuit breaker, or nil.
+func (ps *PageStore) Breaker() *Breaker {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return ps.breaker
 }
 
 // ReadPage returns the raw contents of page id. The returned slice aliases
@@ -195,7 +213,8 @@ type BufferPool struct {
 
 	mu      sync.Mutex
 	stats   Stats
-	shared  *AtomicStats // optional cross-pool aggregate, may be nil
+	shared  *AtomicStats  // optional cross-pool aggregate, may be nil
+	onRead  func(n int64) // optional per-read observer, runs under mu
 	entries map[PageID]*list.Element
 	lru     *list.List // front = most recently used
 }
@@ -260,6 +279,17 @@ func (bp *BufferPool) SetShared(agg *AtomicStats) {
 	bp.shared = agg
 }
 
+// SetReadObserver installs a callback invoked with the size of every logical
+// read (hits and faults alike) as it is counted. Per-query budget trackers
+// hook their page accounting here. The callback runs with the pool's mutex
+// held: it must be cheap and must never call back into the pool (an atomic
+// add is the intended shape). nil removes the observer.
+func (bp *BufferPool) SetReadObserver(fn func(n int64)) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.onRead = fn
+}
+
 // SetRetryPolicy replaces the pool's transient-fault retry policy.
 func (bp *BufferPool) SetRetryPolicy(r RetryPolicy) {
 	bp.mu.Lock()
@@ -278,8 +308,19 @@ func (bp *BufferPool) RetryPolicy() RetryPolicy {
 // On a miss it reads the raw page from the store, invokes decode, caches the
 // result and counts a fault. Injected transient read faults are retried with
 // exponential backoff up to the pool's RetryPolicy; permanent faults and
-// exhausted retries surface as errors.
+// exhausted retries surface as errors. Get never gives up early; use GetCtx
+// when the caller can be cancelled.
 func (bp *BufferPool) Get(id PageID, decode func(raw []byte) (any, error)) (any, error) {
+	return bp.GetCtx(context.Background(), id, decode)
+}
+
+// GetCtx is Get with cancellation: the retry backoff sleeps wake on ctx
+// expiry instead of sleeping through it, and a cancelled ctx aborts before a
+// physical read is issued. Cache hits are always served regardless of ctx. If
+// the store has a circuit breaker, every physical read attempt is screened by
+// it first — an open breaker fails the read fast with an error wrapping
+// ErrCircuitOpen and aborts any remaining retries.
+func (bp *BufferPool) GetCtx(ctx context.Context, id PageID, decode func(raw []byte) (any, error)) (any, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	before := bp.stats
@@ -289,21 +330,23 @@ func (bp *BufferPool) Get(id PageID, decode func(raw []byte) (any, error)) (any,
 		}
 	}()
 	bp.stats.Reads++
+	if bp.onRead != nil {
+		bp.onRead(1)
+	}
 	if el, ok := bp.entries[id]; ok {
 		bp.stats.Hits++
 		bp.lru.MoveToFront(el)
 		return el.Value.(*poolEntry).decoded, nil
 	}
-	bp.stats.Faults++
-	raw, err := bp.store.ReadPage(id)
-	for attempt := 0; err != nil && errors.Is(err, ErrTransientFault) && attempt < bp.retry.MaxRetries; attempt++ {
-		bp.stats.Retries++
-		if d := bp.retry.Backoff(attempt); d > 0 {
-			time.Sleep(d)
-		}
-		raw, err = bp.store.ReadPage(id)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	bp.stats.Faults++
+	raw, err := bp.readPhysical(ctx, id)
 	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
 	decoded, err := decode(raw)
@@ -312,6 +355,55 @@ func (bp *BufferPool) Get(id PageID, decode func(raw []byte) (any, error)) (any,
 	}
 	bp.insert(id, decoded)
 	return decoded, nil
+}
+
+// readPhysical performs the store read with breaker screening and ctx-aware
+// retry backoff. bp.mu must be held (the sleeps deliberately serialize the
+// pool, preserving the per-query I/O session discipline).
+func (bp *BufferPool) readPhysical(ctx context.Context, id PageID) ([]byte, error) {
+	br := bp.store.Breaker()
+	read := func() ([]byte, error) {
+		if br != nil {
+			if err := br.Allow(); err != nil {
+				return nil, err
+			}
+		}
+		raw, err := bp.store.ReadPage(id)
+		if br != nil {
+			br.Record(err)
+		}
+		return raw, err
+	}
+	raw, err := read()
+	for attempt := 0; err != nil && errors.Is(err, ErrTransientFault) && attempt < bp.retry.MaxRetries; attempt++ {
+		bp.stats.Retries++
+		if d := bp.retry.Backoff(attempt); d > 0 {
+			if serr := sleepCtx(ctx, d); serr != nil {
+				return nil, serr
+			}
+		}
+		raw, err = read()
+	}
+	return raw, err
+}
+
+// sleepCtx sleeps for d or until ctx expires, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Put installs a decoded payload for page id (e.g. right after building and

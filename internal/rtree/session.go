@@ -1,6 +1,8 @@
 package rtree
 
 import (
+	"context"
+
 	"skydiver/internal/geom"
 	"skydiver/internal/pager"
 )
@@ -57,6 +59,7 @@ var (
 type Session struct {
 	tree *Tree
 	pool *pager.BufferPool
+	ctx  context.Context // nil = background; set by Bind
 }
 
 // NewSession opens a cold per-query session whose pool holds the given
@@ -84,14 +87,38 @@ func (s *Session) Len() int { return s.tree.size }
 // Root returns the root page id.
 func (s *Session) Root() pager.PageID { return s.tree.root }
 
+// Bind returns a view of the session whose reads observe ctx: retry backoff
+// sleeps in the underlying pool wake on ctx expiry, and a cancelled ctx
+// aborts before a physical read is issued. The view shares the session's pool
+// and counters; the receiver is unchanged, so one query can bind its ctx once
+// and hand the bound view to all of its workers.
+func (s *Session) Bind(ctx context.Context) *Session {
+	return &Session{tree: s.tree, pool: s.pool, ctx: ctx}
+}
+
+// Context returns the context bound with Bind, or context.Background().
+func (s *Session) Context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
 // ReadNode fetches and decodes the node on page id through the session's
-// private pool, charging a fault on a miss.
+// private pool, charging a fault on a miss. Reads go through the bound
+// context, if any (see Bind).
 func (s *Session) ReadNode(id pager.PageID) (*Node, error) {
-	return readNode(s.tree, s.pool, id)
+	return readNodeCtx(s.Context(), s.tree, s.pool, id)
 }
 
 // Stats returns the session's accumulated I/O counters.
 func (s *Session) Stats() pager.Stats { return s.pool.Stats() }
+
+// ObserveReads installs a per-read observer on the session's pool (see
+// pager.BufferPool.SetReadObserver): budget trackers use it to charge every
+// logical page read as it happens. The callback must not call back into the
+// session or its pool.
+func (s *Session) ObserveReads(fn func(n int64)) { s.pool.SetReadObserver(fn) }
 
 // ResetStats zeroes the session's counters without evicting cached pages.
 func (s *Session) ResetStats() { s.pool.ResetStats() }

@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -129,7 +130,13 @@ func (t *Tree) ReadNode(id pager.PageID) (*Node, error) {
 // readNode is the shared fetch-and-decode path of the tree's default pool
 // and of sessions.
 func readNode(t *Tree, pool *pager.BufferPool, id pager.PageID) (*Node, error) {
-	v, err := pool.Get(id, func(raw []byte) (any, error) {
+	return readNodeCtx(context.Background(), t, pool, id)
+}
+
+// readNodeCtx is readNode with cancellation threaded down to the buffer
+// pool's retry loop.
+func readNodeCtx(ctx context.Context, t *Tree, pool *pager.BufferPool, id pager.PageID) (*Node, error) {
+	v, err := pool.GetCtx(ctx, id, func(raw []byte) (any, error) {
 		return decodeNode(id, raw, t.dims)
 	})
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"skydiver/internal/admission"
 	"skydiver/internal/core"
 	"skydiver/internal/data"
 	"skydiver/internal/geom"
@@ -129,6 +130,18 @@ type Options struct {
 	// and its result is not stored. Use it to measure cold-start costs, or
 	// for one-off parameter probes that should not evict resident entries.
 	NoCache bool
+	// Budget bounds this query's resources (page reads, wall clock, distance
+	// estimations). The zero value is unlimited. Exhaustion surfaces as an
+	// error wrapping ErrBudgetExceeded together with the anytime partial
+	// prefix when the selection had started — never a silent truncation.
+	Budget Budget
+	// AllowDegraded lets the call walk the graceful-degradation ladder
+	// instead of failing when storage is unavailable (circuit breaker open,
+	// dead pages) or the budget is spent: serve from a resident fingerprint,
+	// fall back to index-free fingerprinting, or return the budget-bounded
+	// partial prefix. Degraded answers set Result.Degraded and a
+	// machine-readable Result.DegradedReason.
+	AllowDegraded bool
 }
 
 // Result reports the chosen diverse skyline points.
@@ -160,6 +173,13 @@ type Result struct {
 	// Phase-1 I/O. Always false for Greedy/Exact (which keep no signatures)
 	// and under Options.NoCache.
 	FingerprintCached bool
+	// Degraded reports that the answer came from the graceful-degradation
+	// ladder (Options.AllowDegraded) rather than the requested full
+	// pipeline; DegradedReason says which rung served it.
+	Degraded bool
+	// DegradedReason is the machine-readable rung that produced a Degraded
+	// result: one of the Degraded* constants. Empty when Degraded is false.
+	DegradedReason string
 }
 
 // Dataset is an indexed multidimensional dataset ready for skyline
@@ -186,6 +206,10 @@ type Dataset struct {
 	// signature size and seed) with singleflight builds. Internally locked;
 	// never invalidated — the dataset is immutable.
 	fpCache *core.FingerprintCache
+
+	// limiter, when non-nil, gates DiversifyContext behind admission
+	// control (SetAdmissionPolicy). Guarded by mu; internally locked.
+	limiter *admission.Limiter
 }
 
 // NewDataset builds a dataset from rows. prefs may be nil, meaning smaller
@@ -275,17 +299,28 @@ func (d *Dataset) skylineSession(ctx context.Context) ([]int, *rtree.Session, er
 	if err != nil {
 		return nil, nil, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.sky != nil {
-		return d.sky, sess, nil
-	}
-	sky, err := skyline.ComputeBBSCtx(ctx, sess)
+	sky, err := d.skylineWith(ctx, sess)
 	if err != nil {
 		return nil, nil, wrapCtxErr(err)
 	}
-	d.sky = sky
 	return sky, sess, nil
+}
+
+// skylineWith returns the cached skyline, computing it with BBS through the
+// given session on first use (see skylineSession). The returned error is not
+// wrapped.
+func (d *Dataset) skylineWith(ctx context.Context, sess *rtree.Session) ([]int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.sky != nil {
+		return d.sky, nil
+	}
+	sky, err := skyline.ComputeBBSCtx(ctx, sess)
+	if err != nil {
+		return nil, err
+	}
+	d.sky = sky
+	return sky, nil
 }
 
 // Skyline returns the dataset indexes of the skyline points (computed once
@@ -438,7 +473,23 @@ func (d *Dataset) Diversify(opts Options) (*Result, error) {
 // answers can keep treating any non-nil error as fatal; callers serving
 // under latency budgets inspect the partial result instead of discarding
 // the completed work.
+//
+// Resilience (all opt-in): with an admission policy installed
+// (SetAdmissionPolicy) the call first acquires a slot — or returns
+// ErrOverloaded having done no work. With Options.Budget set, resource
+// exhaustion surfaces as ErrBudgetExceeded plus the anytime partial prefix.
+// With Options.AllowDegraded, storage failures and spent budgets are served
+// by the graceful-degradation ladder instead (Result.Degraded).
 func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, error) {
+	if lim := d.admissionLimiter(); lim != nil {
+		if err := lim.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer lim.Release()
+	}
+	if opts.Budget.Enabled() || opts.AllowDegraded {
+		return d.diversifyResilient(ctx, opts)
+	}
 	sky, sess, err := d.skylineSession(ctx)
 	if err != nil {
 		return nil, err
@@ -450,6 +501,18 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 		return nil, fmt.Errorf("skydiver: K = %d exceeds skyline size %d", opts.K, len(sky))
 	}
 	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache}
+	res, err := runPipeline(ctx, opts.Algorithm, in, coreConfig(opts))
+	if err != nil {
+		if res != nil && res.Partial {
+			return d.publicResult(res), wrapCtxErr(err)
+		}
+		return nil, wrapCtxErr(err)
+	}
+	return d.publicResult(res), nil
+}
+
+// coreConfig translates public Options into the core pipeline config.
+func coreConfig(opts Options) core.Config {
 	cfg := core.Config{
 		K:             opts.K,
 		SignatureSize: opts.SignatureSize,
@@ -462,26 +525,24 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 	if opts.UseIndex {
 		cfg.Mode = core.IndexBased
 	}
-	var res *core.Result
-	switch opts.Algorithm {
+	return cfg
+}
+
+// runPipeline dispatches one diversification attempt to the selected
+// algorithm's context-aware pipeline.
+func runPipeline(ctx context.Context, algo Algorithm, in core.Input, cfg core.Config) (*core.Result, error) {
+	switch algo {
 	case MinHash:
-		res, err = core.SkyDiverMHCtx(ctx, in, cfg)
+		return core.SkyDiverMHCtx(ctx, in, cfg)
 	case LSH:
-		res, err = core.SkyDiverLSHCtx(ctx, in, cfg)
+		return core.SkyDiverLSHCtx(ctx, in, cfg)
 	case Greedy:
-		res, err = core.SimpleGreedyCtx(ctx, in, cfg)
+		return core.SimpleGreedyCtx(ctx, in, cfg)
 	case Exact:
-		res, err = core.BruteForceCtx(ctx, in, cfg)
+		return core.BruteForceCtx(ctx, in, cfg)
 	default:
-		return nil, fmt.Errorf("skydiver: unknown algorithm %d", opts.Algorithm)
+		return nil, fmt.Errorf("skydiver: unknown algorithm %d", algo)
 	}
-	if err != nil {
-		if res != nil && res.Partial {
-			return d.publicResult(res), wrapCtxErr(err)
-		}
-		return nil, wrapCtxErr(err)
-	}
-	return d.publicResult(res), nil
 }
 
 func (d *Dataset) publicResult(res *core.Result) *Result {
