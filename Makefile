@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: build vet test race concurrency resilience stress fuzz verify bench bench-full
+# Where `make bench` writes its JSON snapshots. The default overwrites the
+# checked-in baselines (do that when a PR legitimately moves the numbers);
+# `make benchgate` redirects it to a scratch directory and compares instead.
+BENCH_OUT ?= .
+# Multiplicative ns/op tolerance of the regression gate. Generous on
+# purpose: CI hardware differs from the baseline host and the SigGen
+# benchmarks are single-shot, so the gate is tuned to catch dropped fast
+# paths and accidental O(n²), not scheduler noise.
+BENCH_TOL ?= 3.0
+
+.PHONY: build vet test race concurrency resilience stress fuzz verify bench benchgate bench-full
 
 build:
 	$(GO) build ./...
@@ -35,17 +45,40 @@ stress:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFaultPolicy -fuzztime 20s ./internal/pager/
 
-# Single-shot benchmark pass (one iteration per benchmark, -benchtime=1x):
-# cheap enough for CI, and the JSON snapshots make kernel regressions
-# reviewable in diffs. BENCH_phase1.json covers the Phase-1 hot path (MinHash
-# kernels and SigGen fingerprinting); BENCH_select.json covers Phase-2 greedy
-# selection and cached concurrent serving. For stable numbers rerun locally
-# with bench-full.
+# Benchmark pass emitting the JSON snapshots that make hot-path regressions
+# reviewable in diffs (and enforceable via benchgate). Three suites:
+#
+#   BENCH_phase1.json  — Phase-1 construction: MinHash estimator/hash
+#                        kernels (fixed 10000 iterations, so the ns-scale
+#                        numbers are real measurements rather than one-shot
+#                        noise) and the SigGen fingerprint passes, including
+#                        the worker-scaling ladder (w1/w2/w4/wmax).
+#   BENCH_select.json  — Phase-2 greedy selection.
+#   BENCH_serving.json — end-to-end concurrent serving (mixed algorithms,
+#                        fingerprint cache on and bypassed).
+#
+# Heavy benchmarks stay single-shot (-benchtime=1x/3x) to keep CI cheap; for
+# publication-grade numbers rerun locally with bench-full.
 bench:
-	$(GO) test -run '^$$' -bench 'EstimateJs|HashAll|SigGen' -benchmem -benchtime=1x -count=1 \
-		./internal/minhash ./internal/core | $(GO) run ./cmd/benchjson -o BENCH_phase1.json
-	$(GO) test -run '^$$' -bench 'SelectParallel|SelectSequential|SelectDiverseSet|ConcurrentServing' \
-		-benchmem -benchtime=1x -count=1 ./internal/dispersion . | $(GO) run ./cmd/benchjson -o BENCH_select.json
+	@mkdir -p $(BENCH_OUT)
+	{ $(GO) test -run '^$$' -bench 'EstimateJs|HashAll' -benchmem -benchtime=10000x -count=1 ./internal/minhash ; \
+	  $(GO) test -run '^$$' -bench 'SigGen' -benchmem -benchtime=1x -count=1 ./internal/core ; } \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_phase1.json
+	$(GO) test -run '^$$' -bench 'SelectParallel|SelectSequential|SelectDiverseSet' \
+		-benchmem -benchtime=1x -count=1 ./internal/dispersion . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_select.json
+	$(GO) test -run '^$$' -bench 'ConcurrentServing' -benchmem -benchtime=3x -count=1 . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_serving.json
+
+# Regression gate: rerun the benchmark suites into a scratch directory and
+# compare each snapshot against its checked-in baseline with a generous
+# tolerance (see BENCH_TOL above and cmd/benchgate for the exact rules). A
+# PR that legitimately moves the numbers regenerates the baselines with
+# `make bench` and commits them.
+benchgate:
+	$(MAKE) bench BENCH_OUT=.bench-fresh
+	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_phase1.json .bench-fresh/BENCH_phase1.json
+	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_select.json .bench-fresh/BENCH_select.json
+	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_serving.json .bench-fresh/BENCH_serving.json
 
 # The full multi-iteration benchmark sweep (slow; local use).
 bench-full:

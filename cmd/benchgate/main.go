@@ -1,0 +1,134 @@
+// Command benchgate compares a fresh benchjson snapshot against the
+// checked-in baseline and exits non-zero when the hot path regressed. It is
+// the CI teeth behind the BENCH_*.json files: `make benchgate` reruns the
+// benchmark suite into a scratch directory and gates each fresh file against
+// its committed counterpart.
+//
+// The comparison is deliberately coarse. CI machines differ from the ones
+// that produced the baselines, single-shot SigGen benchmarks are one
+// iteration each, and RunParallel ns/op depends on GOMAXPROCS — so the gate
+// only fails on regressions beyond a generous multiplicative tolerance
+// (default 3×), the kind an accidental O(n²) or a dropped fast path
+// produces, not scheduler noise. Allocation counts are far more stable, so
+// they get a tighter (but still slack-carrying) bound.
+//
+// Rules, per benchmark name shared by baseline and fresh:
+//
+//   - fresh ns/op  > tol  × baseline ns/op           → regression (fail)
+//   - fresh allocs > atol × baseline allocs + slack  → regression (fail)
+//     (skipped when either side ran without -benchmem)
+//   - baseline name missing from the fresh run       → fail, unless
+//     -allow-missing; a renamed benchmark must rename its baseline entry in
+//     the same PR, otherwise coverage silently evaporates
+//   - fresh-only names are reported but never fail: new benchmarks join the
+//     gate when their baseline lands
+//
+// Usage:
+//
+//	benchgate [-tol 3.0] [-alloc-tol 2.0] [-alloc-slack 64] [-allow-missing] baseline.json fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	tol := flag.Float64("tol", 3.0, "fail when fresh ns/op exceeds baseline by this factor")
+	allocTol := flag.Float64("alloc-tol", 2.0, "fail when fresh allocs/op exceed baseline by this factor (plus slack)")
+	allocSlack := flag.Int64("alloc-slack", 64, "absolute allocs/op headroom added on top of alloc-tol")
+	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the fresh run")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] baseline.json fresh.json")
+		os.Exit(2)
+	}
+
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+
+	freshBy := make(map[string]record, len(fresh))
+	for _, r := range fresh {
+		freshBy[r.Name] = r
+	}
+	baseNames := make(map[string]bool, len(base))
+
+	failures := 0
+	for _, b := range base {
+		baseNames[b.Name] = true
+		f, ok := freshBy[b.Name]
+		if !ok {
+			if *allowMissing {
+				fmt.Printf("SKIP  %-50s missing from fresh run\n", b.Name)
+				continue
+			}
+			fmt.Printf("FAIL  %-50s missing from fresh run (renamed? update the baseline)\n", b.Name)
+			failures++
+			continue
+		}
+		verdict := "ok  "
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = f.NsPerOp / b.NsPerOp
+			if ratio > *tol {
+				verdict = "FAIL"
+				failures++
+			}
+		}
+		fmt.Printf("%s  %-50s %14.0f → %14.0f ns/op  (%.2fx, tol %.1fx)\n",
+			verdict, b.Name, b.NsPerOp, f.NsPerOp, ratio, *tol)
+		if b.AllocsPerOp >= 0 && f.AllocsPerOp >= 0 {
+			limit := int64(float64(b.AllocsPerOp)*(*allocTol)) + *allocSlack
+			if f.AllocsPerOp > limit {
+				fmt.Printf("FAIL  %-50s %14d → %14d allocs/op (limit %d)\n",
+					b.Name, b.AllocsPerOp, f.AllocsPerOp, limit)
+				failures++
+			}
+		}
+	}
+	for _, f := range fresh {
+		if !baseNames[f.Name] {
+			fmt.Printf("new   %-50s %14.0f ns/op (no baseline yet; not gated)\n", f.Name, f.NsPerOp)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) against %s\n", failures, flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within tolerance of %s\n", len(base), flag.Arg(0))
+}
+
+func load(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	return recs, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}

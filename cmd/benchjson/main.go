@@ -1,13 +1,17 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // array of benchmark records, one per result line:
 //
-//	[{"name": "BenchmarkEstimateJs-1", "ns_per_op": 731.0, "allocs_per_op": 0}, ...]
+//	[{"name": "BenchmarkEstimateJs", "ns_per_op": 731.0, "allocs_per_op": 0}, ...]
 //
 // Only the fields the repository's performance tracking cares about are kept
 // (name, ns/op, allocs/op — the latter -1 when the run lacked -benchmem).
-// Non-benchmark lines (PASS, ok, pkg headers) are ignored. Exits non-zero if
-// no benchmark line was found, so a misspelled -bench regexp fails CI instead
-// of silently emitting [].
+// The trailing "-P" GOMAXPROCS suffix go test appends on multi-proc hosts
+// (and omits when GOMAXPROCS is 1) is stripped, so snapshots taken on
+// machines with different core counts stay comparable by name — which is
+// what cmd/benchgate keys its regression comparison on. Non-benchmark lines
+// (PASS, ok, pkg headers) are ignored. Exits non-zero if no benchmark line
+// was found, so a misspelled -bench regexp fails CI instead of silently
+// emitting [].
 //
 // Usage:
 //
@@ -73,7 +77,7 @@ func parse(r io.Reader) ([]record, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		rec := record{Name: fields[0], NsPerOp: -1, AllocsPerOp: -1}
+		rec := record{Name: stripProcSuffix(fields[0]), NsPerOp: -1, AllocsPerOp: -1}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -92,6 +96,23 @@ func parse(r io.Reader) ([]record, error) {
 		records = append(records, rec)
 	}
 	return records, sc.Err()
+}
+
+// stripProcSuffix removes go test's "-P" GOMAXPROCS decoration from a
+// benchmark name ("BenchmarkEstimateJs-8" → "BenchmarkEstimateJs"). The
+// suffix is absent on GOMAXPROCS=1 hosts, so leaving it in place would make
+// the same benchmark appear under two names depending on the machine.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 func fail(err error) {

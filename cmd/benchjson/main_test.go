@@ -23,7 +23,9 @@ ok  	skydiver/internal/minhash	6.521s
 	if len(recs) != 3 {
 		t.Fatalf("parsed %d records, want 3: %+v", len(recs), recs)
 	}
-	if recs[0].Name != "BenchmarkEstimateJs-1" || recs[0].NsPerOp != 731.2 || recs[0].AllocsPerOp != 0 {
+	// The -P GOMAXPROCS suffix is stripped so snapshots from machines with
+	// different core counts stay comparable by name.
+	if recs[0].Name != "BenchmarkEstimateJs" || recs[0].NsPerOp != 731.2 || recs[0].AllocsPerOp != 0 {
 		t.Errorf("record 0 = %+v", recs[0])
 	}
 	if recs[1].NsPerOp != 271842 || recs[1].AllocsPerOp != 1 {
@@ -32,6 +34,20 @@ ok  	skydiver/internal/minhash	6.521s
 	// No -benchmem on the third line: allocs must be the -1 sentinel.
 	if recs[2].NsPerOp != 405.9 || recs[2].AllocsPerOp != -1 {
 		t.Errorf("record 2 = %+v", recs[2])
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkEstimateJs-8":               "BenchmarkEstimateJs",
+		"BenchmarkEstimateJs":                 "BenchmarkEstimateJs",
+		"BenchmarkSigGenIFParallelScale/w4-2": "BenchmarkSigGenIFParallelScale/w4",
+		"BenchmarkHashAll100":                 "BenchmarkHashAll100",
+		"Benchmark-":                          "Benchmark-",
+	} {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

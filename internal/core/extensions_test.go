@@ -18,7 +18,7 @@ func TestSigGenIFParallelIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 2, 3, 7, 16} {
+	for _, workers := range []int{1, 2, 3, 7, 8, 16} {
 		fam2, _ := minhash.NewFamily(64, 4)
 		got, err := SigGenIFParallel(ds, in.Sky, fam2, workers)
 		if err != nil {
@@ -131,13 +131,17 @@ func TestDiversifyRelativeAgainstExplicit(t *testing.T) {
 	}
 }
 
+// BenchmarkSigGenIFParallel is the headline parallel number: GOMAXPROCS
+// workers, i.e. whatever the hardware offers. On a single-CPU host it
+// delegates to the sequential pass (see SigGenIFParallelCtx); the fixed
+// worker-count curve lives in BenchmarkSigGenIFParallelScale.
 func BenchmarkSigGenIFParallel(b *testing.B) {
 	ds := data.Independent(100000, 4, 1)
 	in := testInput(b, ds)
 	fam, _ := minhash.NewFamily(100, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SigGenIFParallel(ds, in.Sky, fam, 4); err != nil {
+		if _, err := SigGenIFParallel(ds, in.Sky, fam, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"skydiver/internal/budget"
 	"skydiver/internal/data"
@@ -54,25 +53,15 @@ func SigGenIFCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.
 	counter := pager.NewSequentialCounter(8*ds.Dims() + 4)
 	pageQuantum := counter.RecordsPerPage()
 
-	// Sort skyline by L1 norm, remembering the original column of each.
-	type skyEntry struct {
-		pt  []float64
-		l1  float64
-		col int
-	}
-	entries := make([]skyEntry, m)
-	for j, s := range sky {
-		p := ds.Point(s)
-		entries[j] = skyEntry{pt: p, l1: geom.L1(p), col: j}
-	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].l1 < entries[b].l1 })
+	prep := prepareSkyline(ds, sky)
 	inSky := newBitset(ds.Len())
 	for _, s := range sky {
 		inSky.set(s)
 	}
 
-	hv := make([]uint32, t)
-	cols := make([]int, 0, 16)
+	sc := getSigScratch(t)
+	defer sc.release()
+	hv := sc.hv
 	tracker := budget.From(ctx)
 	for i := 0; i < ds.Len(); i++ {
 		if i%pageQuantum == 0 {
@@ -93,22 +82,13 @@ func SigGenIFCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.
 			continue
 		}
 		p := ds.Point(i)
-		l1 := geom.L1(p)
-		cols = cols[:0]
-		for _, e := range entries {
-			if e.l1 >= l1 {
-				break
-			}
-			if geom.Dominates(e.pt, p) {
-				cols = append(cols, e.col)
-			}
-		}
-		if len(cols) == 0 {
+		sc.cols = prep.dominators(sc.cols[:0], p, geom.L1(p))
+		if len(sc.cols) == 0 {
 			continue
 		}
-		fam.HashAll(hv, uint64(i))
-		for _, c := range cols {
-			fp.Matrix.UpdateColumn(c, hv)
+		minHv := fam.HashAllGroupMin(hv, uint64(i), sc.gm)
+		for _, c := range sc.cols {
+			fp.Matrix.UpdateColumnGrouped(int(c), hv, sc.gm, minHv)
 			fp.DomScore[c]++
 		}
 	}
@@ -147,63 +127,37 @@ func SigGenIBCtx(ctx context.Context, tr rtree.Reader, ds *data.Dataset, sky []i
 	}
 	t := fam.Size()
 	fp := &Fingerprint{Matrix: minhash.NewMatrix(t, m), DomScore: make([]float64, m)}
-	// Sort the skyline by L1 norm: both full and partial dominance of an
-	// entry require dominating its upper-right corner, and s ≺ x implies
-	// L1(s) < L1(x), so the scan over skyline points can stop at L1(Hi).
-	type skyEntry struct {
-		pt  []float64
-		l1  float64
-		col int
-	}
-	entries := make([]skyEntry, m)
-	for j, s := range sky {
-		p := ds.Point(s)
-		entries[j] = skyEntry{pt: p, l1: geom.L1(p), col: j}
-	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].l1 < entries[b].l1 })
+	// The prepared skyline is sorted by L1 norm: both full and partial
+	// dominance of an entry require dominating its upper-right corner, and
+	// s ≺ x implies L1(s) < L1(x), so the scan over skyline points can stop
+	// at L1(Hi).
+	prep := prepareSkyline(ds, sky)
 	before := tr.Stats()
 
-	hv := make([]uint32, t)
+	sc := getSigScratch(t)
+	defer sc.release()
+	hv := sc.hv
 	rowcount := uint64(0)
-	full := make([]int, 0, m)
 	// updateFull folds `count` fresh row ids into the signatures of all
 	// skyline columns in full (Figure 4, UpdateFullDominance). The hash
-	// values of each row are computed once and reused across columns.
-	updateFull := func(full []int, count int) {
+	// values of each row are computed once and reused across columns, and a
+	// row whose minimum hash cannot beat a column's worst slot skips that
+	// column's fold entirely (bit-identical; see UpdateColumnBounded).
+	updateFull := func(full []int32, count int) {
 		if len(full) == 0 {
 			rowcount += uint64(count)
 			return
 		}
 		for r := 0; r < count; r++ {
-			fam.HashAll(hv, rowcount)
+			minHv := fam.HashAllGroupMin(hv, rowcount, sc.gm)
 			rowcount++
 			for _, c := range full {
-				fp.Matrix.UpdateColumn(c, hv)
+				fp.Matrix.UpdateColumnGrouped(int(c), hv, sc.gm, minHv)
 			}
 		}
 		for _, c := range full {
 			fp.DomScore[c] += float64(count)
 		}
-	}
-
-	// classify fills full with the columns fully dominating rect and reports
-	// whether any column partially dominates it.
-	classify := func(rect geom.Rect) (fullCols []int, anyPartial bool) {
-		full = full[:0]
-		hiL1 := geom.L1(rect.Hi)
-		for i := range entries {
-			e := &entries[i]
-			if e.l1 >= hiL1 {
-				break
-			}
-			switch geom.DomRelation(e.pt, rect) {
-			case geom.DomFull:
-				full = append(full, e.col)
-			case geom.DomPartial:
-				return nil, true
-			}
-		}
-		return full, false
 	}
 
 	pq := []pager.PageID{tr.Root()}
@@ -223,21 +177,12 @@ func SigGenIBCtx(ctx context.Context, tr rtree.Reader, ds *data.Dataset, sky []i
 				// A point entry is either fully dominated by a column or not
 				// dominated at all; partial dominance cannot occur.
 				p := e.Point()
-				pL1 := geom.L1(p)
-				full = full[:0]
-				for i := range entries {
-					se := &entries[i]
-					if se.l1 >= pL1 {
-						break
-					}
-					if geom.Dominates(se.pt, p) {
-						full = append(full, se.col)
-					}
-				}
-				updateFull(full, 1)
+				sc.cols = prep.dominators(sc.cols[:0], p, geom.L1(p))
+				updateFull(sc.cols, 1)
 				continue
 			}
-			fullCols, anyPartial := classify(e.Rect)
+			fullCols, anyPartial := prep.classifyRect(sc.cols[:0], e.Rect)
+			sc.cols = fullCols
 			if anyPartial {
 				pq = append(pq, e.Child)
 				continue
@@ -274,9 +219,9 @@ func SigGenSets(lists [][]int, fam *minhash.Family) (*Fingerprint, error) {
 	}
 	hv := make([]uint32, t)
 	for r, cols := range byRow {
-		fam.HashAll(hv, uint64(r))
+		minHv := fam.HashAllMin(hv, uint64(r))
 		for _, c := range cols {
-			fp.Matrix.UpdateColumn(c, hv)
+			fp.Matrix.UpdateColumnBounded(c, hv, minHv)
 		}
 	}
 	return fp, nil

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +32,11 @@ import (
 // per slot is commutative and associative, and domination scores are integer
 // counts whose float64 sums are exact. workers <= 0 uses GOMAXPROCS.
 //
+// The dominance-scan pruning structure (the multi-order sorted skyline, see
+// skyPrep) is built once and shared read-only by the planner and every
+// worker; each worker folds through the screened grouped updates into its
+// private matrix, exactly like the sequential pass.
+//
 // Concurrent node reads go through the reader's internally locked pool, so
 // sharing one per-query session across the subtree workers is race-free; the
 // total page reads and the resulting fingerprint are schedule-independent,
@@ -41,14 +45,6 @@ import (
 // harness) should use the sequential SigGenIB.
 func SigGenIBParallel(tr rtree.Reader, ds *data.Dataset, sky []int, fam *minhash.Family, workers int) (*Fingerprint, error) {
 	return SigGenIBParallelCtx(context.Background(), tr, ds, sky, fam, workers)
-}
-
-// ibSkyEntry is one skyline point prepared for dominance scans: the point,
-// its L1 norm for early termination, and its signature column.
-type ibSkyEntry struct {
-	pt  []float64
-	l1  float64
-	col int
 }
 
 // ibTask is one independent unit of traversal: the subtree rooted at page,
@@ -60,82 +56,47 @@ type ibTask struct {
 }
 
 // ibScanner bundles the per-goroutine state of an index-based signature
-// pass: a private fingerprint, hash scratch, and the shared read-only
-// skyline entries and hash family.
+// pass: a private fingerprint, pooled hash/column scratch, and the shared
+// read-only skyline preparation and hash family.
 type ibScanner struct {
-	entries []ibSkyEntry
-	fam     *minhash.Family
-	fp      *Fingerprint
-	hv      []uint32
-	full    []int
-	rows    uint64 // running row-id counter (absolute)
+	prep *skyPrep
+	fam  *minhash.Family
+	fp   *Fingerprint
+	sc   *sigScratch
+	rows uint64 // running row-id counter (absolute)
 }
 
-func newIBScanner(entries []ibSkyEntry, fam *minhash.Family, m int) *ibScanner {
+func newIBScanner(prep *skyPrep, fam *minhash.Family, m int) *ibScanner {
 	return &ibScanner{
-		entries: entries,
-		fam:     fam,
-		fp:      &Fingerprint{Matrix: minhash.NewMatrix(fam.Size(), m), DomScore: make([]float64, m)},
-		hv:      make([]uint32, fam.Size()),
-		full:    make([]int, 0, m),
+		prep: prep,
+		fam:  fam,
+		fp:   &Fingerprint{Matrix: minhash.NewMatrix(fam.Size(), m), DomScore: make([]float64, m)},
+		sc:   getSigScratch(fam.Size()),
 	}
 }
 
+// release returns the scanner's pooled scratch; the fingerprint stays valid.
+func (sc *ibScanner) release() { sc.sc.release() }
+
 // updateFull folds count fresh row ids (starting at the scanner's counter)
 // into the signatures of the fully dominating columns, mirroring the
-// sequential updateFull exactly.
-func (sc *ibScanner) updateFull(full []int, count int) {
+// sequential updateFull exactly: hash values are computed once per row and
+// the screened grouped fold skips the slot groups a row cannot improve.
+func (sc *ibScanner) updateFull(full []int32, count int) {
 	if len(full) == 0 {
 		sc.rows += uint64(count)
 		return
 	}
 	for r := 0; r < count; r++ {
-		sc.fam.HashAll(sc.hv, sc.rows)
+		minHv := sc.fam.HashAllGroupMin(sc.sc.hv, sc.rows, sc.sc.gm)
 		sc.rows++
 		for _, c := range full {
-			sc.fp.Matrix.UpdateColumn(c, sc.hv)
+			sc.fp.Matrix.UpdateColumnGrouped(int(c), sc.sc.hv, sc.sc.gm, minHv)
 		}
 	}
 	for _, c := range full {
 		sc.fp.DomScore[c] += float64(count)
 	}
-}
-
-// classifyRect fills sc.full with the columns fully dominating rect and
-// reports whether any column partially dominates it.
-func (sc *ibScanner) classifyRect(rect geom.Rect) (fullCols []int, anyPartial bool) {
-	sc.full = sc.full[:0]
-	hiL1 := geom.L1(rect.Hi)
-	for i := range sc.entries {
-		e := &sc.entries[i]
-		if e.l1 >= hiL1 {
-			break
-		}
-		switch geom.DomRelation(e.pt, rect) {
-		case geom.DomFull:
-			sc.full = append(sc.full, e.col)
-		case geom.DomPartial:
-			return nil, true
-		}
-	}
-	return sc.full, false
-}
-
-// classifyPoint fills sc.full with the columns dominating point p (partial
-// dominance cannot occur for a point).
-func (sc *ibScanner) classifyPoint(p []float64) []int {
-	sc.full = sc.full[:0]
-	pL1 := geom.L1(p)
-	for i := range sc.entries {
-		e := &sc.entries[i]
-		if e.l1 >= pL1 {
-			break
-		}
-		if geom.Dominates(e.pt, p) {
-			sc.full = append(sc.full, e.col)
-		}
-	}
-	return sc.full
 }
 
 // scanNode consumes one node's immediately processable entries in entry
@@ -146,10 +107,15 @@ func (sc *ibScanner) scanNode(node *rtree.Node) []rtree.Entry {
 	for i := range node.Entries {
 		e := &node.Entries[i]
 		if node.Leaf {
-			sc.updateFull(sc.classifyPoint(e.Point()), 1)
+			// A point entry is either fully dominated by a column or not
+			// dominated at all; partial dominance cannot occur.
+			p := e.Point()
+			sc.sc.cols = sc.prep.dominators(sc.sc.cols[:0], p, geom.L1(p))
+			sc.updateFull(sc.sc.cols, 1)
 			continue
 		}
-		fullCols, anyPartial := sc.classifyRect(e.Rect)
+		fullCols, anyPartial := sc.prep.classifyRect(sc.sc.cols[:0], e.Rect)
+		sc.sc.cols = fullCols
 		if anyPartial {
 			pending = append(pending, *e)
 			continue
@@ -210,12 +176,7 @@ func SigGenIBParallelCtx(ctx context.Context, tr rtree.Reader, ds *data.Dataset,
 	if tr.Dims() != ds.Dims() {
 		return nil, fmt.Errorf("core: tree dims %d != dataset dims %d", tr.Dims(), ds.Dims())
 	}
-	entries := make([]ibSkyEntry, m)
-	for j, s := range sky {
-		p := ds.Point(s)
-		entries[j] = ibSkyEntry{pt: p, l1: geom.L1(p), col: j}
-	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].l1 < entries[b].l1 })
+	prep := prepareSkyline(ds, sky)
 	before := tr.Stats()
 
 	// Planner: expand the largest remaining subtree until there are enough
@@ -223,7 +184,8 @@ func SigGenIBParallelCtx(ctx context.Context, tr rtree.Reader, ds *data.Dataset,
 	// consumed by the planner itself at their sequential row ids; every
 	// emitted task gets the absolute base the sequential counter would have
 	// reached it with.
-	planner := newIBScanner(entries, fam, m)
+	planner := newIBScanner(prep, fam, m)
+	defer planner.release()
 	tasks := []ibTask{{page: tr.Root(), base: 0, count: uint64(tr.Len())}}
 	target := 2 * workers
 	expansions := 0
@@ -275,7 +237,8 @@ func SigGenIBParallelCtx(ctx context.Context, tr rtree.Reader, ds *data.Dataset,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sc := newIBScanner(entries, fam, m)
+			sc := newIBScanner(prep, fam, m)
+			defer sc.release()
 			shards[w] = sc.fp
 			for {
 				i := int(next.Add(1)) - 1

@@ -29,7 +29,7 @@ func TestSigGenIBParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, workers := range []int{2, 3, 8} {
+		for _, workers := range []int{1, 2, 3, 8, 16} {
 			got, err := SigGenIBParallel(in.Tree, ds, in.Sky, fam, workers)
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)

@@ -1,0 +1,121 @@
+package minhash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bounds_test.go pins the screened fold paths to the plain fold: the
+// slot-max and group-max screens are pure short-circuits and must never
+// change a single slot, for any update sequence, signature size, or column
+// count.
+
+// TestGroupedFoldMatchesPlain: folding through UpdateColumnGrouped and
+// UpdateColumnBounded produces matrices bit-identical to UpdateColumn, with
+// HashAllGroupMin/HashAllMin agreeing with HashAll on the way.
+func TestGroupedFoldMatchesPlain(t *testing.T) {
+	sizes := []int{1, 2, 3, 7, 8, 9, 15, 16, 31, 100, 163}
+	for _, size := range sizes {
+		f := func(rows []uint16, colPick []uint8) bool {
+			const cols = 3
+			fam, _ := NewFamily(size, int64(size))
+			plain := NewMatrix(size, cols)
+			bounded := NewMatrix(size, cols)
+			grouped := NewMatrix(size, cols)
+			hv := make([]uint32, size)
+			hvMin := make([]uint32, size)
+			hvGrp := make([]uint32, size)
+			gm := make([]uint32, grouped.Groups())
+			for k, r := range rows {
+				c := 0
+				if k < len(colPick) {
+					c = int(colPick[k]) % cols
+				}
+				fam.HashAll(hv, uint64(r))
+				minHv := fam.HashAllMin(hvMin, uint64(r))
+				grpMin := fam.HashAllGroupMin(hvGrp, uint64(r), gm)
+				for i := range hv {
+					if hv[i] != hvMin[i] || hv[i] != hvGrp[i] {
+						return false
+					}
+				}
+				if minHv != grpMin {
+					return false
+				}
+				plain.UpdateColumn(c, hv)
+				bounded.UpdateColumnBounded(c, hvMin, minHv)
+				grouped.UpdateColumnGrouped(c, hvGrp, gm, grpMin)
+			}
+			for c := 0; c < cols; c++ {
+				pc, bc, gc := plain.Column(c), bounded.Column(c), grouped.Column(c)
+				for i := range pc {
+					if pc[i] != bc[i] || pc[i] != gc[i] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("t=%d: %v", size, err)
+		}
+	}
+}
+
+// TestBoundsStayExact: after arbitrary interleavings of the three fold
+// entry points on one matrix, colMax and groupMax equal the true maxima of
+// each column's slots — the invariant every screen relies on.
+func TestBoundsStayExact(t *testing.T) {
+	f := func(rows []uint16, path []uint8) bool {
+		const size, cols = 24, 2
+		fam, _ := NewFamily(size, 11)
+		m := NewMatrix(size, cols)
+		hv := make([]uint32, size)
+		gm := make([]uint32, m.Groups())
+		for k, r := range rows {
+			c := int(r) % cols
+			minHv := fam.HashAllGroupMin(hv, uint64(r), gm)
+			mode := uint8(2)
+			if k < len(path) {
+				mode = path[k] % 3
+			}
+			switch mode {
+			case 0:
+				m.UpdateColumn(c, hv)
+			case 1:
+				m.UpdateColumnBounded(c, hv, minHv)
+			default:
+				m.UpdateColumnGrouped(c, hv, gm, minHv)
+			}
+		}
+		for c := 0; c < cols; c++ {
+			col := m.Column(c)
+			var trueMax uint32
+			for _, v := range col {
+				if v > trueMax {
+					trueMax = v
+				}
+			}
+			if m.colMax[c] != trueMax {
+				return false
+			}
+			g := m.Groups()
+			for grp := 0; grp < g; grp++ {
+				lo, hi := grp*size/g, (grp+1)*size/g
+				var gmax uint32
+				for _, v := range col[lo:hi] {
+					if v > gmax {
+						gmax = v
+					}
+				}
+				if m.groupMax[c*g+grp] != gmax {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

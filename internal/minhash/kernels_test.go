@@ -109,6 +109,18 @@ func BenchmarkEstimateJs(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateJsSmall measures the pairwise kernel at the paper's
+// smallest signature (t = 20), just past the small-input dispatch threshold
+// — the regime where SWAR setup cost once made the kernel slower than the
+// scalar loop.
+func BenchmarkEstimateJsSmall(b *testing.B) {
+	m := benchMatrix(20, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EstimateJs(i%64, (i+17)%64)
+	}
+}
+
 // BenchmarkEstimateJsScalar is the pre-kernel baseline for the same pairs.
 func BenchmarkEstimateJsScalar(b *testing.B) {
 	m := benchMatrix(400, 64)

@@ -63,6 +63,67 @@ func (f *Family) HashAll(dst []uint32, x uint64) {
 	}
 }
 
+// HashAllMin is HashAll returning additionally the minimum of the written
+// values. The signature generators pair it with UpdateColumnBounded: one
+// extra comparison per slot here lets every dominating column first test the
+// row against its slot-max bound and skip the whole t-slot min-fold when no
+// slot could possibly improve — the short-circuit that makes Phase 1 scale
+// with the number of *effective* updates instead of the raw pair count.
+func (f *Family) HashAllMin(dst []uint32, x uint64) uint32 {
+	minv := uint32(math.MaxUint32)
+	for i := range f.a {
+		v := hashOne(f.a[i], f.b[i], x)
+		dst[i] = v
+		if v < minv {
+			minv = v
+		}
+	}
+	return minv
+}
+
+// HashAllGroupMin is HashAllMin additionally writing the per-group minima of
+// the slot groups defined by GroupsFor into gm (whose length must be
+// GroupsFor(Size())). UpdateColumnGrouped uses them to skip not just whole
+// folds but every slot group the row cannot improve.
+func (f *Family) HashAllGroupMin(dst []uint32, x uint64, gm []uint32) uint32 {
+	t := len(f.a)
+	g := len(gm)
+	minv := uint32(math.MaxUint32)
+	for k := 0; k < g; k++ {
+		lo, hi := k*t/g, (k+1)*t/g
+		gv := uint32(math.MaxUint32)
+		for i := lo; i < hi; i++ {
+			v := hashOne(f.a[i], f.b[i], x)
+			dst[i] = v
+			if v < gv {
+				gv = v
+			}
+		}
+		gm[k] = gv
+		if gv < minv {
+			minv = gv
+		}
+	}
+	return minv
+}
+
+// HashRange evaluates hash functions [lo, hi) on row id x, writing the
+// values into dst[:hi−lo], and returns their minimum (MaxUint32 when the
+// range is empty). The parallel signature generators stripe the hash family
+// across workers with it: each worker evaluates only the slot rows it owns,
+// so the total hash work across workers equals one HashAll per data row.
+func (f *Family) HashRange(dst []uint32, x uint64, lo, hi int) uint32 {
+	minv := uint32(math.MaxUint32)
+	for i := lo; i < hi; i++ {
+		v := hashOne(f.a[i], f.b[i], x)
+		dst[i-lo] = v
+		if v < minv {
+			minv = v
+		}
+	}
+	return minv
+}
+
 // Hash evaluates hash function i on row id x.
 func (f *Family) Hash(i int, x uint64) uint32 {
 	return hashOne(f.a[i], f.b[i], x)
@@ -99,26 +160,46 @@ func mulmod61(a, x uint64) uint64 {
 	return sum
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo). It is the
-// textbook schoolbook decomposition, kept dependency-free.
+// mul64 returns the 128-bit product of a and b as (hi, lo), via the
+// bits.Mul64 intrinsic — a single widening multiply on amd64/arm64, and the
+// dominant instruction of the whole hash family.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 1<<32 - 1
-	a0, a1 := a&mask, a>>32
-	b0, b1 := b&mask, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	w1 := t & mask
-	w2 := t >> 32
-	w1 += a0 * b1
-	hi = a1*b1 + w2 + (w1 >> 32)
-	lo = a * b
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Matrix is the signature matrix M̂: one t-slot signature per skyline point,
 // stored column-major so a point's signature is contiguous.
 type Matrix struct {
 	t, cols int
+	groups  int
 	sig     []uint32
+	// colMax[c] caches the maximum slot value of column c. A row whose
+	// minimum hash value is ≥ colMax[c] cannot lower any slot (every hv[i] ≥
+	// min(hv) ≥ colMax[c] ≥ col[i]), so UpdateColumnBounded skips the whole
+	// t-slot fold. Once a column has absorbed k rows its slots sit near P/k,
+	// so for the large columns that dominate Phase-1 runtime almost every
+	// later row is rejected by this single comparison.
+	colMax []uint32
+	// groupMax refines colMax to GroupsFor(t) slot groups per column
+	// (groupMax[c*groups+g] bounds group g), letting UpdateColumnGrouped skip
+	// the groups a row cannot improve even when the whole-column screen
+	// passes. colMax[c] is always the maximum of column c's group maxima.
+	groupMax []uint32
+}
+
+// maxUpdateGroups is the slot-group count of the grouped fold screen. Eight
+// groups cut the folded slots of an admitted row by roughly the same factor
+// while costing eight extra comparisons per admitted pair; beyond that the
+// screen overhead grows faster than the fold shrinks.
+const maxUpdateGroups = 8
+
+// GroupsFor returns the number of slot groups the grouped update screen
+// uses for signature size t (callers size HashAllGroupMin's gm with it).
+func GroupsFor(t int) int {
+	if t < maxUpdateGroups {
+		return t
+	}
+	return maxUpdateGroups
 }
 
 // NewMatrix creates a t×cols signature matrix with all slots empty (∞).
@@ -127,8 +208,21 @@ func NewMatrix(t, cols int) *Matrix {
 	for i := range sig {
 		sig[i] = emptySlot
 	}
-	return &Matrix{t: t, cols: cols, sig: sig}
+	groups := GroupsFor(t)
+	colMax := make([]uint32, cols)
+	groupMax := make([]uint32, cols*groups)
+	for i := range colMax {
+		colMax[i] = emptySlot
+	}
+	for i := range groupMax {
+		groupMax[i] = emptySlot
+	}
+	return &Matrix{t: t, cols: cols, groups: groups, sig: sig, colMax: colMax, groupMax: groupMax}
 }
+
+// Groups returns the slot-group count of the grouped update screen,
+// GroupsFor(T()).
+func (m *Matrix) Groups() int { return m.groups }
 
 // T returns the signature size.
 func (m *Matrix) T() int { return m.t }
@@ -142,13 +236,152 @@ func (m *Matrix) Column(c int) []uint32 {
 }
 
 // UpdateColumn folds one row's hash values hv into column c's signature,
-// keeping the per-slot minima (Figure 3, UpdateMatrix).
+// keeping the per-slot minima (Figure 3, UpdateMatrix). hv may be shorter
+// than t (the untouched tail keeps its values); the column's slot-max
+// bounds are refreshed either way.
 func (m *Matrix) UpdateColumn(c int, hv []uint32) {
 	col := m.sig[c*m.t : (c+1)*m.t]
+	n := len(hv)
+	if n > len(col) {
+		n = len(col)
+	}
+	changed := false
+	for i := 0; i < n; i++ {
+		if hv[i] < col[i] {
+			col[i] = hv[i]
+			changed = true
+		}
+	}
+	if !changed {
+		// Untouched column, bounds still exact — and the common case even for
+		// folds that pass the slot-max screen, so it skips the max recompute.
+		return
+	}
+	m.refreshBounds(c)
+}
+
+// refreshBounds recomputes column c's group maxima and whole-column maximum
+// from its current slots.
+func (m *Matrix) refreshBounds(c int) {
+	col := m.sig[c*m.t : (c+1)*m.t]
+	gmax := m.groupMax[c*m.groups : (c+1)*m.groups]
+	var colMax uint32
+	for g := range gmax {
+		lo, hi := g*m.t/m.groups, (g+1)*m.t/m.groups
+		var gm uint32
+		for _, v := range col[lo:hi] {
+			if v > gm {
+				gm = v
+			}
+		}
+		gmax[g] = gm
+		if gm > colMax {
+			colMax = gm
+		}
+	}
+	m.colMax[c] = colMax
+}
+
+// UpdateColumnBounded is UpdateColumn for callers that know min(hv) — i.e.
+// the signature generators, which compute it once per row via HashAllMin.
+// When that minimum cannot beat the column's current worst slot the fold is
+// skipped entirely; the resulting matrix is bit-identical to folding every
+// row unconditionally.
+func (m *Matrix) UpdateColumnBounded(c int, hv []uint32, minHv uint32) {
+	if minHv >= m.colMax[c] {
+		return
+	}
+	m.UpdateColumn(c, hv)
+}
+
+// UpdateColumnGrouped is the finest-grained fold: given the per-group minima
+// gm of hv (from HashAllGroupMin) it skips every slot group the row cannot
+// improve, touching only the groups where an update is possible. len(gm)
+// must equal Groups(). The result is bit-identical to UpdateColumn: a
+// skipped group satisfies min(hv[group]) ≥ groupMax ≥ every slot in it.
+func (m *Matrix) UpdateColumnGrouped(c int, hv []uint32, gm []uint32, minHv uint32) {
+	if minHv >= m.colMax[c] {
+		return
+	}
+	t, groups := m.t, m.groups
+	col := m.sig[c*t : (c+1)*t]
+	gmax := m.groupMax[c*groups : (c+1)*groups]
+	anyChanged := false
+	for g := 0; g < groups; g++ {
+		if gm[g] >= gmax[g] {
+			continue
+		}
+		lo, hi := g*t/groups, (g+1)*t/groups
+		changed := false
+		for i := lo; i < hi; i++ {
+			if hv[i] < col[i] {
+				col[i] = hv[i]
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		var nm uint32
+		for _, v := range col[lo:hi] {
+			if v > nm {
+				nm = v
+			}
+		}
+		gmax[g] = nm
+		anyChanged = true
+	}
+	if !anyChanged {
+		return
+	}
+	var colMax uint32
+	for _, v := range gmax {
+		if v > colMax {
+			colMax = v
+		}
+	}
+	m.colMax[c] = colMax
+}
+
+// FoldStripe folds hv (whose length must be hi−lo) into slots [lo, hi) of
+// column c by per-slot minima, WITHOUT refreshing the column's screen
+// bounds. It reports whether any slot changed and, when one did, the new
+// maximum of the stripe's slots.
+//
+// This is the write primitive of the slot-striped parallel generators: each
+// worker owns a disjoint slot range of every column, so concurrent
+// FoldStripe calls on the same column never touch the same memory. The
+// matrix's colMax/groupMax screens are stale until the caller invokes
+// RefreshBounds — the striped pass keeps its own per-worker stripe maxima
+// instead (screening with them is exact for the same reason as
+// UpdateColumnBounded, restricted to the stripe).
+func (m *Matrix) FoldStripe(c, lo, hi int, hv []uint32) (stripeMax uint32, changed bool) {
+	col := m.sig[c*m.t+lo : c*m.t+hi]
 	for i, v := range hv {
 		if v < col[i] {
 			col[i] = v
+			changed = true
 		}
+	}
+	if !changed {
+		return 0, false
+	}
+	for _, v := range col {
+		if v > stripeMax {
+			stripeMax = v
+		}
+	}
+	return stripeMax, true
+}
+
+// RefreshBounds recomputes every column's slot-max screen bounds from the
+// current slots. Callers that bypassed the bound bookkeeping with FoldStripe
+// must invoke it before the matrix is used with the screened folds again;
+// afterwards the matrix is indistinguishable from one built through
+// UpdateColumn alone.
+func (m *Matrix) RefreshBounds() {
+	for c := 0; c < m.cols; c++ {
+		m.refreshBounds(c)
 	}
 }
 
@@ -184,6 +417,15 @@ func (m *Matrix) estimateJsScalar(i, j int) float64 {
 	return float64(eq) / float64(m.t)
 }
 
+// swarMinSlots is the signature size below which countEqual dispatches to
+// the plain scalar loop: the word-reinterpreting setup (two unsafe slice
+// headers plus alignment checks) costs about as much as comparing a dozen
+// slots, so tiny signatures were measurably *slower* through the SWAR path
+// than through the loop it replaces. Sixteen slots is past the crossover on
+// current x86 and arm64 and still below the paper's smallest signature
+// (t = 20), so real workloads always take the word path.
+const swarMinSlots = 16
+
 // countEqual returns the number of positions where a and b hold the same
 // value. a and b must have equal length.
 //
@@ -195,13 +437,15 @@ func (m *Matrix) estimateJsScalar(i, j int) float64 {
 // ^((x&^hi)+^hi|x)&hi leaves one sign bit per agreeing lane. Four words (8
 // slots) fold into a single popcount by parking each word's sign bits on
 // adjacent bit positions. Branch-free matters here: slot agreement is a coin
-// flip at mid-range similarities, the worst case for a branchy loop.
+// flip at mid-range similarities, the worst case for a branchy loop. Small
+// (< swarMinSlots) and unaligned inputs dispatch to the scalar loop, where
+// the word setup would cost more than it saves.
 func countEqual(a, b []uint32) int {
 	n := len(a)
 	b = b[:n] // one bound for the whole loop
 	eq := 0
 	s := 0
-	if n >= 8 && uintptr(unsafe.Pointer(&a[0]))&7 == 0 && uintptr(unsafe.Pointer(&b[0]))&7 == 0 {
+	if n >= swarMinSlots && uintptr(unsafe.Pointer(&a[0]))&7 == 0 && uintptr(unsafe.Pointer(&b[0]))&7 == 0 {
 		nw := n / 2
 		wa := unsafe.Slice((*uint64)(unsafe.Pointer(&a[0])), nw)
 		wb := unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), nw)

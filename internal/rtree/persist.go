@@ -91,6 +91,7 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 		maxLeaf:     maxL,
 		minLeaf:     max(2, int(minFillRatio*float64(maxL))),
 	}
+	t.decoded.Store(newNodeCache())
 	buf := make([]byte, pager.PageSize)
 	for id := 0; id < numPages; id++ {
 		if _, err := io.ReadFull(br, buf); err != nil {

@@ -25,6 +25,11 @@ type Tree struct {
 	store *pager.PageStore
 	pool  atomic.Pointer[pager.BufferPool]
 
+	// decoded is the shared decoded-node cache: pages are decoded once per
+	// process and served by pointer to every pool that simulated-faults on
+	// them. nil when disabled (SetDecodeCache); see nodecache.go.
+	decoded atomic.Pointer[nodeCache]
+
 	// queryStats aggregates the I/O of every pool opened on this tree — the
 	// default pool and all sessions — so totals like retries-spent survive
 	// short-lived per-query pools.
@@ -64,6 +69,7 @@ func New(dims int) (*Tree, error) {
 		height:      1,
 	}
 	t.setPool(pager.NewBufferPool(t.store, 1<<16))
+	t.decoded.Store(newNodeCache())
 	root := &Node{Leaf: true}
 	var err error
 	t.root, err = t.writeNewNode(root)
@@ -137,7 +143,7 @@ func readNode(t *Tree, pool *pager.BufferPool, id pager.PageID) (*Node, error) {
 // pool's retry loop.
 func readNodeCtx(ctx context.Context, t *Tree, pool *pager.BufferPool, id pager.PageID) (*Node, error) {
 	v, err := pool.GetCtx(ctx, id, func(raw []byte) (any, error) {
-		return decodeNode(id, raw, t.dims)
+		return t.decodeThrough(id, raw)
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +161,11 @@ func (t *Tree) writeNode(n *Node) error {
 		return err
 	}
 	t.defaultPool().Put(n.ID, n)
+	if dc := t.decoded.Load(); dc != nil {
+		// Refresh the shared decode cache with the authoritative in-memory
+		// node, so a later simulated fault on this page decodes nothing stale.
+		dc.put(n.ID, n)
+	}
 	return nil
 }
 
