@@ -10,7 +10,7 @@ BENCH_OUT ?= .
 # paths and accidental O(n²), not scheduler noise.
 BENCH_TOL ?= 3.0
 
-.PHONY: build vet test race concurrency resilience stress fuzz verify bench benchgate bench-full
+.PHONY: build vet test race concurrency resilience serve serve-smoke stress fuzz verify bench benchgate bench-full
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,18 @@ concurrency:
 # breaker trip/recovery, budget exhaustion and the degradation ladder.
 resilience:
 	$(GO) test -race -shuffle=on -run 'Admission|Breaker|Budget|Degrade|Overload' . ./internal/admission ./internal/budget ./internal/pager
+
+# The serving-tier suite on its own: registry lifecycle/eviction races,
+# taxonomy mapping, drain semantics, panic recovery, /stats reconciliation.
+serve:
+	$(GO) test -race -shuffle=on ./internal/server
+
+# End-to-end smoke of the network tier: boot skyserved, replay ~10s of mixed
+# query waves with skyblast under a flapping fault schedule, assert the
+# response-taxonomy and /stats-reconciliation invariants, then SIGTERM and
+# assert a clean drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Overload/fault/budget stress harness against an in-process dataset.
 stress:
@@ -85,5 +97,5 @@ bench-full:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Tier-1 verification: static checks, build, the full suite under the race
-# detector, and the concurrent-serving and resilience suites.
-verify: vet build race concurrency resilience
+# detector, and the concurrent-serving, resilience, and serving-tier suites.
+verify: vet build race concurrency resilience serve

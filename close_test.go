@@ -1,0 +1,144 @@
+package skydiver
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDatasetCloseSentinels verifies that every query surface of a closed
+// dataset fails with ErrDatasetClosed and that Close is idempotent.
+func TestDatasetCloseSentinels(t *testing.T) {
+	ds, err := Generate(Independent, 500, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm everything so Close tears down live state, not empty shells.
+	if _, err := ds.Diversify(Options{K: 3, SignatureSize: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := ds.FingerprintCacheStats(); st.Entries == 0 {
+		t.Fatal("expected a resident fingerprint before Close")
+	}
+	if err := ds.SetAdmissionPolicy(AdmissionPolicy{MaxInFlight: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ds.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+	if st := ds.FingerprintCacheStats(); st.Entries != 0 {
+		t.Errorf("fingerprint cache not purged: %d entries resident", st.Entries)
+	}
+	if st := ds.AdmissionStats(); st != (AdmissionStats{}) {
+		t.Errorf("admission limiter not torn down: %+v", st)
+	}
+
+	checks := map[string]func() error{
+		"Diversify": func() error {
+			_, err := ds.Diversify(Options{K: 3})
+			return err
+		},
+		"DiversifyContext-budgeted": func() error {
+			_, err := ds.DiversifyContext(context.Background(),
+				Options{K: 3, Budget: Budget{MaxPageReads: 10}, AllowDegraded: true})
+			return err
+		},
+		"Skyline": func() error {
+			_, err := ds.Skyline()
+			return err
+		},
+		"SkylineUsing-BNL": func() error {
+			_, err := ds.SkylineUsing(BNL)
+			return err
+		},
+		"SkylineStreaming": func() error {
+			_, err := ds.SkylineStreaming(64, 4, 1)
+			return err
+		},
+		"SkylineExternal": func() error {
+			_, _, err := ds.SkylineExternal(64)
+			return err
+		},
+		"SkylineProgressive": func() error {
+			return ds.SkylineProgressive(func(int, []float64) bool { return true })
+		},
+		"TopKDominating": func() error {
+			_, _, err := ds.TopKDominating(3)
+			return err
+		},
+		"DominationScore": func() error {
+			_, err := ds.DominationScore(0)
+			return err
+		},
+		"ExactDiversity": func() error {
+			_, err := ds.ExactDiversity([]int{0, 1})
+			return err
+		},
+		"InjectFaults": func() error {
+			return ds.InjectFaults(FaultPolicy{Rate: 0.1, Seed: 1})
+		},
+		"SetAdmissionPolicy": func() error {
+			return ds.SetAdmissionPolicy(AdmissionPolicy{MaxInFlight: 1})
+		},
+		"SetBreakerPolicy": func() error {
+			return ds.SetBreakerPolicy(DefaultBreakerPolicy())
+		},
+	}
+	for name, fn := range checks {
+		if err := fn(); !errors.Is(err, ErrDatasetClosed) {
+			t.Errorf("%s after Close: err = %v, want ErrDatasetClosed", name, err)
+		}
+	}
+
+	// Metadata stays readable — a registry still needs to describe an entry
+	// it is tearing down.
+	if ds.Len() != 500 || ds.Dims() != 3 || ds.Name() == "" {
+		t.Errorf("metadata unreadable after Close: len=%d dims=%d", ds.Len(), ds.Dims())
+	}
+}
+
+// TestDatasetCloseConcurrentQueries closes the dataset while a wave of
+// queries is in flight: every query must either complete normally (it was
+// already past admission) or fail with ErrDatasetClosed — never panic, never
+// return a malformed result.
+func TestDatasetCloseConcurrentQueries(t *testing.T) {
+	ds, err := Generate(Independent, 2000, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Diversify(Options{K: 3, SignatureSize: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, err := ds.DiversifyContext(context.Background(),
+				Options{K: 3, SignatureSize: 32, Seed: 1, NoCache: i%2 == 0})
+			switch {
+			case err == nil:
+				if len(res.Indexes) != 3 {
+					t.Errorf("torn result: %v", res.Indexes)
+				}
+			case errors.Is(err, ErrDatasetClosed):
+			default:
+				t.Errorf("unclassified error racing Close: %v", err)
+			}
+		}(i)
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

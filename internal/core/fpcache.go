@@ -186,6 +186,20 @@ func (c *FingerprintCache) Get(ctx context.Context, key FingerprintKey, build fu
 	}
 }
 
+// Purge drops every cache entry, completed or in flight, and returns the
+// number dropped. An evicted in-flight build still finishes and publishes to
+// its waiters; it is just not re-admitted (the same rule the LRU eviction
+// already applies). Dataset.Close uses Purge to release signature memory.
+func (c *FingerprintCache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	for c.ll.Len() > 0 {
+		c.removeLocked(c.ll.Back())
+	}
+	return n
+}
+
 // substituteRank orders resident fingerprints by how well they stand in for
 // want: the exact key, then same mode and size (a different seed estimates
 // the same distances), then same mode with more slots (strictly more

@@ -1,0 +1,571 @@
+// handlers.go defines the Server: endpoint wiring, the /query pipeline
+// (drain gate → tenant admission → registry checkout → deadline-propagated
+// DiversifyContext → taxonomy-mapped response), dataset lifecycle endpoints,
+// health/readiness probes, /stats, and graceful drain.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"skydiver"
+	"skydiver/internal/admission"
+)
+
+// Config configures a Server. The zero value of every field is usable.
+type Config struct {
+	// Registry holds the served datasets. nil creates an empty registry.
+	Registry *Registry
+	// MaxTimeout clamps the per-request ?timeout= deadline (default 30s).
+	MaxTimeout time.Duration
+	// DefaultTimeout applies when a request carries no ?timeout= (0 = none
+	// beyond MaxTimeout).
+	DefaultTimeout time.Duration
+	// TenantPolicy, when non-zero, layers an admission limiter per tenant
+	// (the X-Tenant header or ?tenant=, default tenant "default") above each
+	// dataset's own admission control. Tenant shedding happens before the
+	// dataset is even looked up — overload costs the server nothing.
+	TenantPolicy skydiver.AdmissionPolicy
+	// DefaultBudget applies to queries that carry no ?budget= of their own
+	// (zero = unlimited).
+	DefaultBudget skydiver.Budget
+	// RetryAfter is the backoff hint written on 429/503 (default 1s).
+	RetryAfter time.Duration
+	// Chaos enables the fault-injection admin endpoints (/boom and
+	// POST /datasets/{name}/faults) used by skyblast and the smoke tests.
+	Chaos bool
+	// Logf receives diagnostics (panics, lifecycle events). nil = log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP serving tier. Build with New, expose Handler, stop with
+// Drain.
+type Server struct {
+	cfg       Config
+	reg       *Registry
+	mux       *http.ServeMux
+	handler   http.Handler
+	gate      drainGate
+	tenants   *tenantTable
+	responses *counters
+	panics    atomic.Int64
+	started   time.Time
+}
+
+// New validates cfg and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.MaxTimeout == 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.TenantPolicy != (skydiver.AdmissionPolicy{}) {
+		if err := cfg.TenantPolicy.Validate(); err != nil {
+			return nil, fmt.Errorf("server: tenant policy: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		mux:       http.NewServeMux(),
+		tenants:   newTenantTable(admission.Policy(cfg.TenantPolicy)),
+		responses: newCounters(),
+		started:   time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /datasets", s.handleOpenDataset)
+	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleEvictDataset)
+	if cfg.Chaos {
+		s.mux.HandleFunc("POST /datasets/{name}/faults", s.handleFaults)
+		s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+			panic("chaos: /boom requested")
+		})
+	}
+	s.handler = s.recoverPanics(s.mux)
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Handler returns the fully wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry returns the server's dataset registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// BeginDrain flips the server unready: /readyz starts failing and new
+// queries are refused with 503 while in-flight ones run on. Idempotent.
+func (s *Server) BeginDrain() { s.gate.beginDrain() }
+
+// Drain gracefully stops the server: BeginDrain, then wait until every
+// in-flight query has finished (or ctx expires — the error then reports how
+// many were abandoned), then evict and close every dataset.
+func (s *Server) Drain(ctx context.Context) error {
+	s.gate.beginDrain()
+	if n := s.gate.wait(ctx); n > 0 {
+		return fmt.Errorf("server: drain deadline passed with %d queries in flight: %w", n, ctx.Err())
+	}
+	return s.reg.CloseAll(ctx)
+}
+
+// Draining reports whether drain has started.
+func (s *Server) Draining() bool { return s.gate.isDraining() }
+
+// QueryResponse is the JSON shape of a 200 /query response. Status is the
+// response class (full / partial / degraded); Reason carries the
+// machine-readable cause for the two non-full classes.
+type QueryResponse struct {
+	Dataset           string      `json:"dataset"`
+	Algorithm         string      `json:"algorithm"`
+	K                 int         `json:"k"`
+	Status            string      `json:"status"`
+	Partial           bool        `json:"partial"`
+	Degraded          bool        `json:"degraded"`
+	Reason            string      `json:"reason,omitempty"`
+	Indexes           []int       `json:"indexes"`
+	Points            [][]float64 `json:"points,omitempty"`
+	Objective         float64     `json:"objective"`
+	CPUSeconds        float64     `json:"cpu_seconds"`
+	IOSeconds         float64     `json:"io_seconds"`
+	PageFaults        int64       `json:"page_faults"`
+	FingerprintCached bool        `json:"fingerprint_cached"`
+}
+
+// handleQuery serves GET /query. Parameters: dataset, k, algo (mh/lsh/sg/bf),
+// t, index, seed, workers, nocache, budget, degraded, timeout, points,
+// tenant (also the X-Tenant header).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.enter() {
+		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
+		return
+	}
+	defer s.gate.exit()
+
+	q := r.URL.Query()
+	tenant := r.Header.Get("X-Tenant")
+	if t := q.Get("tenant"); t != "" {
+		tenant = t
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer cancel()
+
+	// Per-tenant admission: shed before touching the registry, so an abusive
+	// tenant cannot even cost dataset lookups.
+	if lim := s.tenants.limiter(tenant); lim != nil {
+		if err := lim.Acquire(ctx); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("%w: queue wait exceeded request deadline", skydiver.ErrOverloaded)
+			}
+			s.writeError(w, err)
+			return
+		}
+		defer lim.Release()
+	}
+
+	name := q.Get("dataset")
+	if name == "" {
+		name = "default"
+	}
+	h, err := s.reg.Acquire(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer h.Release()
+
+	opts, err := parseQueryOptions(q, s.cfg.DefaultBudget)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	res, qerr := h.Dataset().DiversifyContext(ctx, opts)
+	s.writeQueryResult(w, r, name, opts, res, qerr)
+}
+
+// writeQueryResult maps one DiversifyContext outcome onto the response
+// taxonomy. Partial results from deadlines and budgets are 200s with the
+// valid anytime prefix and a machine-readable reason, mirroring the CLI's
+// exit-code 3; outright failures go through writeError.
+func (s *Server) writeQueryResult(w http.ResponseWriter, r *http.Request, name string, opts skydiver.Options, res *skydiver.Result, qerr error) {
+	wantPoints := r.URL.Query().Get("points") == "1"
+	switch {
+	case qerr == nil && res.Degraded:
+		s.responses.inc(ClassDegraded)
+		writeJSON(w, http.StatusOK, buildResponse(name, opts, res, ClassDegraded, res.DegradedReason, wantPoints))
+	case qerr == nil && res.Partial:
+		// Contract violation: partial results must come with an error.
+		s.responses.inc(ClassInternal)
+		writeJSON(w, http.StatusInternalServerError, errorBody{
+			Error: "internal: partial result without error", Class: ClassInternal,
+		})
+	case qerr == nil:
+		s.responses.inc(ClassFull)
+		writeJSON(w, http.StatusOK, buildResponse(name, opts, res, ClassFull, "", wantPoints))
+	case errors.Is(qerr, skydiver.ErrBudgetExceeded):
+		s.writePartial(w, name, opts, res, "budget", wantPoints)
+	case errors.Is(qerr, skydiver.ErrDeadlineExceeded), errors.Is(qerr, context.DeadlineExceeded):
+		s.writePartial(w, name, opts, res, "deadline", wantPoints)
+	case errors.Is(qerr, context.Canceled):
+		// The client went away; nothing deliverable. Count it so /stats still
+		// explains every admitted query.
+		s.responses.inc(ClassCancelled)
+	default:
+		s.writeError(w, qerr)
+	}
+}
+
+// writePartial serves the anytime prefix of a budget- or deadline-bounded
+// query as a 200 with partial=true — possibly an empty prefix when the run
+// died before its first greedy round.
+func (s *Server) writePartial(w http.ResponseWriter, name string, opts skydiver.Options, res *skydiver.Result, reason string, wantPoints bool) {
+	if res == nil {
+		res = &skydiver.Result{Partial: true}
+	}
+	s.responses.inc(ClassPartial)
+	writeJSON(w, http.StatusOK, buildResponse(name, opts, res, ClassPartial, reason, wantPoints))
+}
+
+// buildResponse assembles the 200 JSON body.
+func buildResponse(name string, opts skydiver.Options, res *skydiver.Result, class, reason string, wantPoints bool) QueryResponse {
+	out := QueryResponse{
+		Dataset:           name,
+		Algorithm:         opts.Algorithm.String(),
+		K:                 opts.K,
+		Status:            class,
+		Partial:           res.Partial || class == ClassPartial,
+		Degraded:          res.Degraded,
+		Reason:            reason,
+		Indexes:           res.Indexes,
+		Objective:         res.ObjectiveValue,
+		CPUSeconds:        res.CPUTime.Seconds(),
+		IOSeconds:         res.IOTime.Seconds(),
+		PageFaults:        res.PageFaults,
+		FingerprintCached: res.FingerprintCached,
+	}
+	if res.Degraded && reason == "" {
+		out.Reason = res.DegradedReason
+	}
+	if wantPoints {
+		out.Points = res.Points
+	}
+	if out.Indexes == nil {
+		out.Indexes = []int{}
+	}
+	return out
+}
+
+// parseQueryOptions decodes /query parameters into library Options. Every
+// malformed value maps to ErrInvalidOptions (HTTP 400).
+func parseQueryOptions(q map[string][]string, defaultBudget skydiver.Budget) (skydiver.Options, error) {
+	get := func(key string) string {
+		if vs := q[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	bad := func(key, val, want string) error {
+		return fmt.Errorf("%w: %s=%q, want %s", skydiver.ErrInvalidOptions, key, val, want)
+	}
+	opts := skydiver.Options{K: 5, Budget: defaultBudget}
+	if raw := get("k"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil || k < 1 {
+			return opts, bad("k", raw, "a positive integer")
+		}
+		opts.K = k
+	}
+	switch algo := strings.ToLower(get("algo")); algo {
+	case "", "mh", "minhash":
+		opts.Algorithm = skydiver.MinHash
+	case "lsh":
+		opts.Algorithm = skydiver.LSH
+	case "sg", "greedy":
+		opts.Algorithm = skydiver.Greedy
+	case "bf", "exact":
+		opts.Algorithm = skydiver.Exact
+	default:
+		return opts, bad("algo", algo, "mh, lsh, sg or bf")
+	}
+	if raw := get("t"); raw != "" {
+		t, err := strconv.Atoi(raw)
+		if err != nil || t < 1 {
+			return opts, bad("t", raw, "a positive integer")
+		}
+		opts.SignatureSize = t
+	}
+	if raw := get("seed"); raw != "" {
+		seed, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return opts, bad("seed", raw, "an integer")
+		}
+		opts.Seed = seed
+	}
+	if raw := get("workers"); raw != "" {
+		ws, err := strconv.Atoi(raw)
+		if err != nil {
+			return opts, bad("workers", raw, "an integer")
+		}
+		opts.Workers = ws
+	}
+	opts.UseIndex = get("index") == "1"
+	opts.NoCache = get("nocache") == "1"
+	opts.AllowDegraded = get("degraded") == "1"
+	if raw := get("budget"); raw != "" {
+		b, err := skydiver.ParseBudget(raw)
+		if err != nil {
+			return opts, fmt.Errorf("%w: %v", skydiver.ErrInvalidOptions, err)
+		}
+		opts.Budget = b
+	}
+	return opts, nil
+}
+
+// handleHealthz reports liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Seconds(),
+	})
+}
+
+// handleReadyz reports readiness: 503 while draining and while any
+// dataset's storage circuit breaker is open (the store is sick; a load
+// balancer should prefer healthier replicas until probes close it).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.gate.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	for _, info := range s.reg.List() {
+		if h, err := s.reg.Acquire(info.Name); err == nil {
+			bs, ok := h.Dataset().BreakerStats()
+			h.Release()
+			if ok && bs.State == skydiver.BreakerOpen {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"ready": false, "reason": "circuit-open", "dataset": info.Name,
+				})
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// datasetStats is the per-dataset block of /stats.
+type datasetStats struct {
+	DatasetInfo
+	Admission        skydiver.AdmissionStats        `json:"admission"`
+	Breaker          *skydiver.BreakerStats         `json:"breaker,omitempty"`
+	BreakerState     string                         `json:"breaker_state,omitempty"`
+	FingerprintCache skydiver.FingerprintCacheStats `json:"fingerprint_cache"`
+	DecodeCache      skydiver.DecodeCacheStats      `json:"decode_cache"`
+	FaultsInjected   int64                          `json:"faults_injected"`
+	FaultRetries     int64                          `json:"fault_retries"`
+}
+
+// handleStats surfaces every counter the serving tier keeps: response
+// classes (reconcilable 1:1 against client-observed statuses), panics, and
+// per-dataset admission / breaker / fingerprint-cache / decode-cache /
+// fault-injection counters.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	datasets := make([]datasetStats, 0, s.reg.Len())
+	for _, info := range s.reg.List() {
+		st := datasetStats{DatasetInfo: info}
+		if h, err := s.reg.Acquire(info.Name); err == nil {
+			ds := h.Dataset()
+			st.Admission = ds.AdmissionStats()
+			if bs, ok := ds.BreakerStats(); ok {
+				st.Breaker = &bs
+				st.BreakerState = bs.State.String()
+			}
+			st.FingerprintCache = ds.FingerprintCacheStats()
+			st.DecodeCache = ds.DecodeCacheStats()
+			st.FaultsInjected, st.FaultRetries = ds.FaultStats()
+			h.Release()
+		}
+		datasets = append(datasets, st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"server": map[string]any{
+			"draining":       s.gate.isDraining(),
+			"uptime_seconds": time.Since(s.started).Seconds(),
+			"panics":         s.panics.Load(),
+			"responses":      s.responses.snapshot(),
+		},
+		"tenants":  s.tenants.snapshot(),
+		"datasets": datasets,
+	})
+}
+
+// handleListDatasets serves GET /datasets.
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+// handleOpenDataset serves POST /datasets: generate and register a synthetic
+// dataset (name, gen, n, d, seed) with optional per-dataset admission
+// (maxinflight, maxqueue, queuewait) and breaker=1.
+func (s *Server) handleOpenDataset(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.enter() {
+		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
+		return
+	}
+	defer s.gate.exit()
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		s.writeError(w, fmt.Errorf("%w: missing name", skydiver.ErrInvalidOptions))
+		return
+	}
+	ds, err := buildDataset(q)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.reg.Open(name, ds); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.logf("dataset %q opened: n=%d d=%d", name, ds.Len(), ds.Dims())
+	writeJSON(w, http.StatusOK, DatasetInfo{Name: name, Points: ds.Len(), Dims: ds.Dims()})
+}
+
+// buildDataset generates a dataset from request parameters and applies
+// optional admission/breaker policies.
+func buildDataset(q map[string][]string) (*skydiver.Dataset, error) {
+	get := func(key, def string) string {
+		if vs := q[key]; len(vs) > 0 && vs[0] != "" {
+			return vs[0]
+		}
+		return def
+	}
+	var dist skydiver.Distribution
+	switch gen := strings.ToLower(get("gen", "ind")); gen {
+	case "ind":
+		dist = skydiver.Independent
+	case "ant":
+		dist = skydiver.Anticorrelated
+	case "corr":
+		dist = skydiver.Correlated
+	case "fc":
+		dist = skydiver.ForestCover
+	case "rec":
+		dist = skydiver.Recipes
+	default:
+		return nil, fmt.Errorf("%w: gen=%q, want ind, ant, corr, fc or rec", skydiver.ErrInvalidOptions, gen)
+	}
+	n, err := strconv.Atoi(get("n", "10000"))
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("%w: n=%q, want a positive integer", skydiver.ErrInvalidOptions, get("n", ""))
+	}
+	d, err := strconv.Atoi(get("d", "4"))
+	if err != nil || d < 2 {
+		return nil, fmt.Errorf("%w: d=%q, want an integer >= 2", skydiver.ErrInvalidOptions, get("d", ""))
+	}
+	seed, err := strconv.ParseInt(get("seed", "1"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: seed=%q, want an integer", skydiver.ErrInvalidOptions, get("seed", ""))
+	}
+	ds, err := skydiver.Generate(dist, n, d, seed)
+	if err != nil {
+		return nil, err
+	}
+	if raw := get("maxinflight", ""); raw != "" {
+		mif, err := strconv.Atoi(raw)
+		if err != nil || mif < 1 {
+			return nil, fmt.Errorf("%w: maxinflight=%q", skydiver.ErrInvalidOptions, raw)
+		}
+		mq, _ := strconv.Atoi(get("maxqueue", "0"))
+		qw, _ := time.ParseDuration(get("queuewait", "0s"))
+		if err := ds.SetAdmissionPolicy(skydiver.AdmissionPolicy{
+			MaxInFlight: mif, MaxQueue: mq, QueueWait: qw,
+		}); err != nil {
+			return nil, fmt.Errorf("%w: %v", skydiver.ErrInvalidOptions, err)
+		}
+	}
+	if get("breaker", "") == "1" {
+		if err := ds.SetBreakerPolicy(skydiver.DefaultBreakerPolicy()); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// handleEvictDataset serves DELETE /datasets/{name}: drain in-flight queries
+// (bounded by ?drain=, default 10s) and close the dataset.
+func (s *Server) handleEvictDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	drain := 10 * time.Second
+	if raw := r.URL.Query().Get("drain"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			s.writeError(w, fmt.Errorf("%w: drain=%q, want a positive duration", skydiver.ErrInvalidOptions, raw))
+			return
+		}
+		drain = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), drain)
+	defer cancel()
+	if err := s.reg.Evict(ctx, name); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.logf("dataset %q evicted", name)
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+}
+
+// handleFaults serves POST /datasets/{name}/faults (chaos builds only):
+// install the fault policy given in ?policy= on the dataset's page store, or
+// clear it when the policy is empty/absent.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	h, err := s.reg.Acquire(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer h.Release()
+	policy := skydiver.FaultPolicy{}
+	if raw := r.URL.Query().Get("policy"); raw != "" && raw != "off" {
+		policy, err = skydiver.ParseFaultPolicy(raw)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("%w: %v", skydiver.ErrInvalidOptions, err))
+			return
+		}
+	}
+	if err := h.Dataset().InjectFaults(policy); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "rate": policy.Rate})
+}

@@ -1,0 +1,227 @@
+// Package server implements skyserved's fault-tolerant HTTP serving tier: a
+// lifecycle-managed multi-dataset registry, a middleware stack (panic
+// recovery, deadline propagation, per-tenant admission, error-taxonomy→HTTP
+// mapping), health/readiness/stats endpoints, and graceful drain. The
+// package holds all the logic; cmd/skyserved is a thin flag-parsing shell
+// around it so the whole tier is testable in-process with httptest.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"skydiver"
+)
+
+// Registry lifecycle sentinels. Classify with errors.Is.
+var (
+	// ErrUnknownDataset marks a request naming a dataset the registry does
+	// not hold. Maps to HTTP 404.
+	ErrUnknownDataset = errors.New("server: unknown dataset")
+	// ErrDatasetDraining marks a request arriving while the named dataset is
+	// being evicted: no new queries are admitted, in-flight ones finish.
+	// Maps to HTTP 503.
+	ErrDatasetDraining = errors.New("server: dataset draining")
+	// ErrDatasetExists marks an Open of a name already registered. Maps to
+	// HTTP 409.
+	ErrDatasetExists = errors.New("server: dataset already registered")
+	// ErrRegistryClosed marks any registry operation after CloseAll.
+	ErrRegistryClosed = errors.New("server: registry closed")
+)
+
+// entry is one registered dataset with its refcount and drain state.
+type entry struct {
+	name     string
+	ds       *skydiver.Dataset
+	refs     int
+	draining bool
+	drained  chan struct{} // closed exactly once, when draining && refs == 0
+	finished bool          // drained already closed
+}
+
+// Registry is a lifecycle-managed collection of named datasets. Queries
+// check a dataset out with Acquire (a refcount) and return it with
+// Handle.Release; Evict stops new acquisitions, waits for the refcount to
+// drain, then removes the entry and closes the dataset — so eviction can
+// never race an in-flight query into a torn read of released state. All
+// methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	closed  bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Open registers ds under name. The registry owns the dataset from here on:
+// it will be Closed when evicted (or at CloseAll).
+func (r *Registry) Open(name string, ds *skydiver.Dataset) error {
+	if name == "" {
+		return errors.New("server: empty dataset name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRegistryClosed
+	}
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	r.entries[name] = &entry{name: name, ds: ds, drained: make(chan struct{})}
+	return nil
+}
+
+// Handle is a checked-out reference to a registered dataset. Release it when
+// the query is done; Release is idempotent.
+type Handle struct {
+	r    *Registry
+	e    *entry
+	once sync.Once
+}
+
+// Dataset returns the referenced dataset.
+func (h *Handle) Dataset() *skydiver.Dataset { return h.e.ds }
+
+// Release returns the reference. When the entry is draining and this was the
+// last reference, the evictor is unblocked.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		h.r.mu.Lock()
+		h.e.refs--
+		h.r.maybeFinishLocked(h.e)
+		h.r.mu.Unlock()
+	})
+}
+
+// maybeFinishLocked closes the entry's drained channel when the last
+// reference of a draining entry has been released. r.mu must be held.
+func (r *Registry) maybeFinishLocked(e *entry) {
+	if e.draining && e.refs == 0 && !e.finished {
+		e.finished = true
+		close(e.drained)
+	}
+}
+
+// Acquire checks out the named dataset. Fails with ErrUnknownDataset or, if
+// eviction has started, ErrDatasetDraining.
+func (r *Registry) Acquire(name string) (*Handle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	if e.draining {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetDraining, name)
+	}
+	e.refs++
+	return &Handle{r: r, e: e}, nil
+}
+
+// Evict removes the named dataset: it immediately stops new Acquires
+// (ErrDatasetDraining), waits for in-flight references to drain, then
+// unregisters the entry and Closes the dataset. If ctx expires first the
+// entry stays registered in the draining state — queries are still refused,
+// the dataset is not yet closed, and a later Evict may resume the wait.
+func (r *Registry) Evict(ctx context.Context, name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	e.draining = true
+	r.maybeFinishLocked(e)
+	r.mu.Unlock()
+
+	select {
+	case <-e.drained:
+	default:
+		select {
+		case <-e.drained:
+		case <-ctx.Done():
+			return fmt.Errorf("server: evicting %q: %d queries still in flight: %w", name, r.refs(name), ctx.Err())
+		}
+	}
+
+	r.mu.Lock()
+	// Concurrent evictors both reach here; only the one that still finds the
+	// entry in the map performs the removal and close.
+	if cur, ok := r.entries[name]; ok && cur == e {
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	return e.ds.Close()
+}
+
+// refs returns the current refcount of name (0 if unknown).
+func (r *Registry) refs(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return e.refs
+	}
+	return 0
+}
+
+// DatasetInfo describes one registry entry for /datasets and /stats.
+type DatasetInfo struct {
+	Name     string `json:"name"`
+	Points   int    `json:"points"`
+	Dims     int    `json:"dims"`
+	Refs     int    `json:"in_flight"`
+	Draining bool   `json:"draining"`
+}
+
+// List snapshots the registry entries, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, DatasetInfo{
+			Name:     e.name,
+			Points:   e.ds.Len(),
+			Dims:     e.ds.Dims(),
+			Refs:     e.refs,
+			Draining: e.draining,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// CloseAll evicts every dataset (bounded by ctx) and closes the registry for
+// further use. It returns the first eviction error, but attempts them all.
+func (r *Registry) CloseAll(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	var first error
+	for _, name := range names {
+		if err := r.Evict(ctx, name); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skydiver"
+)
+
+func testDataset(t *testing.T, n int) *skydiver.Dataset {
+	t.Helper()
+	ds, err := skydiver.Generate(skydiver.Independent, n, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRegistryOpenAcquireRelease(t *testing.T) {
+	r := NewRegistry()
+	ds := testDataset(t, 200)
+	if err := r.Open("a", ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Open("a", ds); !errors.Is(err, ErrDatasetExists) {
+		t.Fatalf("duplicate Open: %v, want ErrDatasetExists", err)
+	}
+	if err := r.Open("", ds); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := r.Acquire("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown Acquire: %v, want ErrUnknownDataset", err)
+	}
+	h, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dataset() != ds {
+		t.Fatal("handle returned a different dataset")
+	}
+	if got := r.List(); len(got) != 1 || got[0].Refs != 1 {
+		t.Fatalf("List = %+v, want one entry with 1 ref", got)
+	}
+	h.Release()
+	h.Release() // idempotent
+	if got := r.List(); got[0].Refs != 0 {
+		t.Fatalf("refs after double release = %d, want 0", got[0].Refs)
+	}
+}
+
+// TestRegistryEvictWaitsForInFlight pins the headline guarantee: eviction
+// blocks until in-flight references drain, refuses new ones meanwhile, and
+// only then closes the dataset.
+func TestRegistryEvictWaitsForInFlight(t *testing.T) {
+	r := NewRegistry()
+	ds := testDataset(t, 200)
+	if err := r.Open("a", ds); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evicted := make(chan error, 1)
+	go func() { evicted <- r.Evict(context.Background(), "a") }()
+
+	// The evictor must be blocked on our reference; meanwhile new acquires
+	// are refused with the draining sentinel.
+	deadline := time.After(2 * time.Second)
+	for {
+		h2, err := r.Acquire("a")
+		if errors.Is(err, ErrDatasetDraining) {
+			break
+		}
+		if err == nil {
+			h2.Release()
+		}
+		select {
+		case <-deadline:
+			t.Fatal("Evict never flipped the entry to draining")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	select {
+	case err := <-evicted:
+		t.Fatalf("Evict returned %v while a reference was held", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The held handle still works: eviction must not have closed the
+	// dataset under it.
+	if _, err := h.Dataset().Skyline(); err != nil {
+		t.Fatalf("query through held handle during drain: %v", err)
+	}
+
+	h.Release()
+	select {
+	case err := <-evicted:
+		if err != nil {
+			t.Fatalf("Evict: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Evict did not complete after the last release")
+	}
+	if _, err := ds.Skyline(); !errors.Is(err, skydiver.ErrDatasetClosed) {
+		t.Fatalf("dataset not closed after eviction: %v", err)
+	}
+	if _, err := r.Acquire("a"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("Acquire after eviction: %v, want ErrUnknownDataset", err)
+	}
+}
+
+// TestRegistryEvictDeadline verifies a bounded Evict gives up without
+// closing the dataset, and a retry after the release finishes the job.
+func TestRegistryEvictDeadline(t *testing.T) {
+	r := NewRegistry()
+	ds := testDataset(t, 200)
+	if err := r.Open("a", ds); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := r.Evict(ctx, "a"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("bounded Evict: %v, want deadline error", err)
+	}
+	// Not closed: the in-flight query still owns it.
+	if _, err := h.Dataset().Skyline(); err != nil {
+		t.Fatalf("dataset closed despite timed-out eviction: %v", err)
+	}
+	h.Release()
+	if err := r.Evict(context.Background(), "a"); err != nil {
+		t.Fatalf("retried Evict: %v", err)
+	}
+	if _, err := ds.Skyline(); !errors.Is(err, skydiver.ErrDatasetClosed) {
+		t.Fatalf("dataset not closed after retried eviction: %v", err)
+	}
+}
+
+// TestRegistryEvictRace floods the registry with acquire/query/release
+// traffic while an eviction fires mid-storm: every query must either run
+// against an open dataset or fail with the draining/unknown sentinels —
+// never ErrDatasetClosed (that would mean eviction closed the dataset while
+// a query held a reference), never a panic.
+func TestRegistryEvictRace(t *testing.T) {
+	r := NewRegistry()
+	ds := testDataset(t, 2000)
+	if err := r.Open("a", ds); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the index so queries are quick.
+	if _, err := ds.Skyline(); err != nil {
+		t.Fatal(err)
+	}
+
+	var closedUnderUs atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := r.Acquire("a")
+				if err != nil {
+					if !errors.Is(err, ErrDatasetDraining) && !errors.Is(err, ErrUnknownDataset) {
+						t.Errorf("unclassified Acquire error: %v", err)
+					}
+					return // eviction has started; traffic ends
+				}
+				_, qerr := h.Dataset().DiversifyContext(context.Background(),
+					skydiver.Options{K: 3, SignatureSize: 16, Seed: 1})
+				if errors.Is(qerr, skydiver.ErrDatasetClosed) {
+					closedUnderUs.Add(1)
+				}
+				h.Release()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := r.Evict(context.Background(), "a"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if n := closedUnderUs.Load(); n > 0 {
+		t.Fatalf("%d queries saw ErrDatasetClosed while holding a registry reference", n)
+	}
+}
+
+func TestRegistryCloseAll(t *testing.T) {
+	r := NewRegistry()
+	ds1, ds2 := testDataset(t, 100), testDataset(t, 100)
+	if err := r.Open("a", ds1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Open("b", ds2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CloseAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d entries survive CloseAll", r.Len())
+	}
+	if err := r.Open("c", testDataset(t, 100)); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("Open after CloseAll: %v, want ErrRegistryClosed", err)
+	}
+	if _, err := ds1.Skyline(); !errors.Is(err, skydiver.ErrDatasetClosed) {
+		t.Fatalf("dataset a not closed: %v", err)
+	}
+	if _, err := ds2.Skyline(); !errors.Is(err, skydiver.ErrDatasetClosed) {
+		t.Fatalf("dataset b not closed: %v", err)
+	}
+}

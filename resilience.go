@@ -152,8 +152,11 @@ func (d *Dataset) SetAdmissionPolicy(p AdmissionPolicy) error {
 		}
 	}
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDatasetClosed
+	}
 	d.limiter = lim
-	d.mu.Unlock()
 	return nil
 }
 
@@ -259,10 +262,10 @@ func (d *Dataset) diversifyBudgeted(ctx context.Context, opts Options, tracker *
 		return nil, wrapCtxErr(err)
 	}
 	if opts.K < 1 {
-		return nil, errors.New("skydiver: Options.K must be at least 1")
+		return nil, fmt.Errorf("%w: Options.K must be at least 1", ErrInvalidOptions)
 	}
 	if opts.K > len(sky) {
-		return nil, fmt.Errorf("skydiver: K = %d exceeds skyline size %d", opts.K, len(sky))
+		return nil, fmt.Errorf("%w: K = %d exceeds skyline size %d", ErrInvalidOptions, opts.K, len(sky))
 	}
 	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache, Fingerprint: fp}
 	cfg := coreConfig(opts)

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — end-to-end smoke of the serving tier: build skyserved and
+# skyblast, boot the daemon with chaos endpoints and a tight admission policy,
+# replay ~10s of mixed query waves under a flapping fault schedule, assert the
+# client's taxonomy/reconciliation invariants (skyblast exit 0), then SIGTERM
+# the daemon and assert it drains cleanly (skyserved exit 0).
+set -eu
+
+ADDR="${SKYSERVED_ADDR:-127.0.0.1:18099}"
+SECONDS_RUN="${SKYBLAST_SECONDS:-10}"
+BIN="$(mktemp -d)"
+LOG="$BIN/skyserved.log"
+
+cleanup() {
+    [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries"
+go build -o "$BIN/skyserved" ./cmd/skyserved
+go build -o "$BIN/skyblast" ./cmd/skyblast
+
+echo "serve-smoke: starting skyserved on $ADDR"
+"$BIN/skyserved" -addr "$ADDR" -n 8000 -chaos \
+    -maxinflight 4 -maxqueue 8 -queuewait 25ms -drain 10s >"$LOG" 2>&1 &
+SRV_PID=$!
+
+echo "serve-smoke: blasting for ${SECONDS_RUN}s with a flapping fault schedule"
+"$BIN/skyblast" -url "http://$ADDR" -seconds "$SECONDS_RUN" -clients 12 \
+    -boom 2 -faults 'rate=0.6,seed=11@1500ms;off@1500ms' || {
+    echo "serve-smoke: FAIL — skyblast reported invariant violations" >&2
+    sed -n '1,50p' "$LOG" >&2
+    exit 1
+}
+
+echo "serve-smoke: draining skyserved with SIGTERM"
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+    echo "serve-smoke: FAIL — skyserved did not drain cleanly" >&2
+    tail -20 "$LOG" >&2
+    exit 1
+fi
+SRV_PID=""
+grep -q "drained cleanly" "$LOG" || {
+    echo "serve-smoke: FAIL — no clean-drain log line" >&2
+    tail -20 "$LOG" >&2
+    exit 1
+}
+echo "serve-smoke: PASS"

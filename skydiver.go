@@ -48,6 +48,15 @@ import (
 // anytime prefix" differently from an unspecific context error.
 var ErrDeadlineExceeded = errors.New("skydiver: deadline exceeded")
 
+// ErrDatasetClosed is returned by every query method of a Dataset after
+// Close. Classify with errors.Is.
+var ErrDatasetClosed = errors.New("skydiver: dataset closed")
+
+// ErrInvalidOptions marks a query rejected for malformed Options (K out of
+// range, unknown algorithm) before any work ran. Serving layers map it to a
+// client error (HTTP 400), distinct from server-side failures.
+var ErrInvalidOptions = errors.New("skydiver: invalid options")
+
 // wrapCtxErr tags deadline expiries with ErrDeadlineExceeded; other errors
 // (including plain cancellations) pass through unchanged.
 func wrapCtxErr(err error) error {
@@ -210,6 +219,39 @@ type Dataset struct {
 	// limiter, when non-nil, gates DiversifyContext behind admission
 	// control (SetAdmissionPolicy). Guarded by mu; internally locked.
 	limiter *admission.Limiter
+
+	// closed is flipped by Close; every later query returns ErrDatasetClosed.
+	// Guarded by mu.
+	closed bool
+}
+
+// Close releases the dataset's serving resources: resident fingerprints are
+// purged and the admission limiter is dropped. Every query method called
+// after Close returns an error wrapping ErrDatasetClosed; Close itself is
+// idempotent. Close does not wait for in-flight queries — they run to
+// completion against the still-resident index. Callers that need quiescence
+// first (a serving registry evicting a dataset) must drain before closing;
+// see internal/server's refcounted registry.
+func (d *Dataset) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	d.limiter = nil
+	d.fpCache.Purge()
+	return nil
+}
+
+// checkClosed returns ErrDatasetClosed after Close.
+func (d *Dataset) checkClosed() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrDatasetClosed
+	}
+	return nil
 }
 
 // NewDataset builds a dataset from rows. prefs may be nil, meaning smaller
@@ -244,6 +286,24 @@ func (d *Dataset) FingerprintCacheStats() FingerprintCacheStats {
 	return d.fpCache.Stats()
 }
 
+// DecodeCacheStats snapshots the process-wide decoded-node cache's counters
+// as observed through this dataset's index: nodes served by pointer (Hits)
+// versus pages actually decoded (Decodes). Both are zero before the index is
+// first built. Safe to call concurrently with running queries.
+type DecodeCacheStats = rtree.DecodeCacheStats
+
+// DecodeCacheStats reports the decoded-node cache counters for this
+// dataset's index pages (see the type for the fields).
+func (d *Dataset) DecodeCacheStats() DecodeCacheStats {
+	d.mu.Lock()
+	tr := d.tree
+	d.mu.Unlock()
+	if tr == nil {
+		return DecodeCacheStats{}
+	}
+	return tr.DecodeCacheStats()
+}
+
 // Name returns the dataset name.
 func (d *Dataset) Name() string { return d.original.Name() }
 
@@ -264,6 +324,9 @@ func (d *Dataset) Point(i int) []float64 { return d.original.Point(i) }
 func (d *Dataset) ensureIndex() (*rtree.Tree, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrDatasetClosed
+	}
 	if d.tree != nil {
 		return d.tree, nil
 	}
@@ -390,6 +453,9 @@ const (
 // All algorithms return identical point sets; they differ in CPU/I-O
 // profile. The result is not cached (use Skyline for the cached default).
 func (d *Dataset) SkylineUsing(algo SkylineAlgorithm) ([]int, error) {
+	if err := d.checkClosed(); err != nil {
+		return nil, err
+	}
 	switch algo {
 	case BBS:
 		sess, err := d.newSession()
@@ -425,6 +491,9 @@ type StreamingSkyline struct {
 // maxPasses bounds the sequential passes; results are deterministic per
 // seed.
 func (d *Dataset) SkylineStreaming(window, maxPasses int, seed int64) (*StreamingSkyline, error) {
+	if err := d.checkClosed(); err != nil {
+		return nil, err
+	}
 	if maxPasses < 1 {
 		return nil, errors.New("skydiver: maxPasses must be at least 1")
 	}
@@ -437,6 +506,9 @@ func (d *Dataset) SkylineStreaming(window, maxPasses int, seed int64) (*Streamin
 // file. The result is the exact skyline; passes reports how many passes the
 // window budget forced.
 func (d *Dataset) SkylineExternal(windowCap int) (indexes []int, passes int, err error) {
+	if err := d.checkClosed(); err != nil {
+		return nil, 0, err
+	}
 	res := skyline.ComputeBNLExternal(d.canon, windowCap)
 	return res.Sky, res.Passes, nil
 }
@@ -481,6 +553,9 @@ func (d *Dataset) Diversify(opts Options) (*Result, error) {
 // With Options.AllowDegraded, storage failures and spent budgets are served
 // by the graceful-degradation ladder instead (Result.Degraded).
 func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, error) {
+	if err := d.checkClosed(); err != nil {
+		return nil, err
+	}
 	if lim := d.admissionLimiter(); lim != nil {
 		if err := lim.Acquire(ctx); err != nil {
 			return nil, err
@@ -495,10 +570,10 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 		return nil, err
 	}
 	if opts.K < 1 {
-		return nil, errors.New("skydiver: Options.K must be at least 1")
+		return nil, fmt.Errorf("%w: Options.K must be at least 1", ErrInvalidOptions)
 	}
 	if opts.K > len(sky) {
-		return nil, fmt.Errorf("skydiver: K = %d exceeds skyline size %d", opts.K, len(sky))
+		return nil, fmt.Errorf("%w: K = %d exceeds skyline size %d", ErrInvalidOptions, opts.K, len(sky))
 	}
 	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache}
 	res, err := runPipeline(ctx, opts.Algorithm, in, coreConfig(opts))
@@ -541,7 +616,7 @@ func runPipeline(ctx context.Context, algo Algorithm, in core.Input, cfg core.Co
 	case Exact:
 		return core.BruteForceCtx(ctx, in, cfg)
 	default:
-		return nil, fmt.Errorf("skydiver: unknown algorithm %d", algo)
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrInvalidOptions, algo)
 	}
 }
 
