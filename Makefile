@@ -68,6 +68,12 @@ fuzz:
 #   BENCH_select.json  — Phase-2 greedy selection.
 #   BENCH_serving.json — end-to-end concurrent serving (mixed algorithms,
 #                        fingerprint cache on and bypassed).
+#   BENCH_dynamic.json — mutation throughput: raw stream ingestion
+#                        (MonitorAdd), steady-state refresh latency on a 100K
+#                        window incremental vs wholesale (the acceptance
+#                        criterion is a ≥5× gap; in practice it is orders of
+#                        magnitude), and public Dataset.Insert end to end
+#                        (skyline test + signature patch + epoch migration).
 #
 # Heavy benchmarks stay single-shot (-benchtime=1x/3x) to keep CI cheap; for
 # publication-grade numbers rerun locally with bench-full.
@@ -80,6 +86,11 @@ bench:
 		-benchmem -benchtime=1x -count=1 ./internal/dispersion . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_select.json
 	$(GO) test -run '^$$' -bench 'ConcurrentServing' -benchmem -benchtime=3x -count=1 . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_serving.json
+	{ $(GO) test -run '^$$' -bench 'MonitorAdd$$' -benchmem -benchtime=10000x -count=1 ./internal/dynamic ; \
+	  $(GO) test -run '^$$' -bench 'RefreshIncremental100K' -benchmem -benchtime=20x -count=1 ./internal/dynamic ; \
+	  $(GO) test -run '^$$' -bench 'RefreshWholesale100K' -benchmem -benchtime=1x -count=1 ./internal/dynamic ; \
+	  $(GO) test -run '^$$' -bench 'DatasetInsert' -benchmem -benchtime=200x -count=1 . ; } \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_dynamic.json
 
 # Regression gate: rerun the benchmark suites into a scratch directory and
 # compare each snapshot against its checked-in baseline with a generous
@@ -91,6 +102,7 @@ benchgate:
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_phase1.json .bench-fresh/BENCH_phase1.json
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_select.json .bench-fresh/BENCH_select.json
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_serving.json .bench-fresh/BENCH_serving.json
+	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_dynamic.json .bench-fresh/BENCH_dynamic.json
 
 # The full multi-iteration benchmark sweep (slow; local use).
 bench-full:

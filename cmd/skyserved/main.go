@@ -5,6 +5,8 @@
 // binary only parses flags, opens the seed dataset, and wires signals.
 //
 // Endpoints: GET /query, GET|POST /datasets, DELETE /datasets/{name},
+// POST /datasets/{name}/points (insert one point, maintained incrementally),
+// DELETE /datasets/{name}/points/{row} (tombstone one row),
 // GET /healthz, GET /readyz, GET /stats, and (with -chaos) GET /boom plus
 // POST /datasets/{name}/faults.
 //

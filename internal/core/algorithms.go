@@ -99,8 +99,12 @@ type Input struct {
 	Session *rtree.Session
 	// Cache, when non-nil, memoizes Phase-1 fingerprints across queries
 	// with singleflight semantics. It must belong to the dataset: keys do
-	// not identify the data, only the generator parameters.
+	// not identify the data, only the generator parameters and the epoch.
 	Cache *FingerprintCache
+	// Epoch is the dataset's mutation epoch, carried into every cache key so
+	// signatures built before a mutation are never served after it. Immutable
+	// datasets leave it zero.
+	Epoch uint64
 	// Fingerprint, when non-nil, is injected as the Phase-1 result: the
 	// pipeline skips signature generation entirely (no Phase-1 work or I/O)
 	// and reports a cache hit. The graceful-degradation ladder uses it to
@@ -162,7 +166,7 @@ func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, bool,
 		fp, err := build()
 		return fp, false, err
 	}
-	key := FingerprintKey{Mode: cfg.Mode, T: cfg.SignatureSize, Seed: cfg.Seed}
+	key := FingerprintKey{Epoch: in.Epoch, Mode: cfg.Mode, T: cfg.SignatureSize, Seed: cfg.Seed}
 	fp, cached, err := in.Cache.Get(ctx, key, build)
 	if err != nil {
 		return nil, false, err

@@ -78,7 +78,7 @@ func SigGenIFCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *minhash.
 			}
 		}
 		counter.Touch(i)
-		if inSky.get(i) {
+		if inSky.get(i) || ds.Deleted(i) {
 			continue
 		}
 		p := ds.Point(i)

@@ -7,15 +7,18 @@ import (
 )
 
 // FingerprintKey identifies one Phase-1 build. Fingerprints are a pure
-// function of the dataset plus these three parameters: the generator mode
-// (IF and IB produce different row-id assignments, hence different
-// signatures), the signature size t, and the hash-family seed. Worker counts
-// are deliberately absent — the parallel generators are pinned bit-identical
-// to their sequential forms, so they share cache lines with them.
+// function of the dataset state plus these parameters: the dataset epoch
+// (mutable datasets bump it per mutation batch, so stale signatures can
+// never be served against a changed skyline), the generator mode (IF and IB
+// produce different row-id assignments, hence different signatures), the
+// signature size t, and the hash-family seed. Worker counts are deliberately
+// absent — the parallel generators are pinned bit-identical to their
+// sequential forms, so they share cache lines with them.
 type FingerprintKey struct {
-	Mode FingerprintMode
-	T    int
-	Seed int64
+	Epoch uint64
+	Mode  FingerprintMode
+	T     int
+	Seed  int64
 }
 
 // fpEntry is one cache slot. done is closed once the build finished and fp /
@@ -54,10 +57,12 @@ const defaultFingerprintCacheCap = 16
 
 // FingerprintCache memoizes Phase-1 fingerprints per dataset with
 // singleflight semantics: N concurrent queries for the same key run exactly
-// one SigGen pass, the rest block until it publishes. Entries are never
-// invalidated — datasets are immutable, so a fingerprint can only become
-// wrong by keying it to the wrong dataset (hold the cache inside the Dataset
-// it describes). Capacity is a bounded LRU; failed builds are not cached.
+// one SigGen pass, the rest block until it publishes. Entries carry the
+// dataset epoch in their key: a mutation bumps the epoch, so queries after
+// it simply miss the old entries, which age out of the LRU (or are patched
+// and re-installed at the new epoch by the incremental maintenance in
+// maintain.go, or dropped via Drop). Capacity is a bounded LRU; failed
+// builds are not cached.
 //
 // Cached *Fingerprint values are shared between queries and must be treated
 // as immutable by every consumer (the pipelines only read them).
@@ -200,6 +205,80 @@ func (c *FingerprintCache) Purge() int {
 	return n
 }
 
+// CompletedEntries returns the keys of every successfully completed resident
+// entry, most recently used first. The incremental maintenance path uses it
+// to find the fingerprints worth patching forward to a new epoch.
+func (c *FingerprintCache) CompletedEntries() []FingerprintKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var keys []FingerprintKey
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		it := el.Value.(*fpItem)
+		select {
+		case <-it.entry.done:
+		default:
+			continue
+		}
+		if it.entry.err == nil {
+			keys = append(keys, it.key)
+		}
+	}
+	return keys
+}
+
+// Peek returns the completed fingerprint for key without counting a hit or
+// touching the LRU order. It is the read half of the patch-and-reinstall
+// cycle in maintain.go.
+func (c *FingerprintCache) Peek(key FingerprintKey) (*Fingerprint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*fpItem).entry
+	select {
+	case <-e.done:
+	default:
+		return nil, false
+	}
+	if e.err != nil {
+		return nil, false
+	}
+	return e.fp, true
+}
+
+// Install inserts a completed fingerprint under key, replacing any resident
+// entry for it. Maintenance uses it to publish a patched fingerprint at the
+// new epoch without a rebuild; the entry obeys the same LRU bounds as built
+// ones.
+func (c *FingerprintCache) Install(key FingerprintKey, fp *Fingerprint) {
+	e := &fpEntry{done: make(chan struct{}), fp: fp}
+	close(e.done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.removeLocked(el)
+	}
+	c.items[key] = c.ll.PushFront(&fpItem{key: key, entry: e})
+	for c.ll.Len() > c.cap {
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+// Drop removes the entry for key (completed or in flight; an in-flight build
+// still publishes to its waiters, it is just not re-admitted) and reports
+// whether one was resident.
+func (c *FingerprintCache) Drop(key FingerprintKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if ok {
+		c.removeLocked(el)
+	}
+	return ok
+}
+
 // substituteRank orders resident fingerprints by how well they stand in for
 // want: the exact key, then same mode and size (a different seed estimates
 // the same distances), then same mode with more slots (strictly more
@@ -228,7 +307,10 @@ func substituteRank(want, have FingerprintKey) int {
 // when Phase 1 cannot run (storage breaker open, page budget spent) to serve
 // an approximate answer from memory instead of failing. Preference follows
 // substituteRank; ties break toward the most recently used entry. The bool
-// reports whether anything usable was resident.
+// reports whether anything usable was resident. Only entries from the
+// requested epoch qualify: a stale-epoch fingerprint's columns belong to a
+// different skyline, so serving it would not be approximate, it would be
+// wrong.
 func (c *FingerprintCache) Substitute(key FingerprintKey) (*Fingerprint, FingerprintKey, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -243,6 +325,9 @@ func (c *FingerprintCache) Substitute(key FingerprintKey) (*Fingerprint, Fingerp
 			continue // still building
 		}
 		if it.entry.err != nil {
+			continue
+		}
+		if it.key.Epoch != key.Epoch {
 			continue
 		}
 		if r := substituteRank(key, it.key); r < bestRank {

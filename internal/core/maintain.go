@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+	"skydiver/internal/minhash"
+	"skydiver/internal/rtree"
+)
+
+// This file implements first-class single-point mutations: incremental
+// skyline maintenance driven by bounded dominance range queries on the
+// R*-tree, plus in-place repair of resident MinHash fingerprints. The
+// invariant is the same one the dynamic package's property tests pin: after
+// ApplyInsert/ApplyDelete, the skyline and every migrated fingerprint are
+// bit-identical to what a from-scratch recompute at the new epoch would
+// produce (min-folds are order-independent, so patching a column is
+// equivalent to rebuilding it).
+//
+// Callers (the public skydiver.Dataset) serialize mutations against queries;
+// nothing here locks. Row ids are dataset indexes and are never reused:
+// deletes tombstone the row in the dataset and remove it from the tree, so
+// hash identities stay stable and resident signatures stay meaningful.
+
+// domRect is the dominance region of p: every point with all coordinates
+// ≥ p, i.e. exactly the points p dominates or equals.
+func domRect(p []float64) geom.Rect {
+	r := geom.Rect{Lo: append([]float64(nil), p...), Hi: make([]float64, len(p))}
+	for d := range r.Hi {
+		r.Hi[d] = math.Inf(1)
+	}
+	return r
+}
+
+// gammaRows returns Γ(p): the rows in the tree strictly dominated by p,
+// found by one bounded range query over p's dominance region. The tree
+// holds live rows only, so tombstones never appear.
+func gammaRows(tr *rtree.Tree, p []float64) ([]int, error) {
+	var rows []int
+	err := tr.RangeQuery(domRect(p), func(rowID uint32, q []float64) bool {
+		if geom.Dominates(p, q) {
+			rows = append(rows, int(rowID))
+		}
+		return true
+	})
+	return rows, err
+}
+
+// skyInsertion describes what an insert did to the skyline, in terms every
+// resident fingerprint can be patched with.
+type skyInsertion struct {
+	row     int
+	joined  bool
+	domCols []int // excluded case: columns (old sky positions) dominating row
+	demoted []int // joined case: old sky positions removed
+	gamma   []int // joined case: Γ(row), the new column's fold set
+}
+
+// skyDeletion describes what a delete did to the skyline.
+type skyDeletion struct {
+	row     int
+	wasSky  bool
+	skyPos  int   // wasSky: the removed column's old position
+	domCols []int // !wasSky: columns whose Γ lost the row
+	// promoted lists, ascending, the rows that entered the skyline and their
+	// positions in the NEW skyline, with their Γ fold sets.
+	promoted []promotion
+	// gammas memoizes Γ(sky[c]) for !wasSky columns that some fingerprint
+	// had to refold (computed lazily, shared across fingerprints).
+	gammas map[int][]int
+	tr     *rtree.Tree
+	ds     *data.Dataset
+	oldSky []int
+}
+
+type promotion struct {
+	row   int
+	at    int // position in the new skyline
+	gamma []int
+}
+
+// ApplyInsert appends p to the dataset, inserts it into the tree, updates
+// the skyline incrementally (one dominance test per skyline member, plus one
+// bounded range query when p actually joins), migrates every resident
+// index-free fingerprint to newEpoch by patching — not rebuilding — its
+// matrix, and returns the new skyline and the new point's row id.
+//
+// sky must be the current skyline (ascending dataset indexes) or nil when it
+// was never computed, in which case only the storage mutation happens and
+// the cache is purged. Index-based fingerprints are dropped rather than
+// migrated: their row ids are traversal-order, which a structural tree
+// mutation invalidates wholesale.
+func ApplyInsert(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *FingerprintCache, oldEpoch, newEpoch uint64, p []float64) ([]int, int, error) {
+	if tr == nil {
+		return nil, 0, fmt.Errorf("core: mutation requires the index")
+	}
+	if len(p) != ds.Dims() {
+		return nil, 0, fmt.Errorf("core: point has %d dims, dataset has %d", len(p), ds.Dims())
+	}
+	row, err := ds.Append(p)
+	if err != nil {
+		return nil, -1, err
+	}
+	if err := tr.Insert(ds.Point(row), uint32(row)); err != nil {
+		// The append is already visible; tombstone it so dataset and tree
+		// agree, and drop every resident fingerprint — the caller treats the
+		// failure as "recompute everything lazily".
+		ds.MarkDeleted(row)
+		if cache != nil {
+			cache.Purge()
+		}
+		return nil, row, err
+	}
+	if sky == nil {
+		if cache != nil {
+			cache.Purge()
+		}
+		return nil, row, nil
+	}
+	ins := skyInsertion{row: row}
+	pt := ds.Point(row)
+	excluded := false
+	for c, s := range sky {
+		sp := ds.Point(s)
+		if geom.Dominates(sp, pt) {
+			ins.domCols = append(ins.domCols, c)
+			excluded = true
+		} else if geom.Equal(sp, pt) {
+			// The older twin keeps the membership; under strict dominance
+			// neither twin enters the other's Γ.
+			excluded = true
+		}
+	}
+	newSky := sky
+	if !excluded {
+		ins.joined = true
+		for c, s := range sky {
+			if geom.Dominates(pt, ds.Point(s)) {
+				ins.demoted = append(ins.demoted, c)
+			}
+		}
+		newSky = make([]int, 0, len(sky)+1)
+		d := 0
+		for c, s := range sky {
+			if d < len(ins.demoted) && ins.demoted[d] == c {
+				d++
+				continue
+			}
+			newSky = append(newSky, s)
+		}
+		newSky = append(newSky, row) // freshly appended ⇒ largest row id
+		if ins.gamma, err = gammaRows(tr, pt); err != nil {
+			// Maintenance failed mid-way (a range query fault): retire the new
+			// row and let the caller fall back to a wholesale recompute. The
+			// tombstone is applied only if the tree removal succeeds — tree
+			// and tombstones must agree on which rows exist, or BBS could
+			// serve a deleted row.
+			if _, derr := tr.Delete(pt, uint32(row)); derr == nil {
+				ds.MarkDeleted(row)
+			}
+			if cache != nil {
+				cache.Purge()
+			}
+			return nil, row, err
+		}
+		// Γ(row) from the tree includes row itself only if an equal twin
+		// existed, which the join case excludes; strict dominance already
+		// filtered it.
+	}
+	migrateFingerprints(cache, oldEpoch, newEpoch, func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error {
+		patchInsert(fam, fp, hv, ins)
+		return nil
+	})
+	return newSky, row, nil
+}
+
+// ApplyDelete tombstones the row, removes it from the tree, updates the
+// skyline incrementally (a departed member's replacements are found by one
+// bounded dominance range query; a non-member's departure touches only the
+// columns where its hashes achieved a slot minimum), and migrates resident
+// index-free fingerprints to newEpoch. Returns the new skyline.
+func ApplyDelete(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *FingerprintCache, oldEpoch, newEpoch uint64, row int) ([]int, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("core: mutation requires the index")
+	}
+	if row < 0 || row >= ds.Len() || ds.Deleted(row) {
+		return nil, fmt.Errorf("core: row %d does not exist", row)
+	}
+	pt := append([]float64(nil), ds.Point(row)...)
+	found, err := tr.Delete(ds.Point(row), uint32(row))
+	if err != nil {
+		// The delete did not apply (the row keeps serving); purge resident
+		// fingerprints anyway in case the failed traversal left partially
+		// rewritten pages, and let the caller invalidate its skyline.
+		if cache != nil {
+			cache.Purge()
+		}
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("core: row %d missing from the index", row)
+	}
+	ds.MarkDeleted(row)
+	if sky == nil {
+		if cache != nil {
+			cache.Purge()
+		}
+		return nil, nil
+	}
+	del := skyDeletion{row: row, tr: tr, ds: ds, oldSky: sky, gammas: map[int][]int{}}
+	pos := sort.SearchInts(sky, row)
+	del.wasSky = pos < len(sky) && sky[pos] == row
+	newSky := sky
+	if del.wasSky {
+		del.skyPos = pos
+		rest := make([]int, 0, len(sky)-1)
+		rest = append(rest, sky[:pos]...)
+		rest = append(rest, sky[pos+1:]...)
+		// Candidates: the rows only this member excluded. Its dominance
+		// region holds exactly the rows it dominated or equalled; among
+		// them, keep those no surviving member excludes.
+		var cands []int
+		err := tr.RangeQuery(domRect(pt), func(rowID uint32, q []float64) bool {
+			for _, s := range rest {
+				sp := ds.Point(s)
+				if geom.Dominates(sp, q) || (geom.Equal(sp, q) && s < int(rowID)) {
+					return true
+				}
+			}
+			cands = append(cands, int(rowID))
+			return true
+		})
+		if err != nil {
+			if cache != nil {
+				cache.Purge()
+			}
+			return nil, err
+		}
+		sort.Ints(cands)
+		for _, q := range miniSkylineRows(ds, cands) {
+			gamma, err := gammaRows(tr, ds.Point(q))
+			if err != nil {
+				if cache != nil {
+					cache.Purge()
+				}
+				return nil, err
+			}
+			at := sort.SearchInts(rest, q)
+			rest = append(rest, 0)
+			copy(rest[at+1:], rest[at:])
+			rest[at] = q
+			del.promoted = append(del.promoted, promotion{row: q, at: at, gamma: gamma})
+		}
+		newSky = rest
+	} else {
+		for c, s := range sky {
+			if geom.Dominates(ds.Point(s), pt) {
+				del.domCols = append(del.domCols, c)
+			}
+		}
+	}
+	migrateFingerprints(cache, oldEpoch, newEpoch, func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error {
+		return patchDelete(fam, fp, hv, &del)
+	})
+	return newSky, nil
+}
+
+// miniSkylineRows computes the skyline among the promotion candidates
+// (ascending row ids) with the first-of-duplicates tie-break — candidates
+// may dominate each other even though none is dominated by the surviving
+// skyline.
+func miniSkylineRows(ds *data.Dataset, cands []int) []int {
+	var keep []int
+	for _, x := range cands {
+		p := ds.Point(x)
+		excluded := false
+		for _, y := range keep {
+			q := ds.Point(y)
+			if geom.Dominates(q, p) || geom.Equal(q, p) {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			continue
+		}
+		out := keep[:0]
+		for _, y := range keep {
+			if !geom.Dominates(p, ds.Point(y)) {
+				out = append(out, y)
+			}
+		}
+		keep = append(out, x)
+	}
+	sort.Ints(keep)
+	return keep
+}
+
+// migrateFingerprints walks the resident cache entries: completed index-free
+// fingerprints from oldEpoch are cloned, patched, and re-installed at
+// newEpoch; everything else from oldEpoch (index-based entries, whose
+// traversal-order row ids a structural mutation invalidates, and any
+// in-flight build) is dropped. Entries from other epochs are already
+// unreachable and are dropped too. A patch that fails (a refold's range
+// query hit a storage fault) just drops its entry — a cache miss is safe,
+// a half-patched matrix would not be.
+func migrateFingerprints(cache *FingerprintCache, oldEpoch, newEpoch uint64, patch func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error) {
+	if cache == nil {
+		return
+	}
+	for _, key := range cache.CompletedEntries() {
+		if key.Epoch != oldEpoch || key.Mode != IndexFree {
+			cache.Drop(key)
+			continue
+		}
+		fp, ok := cache.Peek(key)
+		if !ok {
+			continue
+		}
+		cache.Drop(key)
+		fam, err := minhash.NewFamily(key.T, key.Seed)
+		if err != nil {
+			continue
+		}
+		patched := &Fingerprint{
+			Matrix:   fp.Matrix.Clone(),
+			DomScore: append([]float64(nil), fp.DomScore...),
+			IO:       fp.IO,
+		}
+		hv := make([]uint32, key.T)
+		if err := patch(fam, patched, hv); err != nil {
+			continue
+		}
+		newKey := key
+		newKey.Epoch = newEpoch
+		cache.Install(newKey, patched)
+	}
+	// In-flight builds at the old epoch publish to their waiters and age out
+	// of the LRU; they can never be hit again because Get keys on the epoch.
+}
+
+// patchInsert repairs one fingerprint for an insert: an excluded point folds
+// into its dominators' columns; a joining point drops the demoted columns
+// and gains a column built from its Γ fold set.
+func patchInsert(fam *minhash.Family, fp *Fingerprint, hv []uint32, ins skyInsertion) {
+	if !ins.joined {
+		if len(ins.domCols) == 0 {
+			return
+		}
+		minHv := fam.HashAllMin(hv, uint64(ins.row))
+		for _, c := range ins.domCols {
+			fp.Matrix.UpdateColumnBounded(c, hv, minHv)
+			fp.DomScore[c]++
+		}
+		return
+	}
+	if len(ins.demoted) > 0 {
+		fp.Matrix.RemoveColumns(ins.demoted)
+		fp.DomScore = removeScores(fp.DomScore, ins.demoted)
+	}
+	at := fp.Matrix.Cols() // largest row id ⇒ last column
+	fp.Matrix.InsertColumn(at)
+	fp.DomScore = append(fp.DomScore, float64(len(ins.gamma)))
+	for _, r := range ins.gamma {
+		minHv := fam.HashAllMin(hv, uint64(r))
+		fp.Matrix.UpdateColumnBounded(at, hv, minHv)
+	}
+}
+
+// patchDelete repairs one fingerprint for a delete. A departed non-member
+// decrements its dominators' scores and refolds only the columns where its
+// hashes held a slot minimum (the conservative exact check); a departed
+// member's column is removed and each promoted row gains a freshly folded
+// column at its skyline position.
+func patchDelete(fam *minhash.Family, fp *Fingerprint, hv []uint32, del *skyDeletion) error {
+	if !del.wasSky {
+		if len(del.domCols) == 0 {
+			return nil
+		}
+		fam.HashAllMin(hv, uint64(del.row))
+		for _, c := range del.domCols {
+			fp.DomScore[c]--
+			if !fp.Matrix.ColumnMatchesAny(c, hv) {
+				continue
+			}
+			gamma, ok := del.gammas[c]
+			if !ok {
+				var err error
+				if gamma, err = gammaRows(del.tr, del.ds.Point(del.oldSky[c])); err != nil {
+					return err
+				}
+				del.gammas[c] = gamma
+			}
+			fp.Matrix.ResetColumn(c)
+			for _, r := range gamma {
+				mh := fam.HashAllMin(hv, uint64(r))
+				fp.Matrix.UpdateColumnBounded(c, hv, mh)
+			}
+		}
+		return nil
+	}
+	fp.Matrix.RemoveColumns([]int{del.skyPos})
+	fp.DomScore = removeScores(fp.DomScore, []int{del.skyPos})
+	for _, pr := range del.promoted {
+		fp.Matrix.InsertColumn(pr.at)
+		fp.DomScore = append(fp.DomScore, 0)
+		copy(fp.DomScore[pr.at+1:], fp.DomScore[pr.at:])
+		fp.DomScore[pr.at] = float64(len(pr.gamma))
+		for _, r := range pr.gamma {
+			mh := fam.HashAllMin(hv, uint64(r))
+			fp.Matrix.UpdateColumnBounded(pr.at, hv, mh)
+		}
+	}
+	return nil
+}
+
+// removeScores drops the given ascending positions from a score vector.
+func removeScores(s []float64, at []int) []float64 {
+	w, r := at[0], 0
+	for c := at[0]; c < len(s); c++ {
+		if r < len(at) && at[r] == c {
+			r++
+			continue
+		}
+		s[w] = s[c]
+		w++
+	}
+	return s[:w]
+}

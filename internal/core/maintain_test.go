@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/minhash"
+	"skydiver/internal/rtree"
+	"skydiver/internal/skyline"
+)
+
+const (
+	maintainT    = 64
+	maintainSeed = int64(7)
+)
+
+func maintainKey(epoch uint64) FingerprintKey {
+	return FingerprintKey{Epoch: epoch, Mode: IndexFree, T: maintainT, Seed: maintainSeed}
+}
+
+// freshIF runs the wholesale index-free generator against the current state.
+func freshIF(t *testing.T, ds *data.Dataset, sky []int) *Fingerprint {
+	t.Helper()
+	fam, err := minhash.NewFamily(maintainT, maintainSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := SigGenIF(ds, sky, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func sameFingerprint(t *testing.T, step int, got, want *Fingerprint) {
+	t.Helper()
+	if got.Matrix.Cols() != want.Matrix.Cols() {
+		t.Fatalf("step %d: %d columns, want %d", step, got.Matrix.Cols(), want.Matrix.Cols())
+	}
+	for c := 0; c < want.Matrix.Cols(); c++ {
+		g, w := got.Matrix.Column(c), want.Matrix.Column(c)
+		for s := range w {
+			if g[s] != w[s] {
+				t.Fatalf("step %d: column %d slot %d = %d, want %d", step, c, s, g[s], w[s])
+			}
+		}
+		if got.DomScore[c] != want.DomScore[c] {
+			t.Fatalf("step %d: DomScore[%d] = %v, want %v", step, c, got.DomScore[c], want.DomScore[c])
+		}
+	}
+}
+
+func sameInts(t *testing.T, step int, what string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: %s has %d entries, want %d\ngot  %v\nwant %v", step, what, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: %s[%d] = %d, want %d\ngot  %v\nwant %v", step, what, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestApplyMutationsMatchWholesale drives a random insert/delete sequence
+// through ApplyInsert/ApplyDelete and checks after every step that the
+// maintained skyline equals a from-scratch SFS pass and that the patched
+// cached fingerprint is bit-identical to a from-scratch SigGen-IF pass —
+// including matching domination scores. Quantized coordinates force plenty
+// of duplicates (equal-twin tie-breaks), dominance chains (demotions) and
+// skyline-member deletions (promotions).
+func TestApplyMutationsMatchWholesale(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const dims, levels, start, steps = 3, 6, 250, 140
+	randPoint := func() []float64 {
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = float64(r.Intn(levels)) / float64(levels)
+		}
+		return p
+	}
+	rows := make([][]float64, start)
+	for i := range rows {
+		rows[i] = randPoint()
+	}
+	ds, err := data.FromRows("mut", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rtree.BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Reopen(0.2)
+	sky, err := skyline.ComputeBBS(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the cache so every step patches rather than rebuilds.
+	cache := NewFingerprintCache(8)
+	epoch := uint64(0)
+	cache.Install(maintainKey(epoch), freshIF(t, ds, sky))
+
+	var live []int
+	for i := 0; i < ds.Len(); i++ {
+		live = append(live, i)
+	}
+	for step := 0; step < steps; step++ {
+		if r.Intn(2) == 0 && len(live) > 1 {
+			i := r.Intn(len(live))
+			row := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			sky, err = ApplyDelete(ds, tr, sky, cache, epoch, epoch+1, row)
+		} else {
+			var row int
+			sky, row, err = ApplyInsert(ds, tr, sky, cache, epoch, epoch+1, randPoint())
+			live = append(live, row)
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		epoch++
+
+		sameInts(t, step, "skyline", sky, skyline.ComputeSFS(ds))
+		got, ok := cache.Peek(maintainKey(epoch))
+		if !ok {
+			t.Fatalf("step %d: no migrated fingerprint at epoch %d", step, epoch)
+		}
+		sameFingerprint(t, step, got, freshIF(t, ds, sky))
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: tree holds %d rows, want %d", step, tr.Len(), len(live))
+		}
+	}
+	if ds.LiveLen() != len(live) {
+		t.Fatalf("LiveLen = %d, want %d", ds.LiveLen(), len(live))
+	}
+}
+
+// TestMutationCacheMigration pins the cache policy of a mutation: completed
+// index-free entries at the old epoch are patched forward, index-based
+// entries and entries from unrelated epochs are dropped.
+func TestMutationCacheMigration(t *testing.T) {
+	ds, err := data.FromRows("mig", [][]float64{
+		{0.1, 0.9}, {0.9, 0.1}, {0.5, 0.5}, {0.8, 0.8}, {0.3, 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rtree.BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Reopen(0.2)
+	sky, err := skyline.ComputeBBS(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewFingerprintCache(8)
+	fp := freshIF(t, ds, sky)
+	ifKey := maintainKey(0)
+	ibKey := FingerprintKey{Epoch: 0, Mode: IndexBased, T: maintainT, Seed: maintainSeed}
+	staleKey := FingerprintKey{Epoch: 42, Mode: IndexFree, T: maintainT, Seed: maintainSeed}
+	cache.Install(ifKey, fp)
+	cache.Install(ibKey, fp)
+	cache.Install(staleKey, fp)
+
+	sky, _, err = ApplyInsert(ds, tr, sky, cache, 0, 1, []float64{0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []FingerprintKey{ifKey, ibKey, staleKey} {
+		if _, ok := cache.Peek(k); ok {
+			t.Errorf("entry %+v survived the mutation", k)
+		}
+	}
+	got, ok := cache.Peek(maintainKey(1))
+	if !ok {
+		t.Fatal("no migrated index-free entry at the new epoch")
+	}
+	sameFingerprint(t, 0, got, freshIF(t, ds, sky))
+}
+
+// TestMutationWithoutSkyline pins the lazy path: a mutation before any query
+// computed the skyline performs only the storage change and purges the cache.
+func TestMutationWithoutSkyline(t *testing.T) {
+	ds, err := data.FromRows("lazy", [][]float64{{0.1, 0.9}, {0.9, 0.1}, {0.6, 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rtree.BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Reopen(0.2)
+	cache := NewFingerprintCache(8)
+	cache.Install(maintainKey(0), &Fingerprint{Matrix: minhash.NewMatrix(maintainT, 2), DomScore: make([]float64, 2)})
+
+	sky, row, err := ApplyInsert(ds, tr, nil, cache, 0, 1, []float64{0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sky != nil {
+		t.Fatalf("sky = %v, want nil (never computed)", sky)
+	}
+	if row != 3 || tr.Len() != 4 {
+		t.Fatalf("row %d, tree %d rows; want 3 and 4", row, tr.Len())
+	}
+	if n := cache.Stats().Entries; n != 0 {
+		t.Fatalf("%d cache entries survived, want 0", n)
+	}
+	if sky, err = ApplyDelete(ds, tr, nil, cache, 1, 2, row); err != nil || sky != nil {
+		t.Fatalf("delete: sky %v err %v, want nil nil", sky, err)
+	}
+	if !ds.Deleted(row) || tr.Len() != 3 {
+		t.Fatalf("row %d not retired (tree %d rows)", row, tr.Len())
+	}
+}
+
+// TestMutationValidation pins the argument errors.
+func TestMutationValidation(t *testing.T) {
+	ds, _ := data.FromRows("val", [][]float64{{0.1, 0.9}, {0.9, 0.1}})
+	tr, err := rtree.BulkLoad(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Reopen(0.2)
+	if _, _, err := ApplyInsert(ds, nil, nil, nil, 0, 1, []float64{0, 0}); err == nil {
+		t.Error("insert without index succeeded")
+	}
+	if _, _, err := ApplyInsert(ds, tr, nil, nil, 0, 1, []float64{0, 0, 0}); err == nil {
+		t.Error("insert with wrong dims succeeded")
+	}
+	if _, err := ApplyDelete(ds, nil, nil, nil, 0, 1, 0); err == nil {
+		t.Error("delete without index succeeded")
+	}
+	if _, err := ApplyDelete(ds, tr, nil, nil, 0, 1, 7); err == nil {
+		t.Error("delete of missing row succeeded")
+	}
+	if _, err := ApplyDelete(ds, tr, nil, nil, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyDelete(ds, tr, nil, nil, 1, 2, 0); err == nil {
+		t.Error("double delete succeeded")
+	}
+}

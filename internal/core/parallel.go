@@ -179,7 +179,7 @@ func SigGenIFParallelCtx(ctx context.Context, ds *data.Dataset, sky []int, fam *
 							return
 						}
 					}
-					if inSky.get(i) {
+					if inSky.get(i) || ds.Deleted(i) {
 						continue
 					}
 					p := ds.Point(i)

@@ -18,14 +18,24 @@ import (
 	"skydiver/internal/geom"
 )
 
-// Dataset is an immutable collection of n points in d dimensions stored in a
-// single flat slice (row-major) for cache locality. Smaller coordinate
-// values are preferred on every dimension (the canonical orientation); use
+// Dataset is a collection of n points in d dimensions stored in a single
+// flat slice (row-major) for cache locality. Smaller coordinate values are
+// preferred on every dimension (the canonical orientation); use
 // geom.Preferences.Canonicalize when constructing from max-preferred inputs.
+//
+// Datasets are append-and-tombstone mutable: Append adds rows at the end,
+// MarkDeleted retires them. Row ids are never reused or compacted — a row
+// index is a stable identity for hashing and for R*-tree entries — so
+// consumers that scan rows must skip Deleted ones. The zero value of the
+// tombstone set is "nothing deleted" and costs nothing. Dataset performs no
+// locking: callers that mutate concurrently with readers must synchronize
+// (the public skydiver.Dataset does).
 type Dataset struct {
-	dims int
-	vals []float64
-	name string
+	dims    int
+	vals    []float64
+	name    string
+	deleted []uint64 // tombstone bitmap, nil while nothing was ever deleted
+	nDel    int
 }
 
 // New creates a dataset from a flat row-major value slice. The slice is
@@ -74,6 +84,52 @@ func (ds *Dataset) Point(i int) []float64 {
 
 // Values returns the underlying flat storage (read-only).
 func (ds *Dataset) Values() []float64 { return ds.vals }
+
+// Append adds a point at the end of the dataset and returns its row id.
+// The point is copied.
+func (ds *Dataset) Append(p []float64) (int, error) {
+	if len(p) != ds.dims {
+		return 0, fmt.Errorf("data: point has %d dims, dataset %q has %d", len(p), ds.name, ds.dims)
+	}
+	id := ds.Len()
+	ds.vals = append(ds.vals, p...)
+	return id, nil
+}
+
+// MarkDeleted tombstones row i. The row's storage and id remain (ids are
+// stable identities); readers skip it via Deleted. Returns false when the
+// row was already deleted.
+func (ds *Dataset) MarkDeleted(i int) bool {
+	if i < 0 || i >= ds.Len() {
+		return false
+	}
+	if ds.deleted == nil {
+		ds.deleted = make([]uint64, (ds.Len()+63)/64)
+	} else if w := i >> 6; w >= len(ds.deleted) {
+		grown := make([]uint64, (ds.Len()+63)/64)
+		copy(grown, ds.deleted)
+		ds.deleted = grown
+	}
+	if ds.deleted[i>>6]&(1<<(uint(i)&63)) != 0 {
+		return false
+	}
+	ds.deleted[i>>6] |= 1 << (uint(i) & 63)
+	ds.nDel++
+	return true
+}
+
+// Deleted reports whether row i is tombstoned. The nil-bitmap fast path
+// keeps the immutable-dataset scan cost unchanged.
+func (ds *Dataset) Deleted(i int) bool {
+	if ds.deleted == nil {
+		return false
+	}
+	w := i >> 6
+	return w < len(ds.deleted) && ds.deleted[w]&(1<<(uint(i)&63)) != 0
+}
+
+// LiveLen returns the number of non-deleted rows.
+func (ds *Dataset) LiveLen() int { return ds.Len() - ds.nDel }
 
 // Project returns a new dataset restricted to the first dims dimensions.
 // The paper evaluates FC and REC at d = 4, 5, 7 by projecting the same file.

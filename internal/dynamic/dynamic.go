@@ -12,12 +12,29 @@
 // regime SigGen-IF was designed for.
 //
 // Results are recomputed lazily: queries between stream changes are served
-// from cache.
+// from cache. The recomputation itself is incremental: the monitor keeps the
+// window's skyline, the MinHash signature matrix, and the domination scores
+// as live state and replays only the inserts/evictions that happened since
+// the previous query — one dominance test against the skyline per insert,
+// plus a bounded window scan when skyline membership actually changes. The
+// maintained state is bit-identical to a from-scratch recomputation at every
+// step (min-folds are order-independent), so incremental and wholesale
+// queries return the same answers; when the window has fully turned over
+// between queries the monitor falls back to the wholesale rebuild, which is
+// then the cheaper path.
+//
+// A Monitor is safe for concurrent use: Add and the query methods may be
+// called from any number of goroutines. Queries serialize with ingestion on
+// an internal mutex (a refresh blocks concurrent Adds until it completes),
+// which is also the torn-state guarantee: no query ever observes a window,
+// skyline, or signature matrix mixing two stream positions.
 package dynamic
 
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"skydiver/internal/data"
@@ -37,7 +54,8 @@ type Item struct {
 }
 
 // Monitor maintains a sliding window over a point stream and diversifies
-// its skyline on demand.
+// its skyline on demand. See the package comment for the concurrency and
+// incremental-maintenance guarantees.
 type Monitor struct {
 	dims     int
 	capacity int
@@ -45,8 +63,40 @@ type Monitor struct {
 	sigSize  int
 	seed     int64
 
-	next   uint64
-	window []Item // oldest first
+	// mu guards every field below. Add and the query paths both take it, so
+	// ingestion and (re)computation are mutually exclusive.
+	mu sync.Mutex
+
+	next  uint64
+	count int
+	// buf is the window ring: the item with sequence number s lives in slot
+	// s mod capacity while s is in the window. Overwriting a slot on
+	// ingestion releases the evicted item's point storage immediately — the
+	// ring replaces the old `window = window[1:]` slide, which stranded up
+	// to a full window of dead points in the slice's backing array.
+	buf []Item
+
+	// Incremental maintenance state. When live is true, sky / matrix /
+	// domScore describe exactly the window [winLo, winHi); pendingEvict
+	// holds, oldest first, the items that left the ring but have not been
+	// replayed yet (their sequence numbers are [winLo, next−count)). The op
+	// log is bounded: when a full window of points arrives between queries,
+	// the state is invalidated (a wholesale rebuild is cheaper than
+	// replaying a complete turnover) and pendingEvict is released.
+	live         bool
+	winLo, winHi uint64
+	pendingEvict []Item
+	sky          []Item // skyline of [winLo, winHi), ascending Seq
+	matrix       *minhash.Matrix
+	domScore     []float64
+
+	fam *minhash.Family
+	hv  []uint32 // hash scratch, len sigSize
+
+	// wholesaleOnly forces every refresh down the from-scratch rebuild path.
+	// It exists for the equivalence property tests and the incremental-vs-
+	// wholesale benchmark; production monitors never set it.
+	wholesaleOnly bool
 
 	// cache of the last successfully computed answer. Errors are never
 	// cached: a failed recomputation leaves the cache unpopulated, so the
@@ -54,7 +104,9 @@ type Monitor struct {
 	cacheSeq   uint64 // next at the time of the cached computation
 	cachedSky  []Item
 	cachedPick []Item
-	// RefreshCPU records the cost of the last recomputation.
+	// RefreshCPU records the cost of the last recomputation. It is written
+	// under the monitor's lock; read it after a query returns, not while
+	// other goroutines are querying.
 	RefreshCPU time.Duration
 }
 
@@ -74,31 +126,63 @@ func NewMonitor(dims, capacity, k, signatureSize int, seed int64) (*Monitor, err
 	if signatureSize <= 0 {
 		signatureSize = 100
 	}
-	return &Monitor{dims: dims, capacity: capacity, k: k, sigSize: signatureSize, seed: seed}, nil
+	fam, err := minhash.NewFamily(signatureSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		dims: dims, capacity: capacity, k: k, sigSize: signatureSize, seed: seed,
+		buf: make([]Item, capacity),
+		fam: fam,
+		hv:  make([]uint32, signatureSize),
+	}, nil
 }
 
 // Add ingests a point, evicting the oldest element when the window is full.
-// It returns the element's sequence number.
+// It returns the element's sequence number. Add never recomputes anything:
+// mutations are queued and replayed incrementally by the next query.
 func (m *Monitor) Add(p []float64) (uint64, error) {
 	if len(p) != m.dims {
 		return 0, fmt.Errorf("dynamic: point has %d dims, monitor expects %d", len(p), m.dims)
 	}
 	cp := make([]float64, m.dims)
 	copy(cp, p)
-	if len(m.window) == m.capacity {
-		m.window = m.window[1:]
-	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	seq := m.next
+	slot := seq % uint64(m.capacity)
+	if m.count == m.capacity {
+		if m.live {
+			// Keep the evicted item until the incremental replay consumes it.
+			m.pendingEvict = append(m.pendingEvict, m.buf[slot])
+		}
+	} else {
+		m.count++
+	}
+	m.buf[slot] = Item{Seq: seq, Point: cp}
 	m.next++
-	m.window = append(m.window, Item{Seq: seq, Point: cp})
+	if m.live && m.next-m.winHi >= uint64(m.capacity) {
+		// Full window turnover since the last query: replaying the op log
+		// would cost more than rebuilding, and pendingEvict would otherwise
+		// retain a whole window of dead points.
+		m.invalidate()
+	}
 	return seq, nil
 }
 
 // Len returns the current window size.
-func (m *Monitor) Len() int { return len(m.window) }
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
 
 // Seen returns the total number of points ever ingested.
-func (m *Monitor) Seen() uint64 { return m.next }
+func (m *Monitor) Seen() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
+}
 
 // Skyline returns the skyline of the current window, oldest first.
 func (m *Monitor) Skyline() ([]Item, error) {
@@ -109,6 +193,8 @@ func (m *Monitor) Skyline() ([]Item, error) {
 // the cache unpopulated (the next query recomputes) and returns the
 // context's error.
 func (m *Monitor) SkylineCtx(ctx context.Context) ([]Item, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.refresh(ctx); err != nil {
 		return nil, err
 	}
@@ -125,6 +211,8 @@ func (m *Monitor) Diverse() ([]Item, error) {
 
 // DiverseCtx is Diverse with cancellation; see SkylineCtx.
 func (m *Monitor) DiverseCtx(ctx context.Context) ([]Item, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.refresh(ctx); err != nil {
 		return nil, err
 	}
@@ -133,14 +221,38 @@ func (m *Monitor) DiverseCtx(ctx context.Context) ([]Item, error) {
 	return out, nil
 }
 
-// refreshCheckStride is how many window points the fingerprinting pass
-// folds between context checks.
+// refreshCheckStride is how many window points a maintenance scan processes
+// between context checks.
 const refreshCheckStride = 256
 
-// refresh recomputes the cached skyline and selection when the stream has
-// advanced since the last computation. No error of any kind is cached —
-// cancellations and failures alike leave the cache unpopulated, so the next
-// query recomputes cleanly instead of inheriting a dead query's outcome.
+// itemAt returns the item with the given sequence number: from the ring when
+// it is still resident, from the pending-eviction log otherwise. seq must be
+// in [winLo, next).
+func (m *Monitor) itemAt(seq uint64) Item {
+	if seq >= m.next-uint64(m.count) {
+		return m.buf[seq%uint64(m.capacity)]
+	}
+	return m.pendingEvict[seq-m.pendingEvict[0].Seq]
+}
+
+// invalidate drops the incremental state (and the retained evicted items);
+// the next refresh rebuilds wholesale.
+func (m *Monitor) invalidate() {
+	m.live = false
+	m.pendingEvict = nil
+	m.sky = nil
+	m.matrix = nil
+	m.domScore = nil
+}
+
+// refresh brings the cached skyline and selection up to date when the stream
+// has advanced since the last computation. Maintenance is incremental when
+// live state exists (replaying the queued inserts/evictions), wholesale
+// otherwise. No error of any kind is cached — cancellations and failures
+// alike leave the cache unpopulated, so the next query recomputes cleanly
+// instead of inheriting a dead query's outcome; a failure mid-replay also
+// drops the incremental state, so no query ever runs on half-patched
+// signatures.
 func (m *Monitor) refresh(ctx context.Context) error {
 	// A dead context fails even on a warm cache — standard context
 	// discipline — but leaves the cache itself untouched for live queries.
@@ -152,7 +264,7 @@ func (m *Monitor) refresh(ctx context.Context) error {
 	}
 	m.cacheSeq = m.next
 	m.cachedSky, m.cachedPick = nil, nil
-	if len(m.window) == 0 {
+	if m.count == 0 {
 		m.cachedSky = []Item{}
 		m.cachedPick = []Item{}
 		return nil
@@ -160,42 +272,65 @@ func (m *Monitor) refresh(ctx context.Context) error {
 	start := time.Now()
 	defer func() { m.RefreshCPU = time.Since(start) }()
 
-	vals := make([]float64, 0, len(m.window)*m.dims)
-	for _, it := range m.window {
-		vals = append(vals, it.Point...)
+	if m.live && !m.wholesaleOnly {
+		if err := m.advance(ctx); err != nil {
+			return err
+		}
+	} else {
+		if err := m.rebuild(ctx); err != nil {
+			return err
+		}
+	}
+	sky := make([]Item, len(m.sky))
+	copy(sky, m.sky)
+	k := m.k
+	if k > len(m.sky) {
+		k = len(m.sky)
+	}
+	dist := func(i, j int) float64 { return m.matrix.EstimateJd(i, j) }
+	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(m.sky), k, dist, m.domScore)
+	if err != nil {
+		// Selection is read-only: the maintained state stays valid, only the
+		// answer cache remains unpopulated.
+		return err
+	}
+	pick := make([]Item, len(selected))
+	for i, s := range selected {
+		pick[i] = m.sky[s]
+	}
+	m.cachedSky, m.cachedPick = sky, pick
+	return nil
+}
+
+// rebuild recomputes the maintained state from scratch over the current ring
+// contents: SFS for the skyline, then one fingerprinting pass over the
+// window — the wholesale path, used on first query, after a full window
+// turnover, and as the recovery path after a failed incremental replay.
+func (m *Monitor) rebuild(ctx context.Context) error {
+	base := m.next - uint64(m.count)
+	vals := make([]float64, 0, m.count*m.dims)
+	for off := 0; off < m.count; off++ {
+		vals = append(vals, m.buf[(base+uint64(off))%uint64(m.capacity)].Point...)
 	}
 	ds, err := data.New("window", m.dims, vals)
 	if err != nil {
-		m.cachedSky, m.cachedPick = nil, nil
 		return err
 	}
-	sky := skyline.ComputeSFS(ds)
-	m.cachedSky = make([]Item, len(sky))
-	for i, s := range sky {
-		m.cachedSky[i] = m.window[s]
+	skyIdx := skyline.ComputeSFS(ds)
+	sky := make([]Item, len(skyIdx))
+	for i, s := range skyIdx {
+		sky[i] = m.buf[(base+uint64(s))%uint64(m.capacity)]
 	}
-	k := m.k
-	if k > len(sky) {
-		k = len(sky)
-	}
-	// Fingerprint by one pass over the window — the index-free pipeline.
-	fam, err := minhash.NewFamily(m.sigSize, m.seed)
-	if err != nil {
-		m.cachedSky, m.cachedPick = nil, nil
-		return err
-	}
-	matrix := minhash.NewMatrix(m.sigSize, len(sky))
-	domScore := make([]float64, len(sky))
-	inSky := make(map[int]bool, len(sky))
-	for _, s := range sky {
+	matrix := minhash.NewMatrix(m.sigSize, len(skyIdx))
+	domScore := make([]float64, len(skyIdx))
+	inSky := make([]bool, m.count)
+	for _, s := range skyIdx {
 		inSky[s] = true
 	}
-	hv := make([]uint32, m.sigSize)
 	cols := make([]int, 0, 8)
-	for i := 0; i < ds.Len(); i++ {
+	for i := 0; i < m.count; i++ {
 		if i%refreshCheckStride == 0 && i > 0 {
 			if err := ctx.Err(); err != nil {
-				m.cachedSky, m.cachedPick = nil, nil
 				return err
 			}
 		}
@@ -204,7 +339,7 @@ func (m *Monitor) refresh(ctx context.Context) error {
 		}
 		p := ds.Point(i)
 		cols = cols[:0]
-		for j, s := range sky {
+		for j, s := range skyIdx {
 			if geom.Dominates(ds.Point(s), p) {
 				cols = append(cols, j)
 			}
@@ -214,21 +349,302 @@ func (m *Monitor) refresh(ctx context.Context) error {
 		}
 		// Hash by stream sequence number so identities are stable across
 		// window slides.
-		fam.HashAll(hv, m.window[i].Seq)
+		minHv := m.fam.HashAllMin(m.hv, base+uint64(i))
 		for _, c := range cols {
-			matrix.UpdateColumn(c, hv)
+			matrix.UpdateColumnBounded(c, m.hv, minHv)
 			domScore[c]++
 		}
 	}
-	dist := func(i, j int) float64 { return matrix.EstimateJd(i, j) }
-	selected, err := dispersion.SelectDiverseSetCtx(ctx, len(sky), k, dist, domScore)
-	if err != nil {
-		m.cachedSky, m.cachedPick = nil, nil
-		return err
+	m.sky, m.matrix, m.domScore = sky, matrix, domScore
+	m.winLo, m.winHi = base, m.next
+	m.pendingEvict = nil
+	m.live = !m.wholesaleOnly
+	return nil
+}
+
+// advance replays the inserts and evictions queued since the maintained
+// state's window, in arrival order, so that sky / matrix / domScore describe
+// the current window bit-identically to a wholesale rebuild. Any error
+// (cancellation included) invalidates the state: the next refresh rebuilds
+// wholesale rather than continuing from a half-applied mutation.
+func (m *Monitor) advance(ctx context.Context) error {
+	for m.winHi < m.next {
+		if err := ctx.Err(); err != nil {
+			m.invalidate()
+			return err
+		}
+		if m.winHi-m.winLo == uint64(m.capacity) {
+			ev := m.itemAt(m.winLo)
+			m.winLo++
+			if err := m.applyEvict(ctx, ev); err != nil {
+				m.invalidate()
+				return err
+			}
+		}
+		it := m.itemAt(m.winHi)
+		if err := m.applyInsert(ctx, it); err != nil {
+			m.invalidate()
+			return err
+		}
+		m.winHi++
 	}
-	m.cachedPick = make([]Item, len(selected))
-	for i, s := range selected {
-		m.cachedPick[i] = m.cachedSky[s]
+	// Every queued eviction has been replayed; release the retained items.
+	m.pendingEvict = nil
+	return nil
+}
+
+// applyInsert integrates one arriving item: a dominated point folds into its
+// dominators' signatures; an undominated point joins the skyline, demotes
+// the members it dominates, and gets a signature column built by one window
+// scan over its dominance region.
+func (m *Monitor) applyInsert(ctx context.Context, it Item) error {
+	p := it.Point
+	excluded := false
+	var cols []int
+	for c := range m.sky {
+		sp := m.sky[c].Point
+		if geom.Dominates(sp, p) {
+			cols = append(cols, c)
+			excluded = true
+		} else if geom.Equal(sp, p) {
+			// A duplicate of a skyline member: the earlier twin keeps the
+			// membership (the SFS tie-break) and, under strict dominance,
+			// neither is in the other's Γ.
+			excluded = true
+		}
+	}
+	if excluded {
+		if len(cols) > 0 {
+			minHv := m.fam.HashAllMin(m.hv, it.Seq)
+			for _, c := range cols {
+				m.matrix.UpdateColumnBounded(c, m.hv, minHv)
+				m.domScore[c]++
+			}
+		}
+		return nil
+	}
+	// Joins the skyline: demote the members it dominates (their columns are
+	// dropped; their rows re-enter Γ(p) through the scan below), then build
+	// the new column.
+	var demoted []int
+	for c := range m.sky {
+		if geom.Dominates(p, m.sky[c].Point) {
+			demoted = append(demoted, c)
+		}
+	}
+	if len(demoted) > 0 {
+		m.matrix.RemoveColumns(demoted)
+		m.sky = removeItems(m.sky, demoted)
+		m.domScore = removeFloat64s(m.domScore, demoted)
+	}
+	at := len(m.sky) // the newest sequence number sorts last
+	m.matrix.InsertColumn(at)
+	m.sky = append(m.sky, it)
+	m.domScore = append(m.domScore, 0)
+	return m.fillColumn(ctx, at, it)
+}
+
+// applyEvict removes one expired item. A skyline member's departure promotes
+// the candidates only it excluded; a non-member's departure can only affect
+// the columns where its hash values achieved a slot minimum, which are
+// recomputed by one bounded window scan.
+func (m *Monitor) applyEvict(ctx context.Context, ev Item) error {
+	if len(m.sky) > 0 && m.sky[0].Seq == ev.Seq {
+		return m.evictSkylineMember(ctx, ev)
+	}
+	var doms []int
+	for c := range m.sky {
+		if geom.Dominates(m.sky[c].Point, ev.Point) {
+			doms = append(doms, c)
+		}
+	}
+	if len(doms) == 0 {
+		return nil
+	}
+	m.fam.HashAllMin(m.hv, ev.Seq)
+	var recompute []int
+	for _, c := range doms {
+		m.domScore[c]--
+		// The departed row can only have mattered where it tied the slot
+		// minimum; otherwise the column is untouched by its removal.
+		if m.matrix.ColumnMatchesAny(c, m.hv) {
+			recompute = append(recompute, c)
+		}
+	}
+	if len(recompute) == 0 {
+		return nil
+	}
+	for _, c := range recompute {
+		m.matrix.ResetColumn(c)
+	}
+	return m.refoldColumns(ctx, recompute)
+}
+
+// evictSkylineMember handles the departure of the window's oldest skyline
+// point: its column is dropped, and every window point that only it excluded
+// is promoted (after a mini-skyline among the candidates, since candidates
+// may dominate each other).
+func (m *Monitor) evictSkylineMember(ctx context.Context, ev Item) error {
+	m.matrix.RemoveColumns([]int{0})
+	copy(m.sky, m.sky[1:])
+	m.sky[len(m.sky)-1] = Item{} // clear the tail so the item is released
+	m.sky = m.sky[:len(m.sky)-1]
+	copy(m.domScore, m.domScore[1:])
+	m.domScore = m.domScore[:len(m.domScore)-1]
+
+	var cands []Item
+	n := 0
+	for seq := m.winLo; seq < m.winHi; seq++ {
+		if n%refreshCheckStride == 0 && n > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
+		x := m.itemAt(seq)
+		if !geom.Dominates(ev.Point, x.Point) && !geom.Equal(ev.Point, x.Point) {
+			continue
+		}
+		excludedByOther := false
+		for c := range m.sky {
+			sp := m.sky[c].Point
+			if geom.Dominates(sp, x.Point) || (geom.Equal(sp, x.Point) && m.sky[c].Seq < x.Seq) {
+				excludedByOther = true
+				break
+			}
+		}
+		if !excludedByOther {
+			cands = append(cands, x)
+		}
+	}
+	for _, q := range miniSkyline(cands) {
+		at := sort.Search(len(m.sky), func(i int) bool { return m.sky[i].Seq > q.Seq })
+		m.matrix.InsertColumn(at)
+		m.sky = append(m.sky, Item{})
+		copy(m.sky[at+1:], m.sky[at:])
+		m.sky[at] = q
+		m.domScore = append(m.domScore, 0)
+		copy(m.domScore[at+1:], m.domScore[at:])
+		m.domScore[at] = 0
+		if err := m.fillColumn(ctx, at, q); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// fillColumn builds the signature column of a fresh skyline member by one
+// scan over the maintained window, folding every point it strictly
+// dominates.
+func (m *Monitor) fillColumn(ctx context.Context, col int, owner Item) error {
+	p := owner.Point
+	n := 0
+	for seq := m.winLo; seq < m.winHi; seq++ {
+		if n%refreshCheckStride == 0 && n > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
+		x := m.itemAt(seq)
+		if x.Seq == owner.Seq || !geom.Dominates(p, x.Point) {
+			continue
+		}
+		minHv := m.fam.HashAllMin(m.hv, x.Seq)
+		m.matrix.UpdateColumnBounded(col, m.hv, minHv)
+		m.domScore[col]++
+	}
+	return nil
+}
+
+// refoldColumns recomputes the given (already reset) columns by one shared
+// window scan, folding each point into the affected columns whose skyline
+// point dominates it. Domination scores are not touched — they were adjusted
+// exactly by the caller.
+func (m *Monitor) refoldColumns(ctx context.Context, cols []int) error {
+	n := 0
+	tgt := make([]int, 0, len(cols))
+	for seq := m.winLo; seq < m.winHi; seq++ {
+		if n%refreshCheckStride == 0 && n > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n++
+		x := m.itemAt(seq)
+		tgt = tgt[:0]
+		for _, c := range cols {
+			if geom.Dominates(m.sky[c].Point, x.Point) {
+				tgt = append(tgt, c)
+			}
+		}
+		if len(tgt) == 0 {
+			continue
+		}
+		minHv := m.fam.HashAllMin(m.hv, x.Seq)
+		for _, c := range tgt {
+			m.matrix.UpdateColumnBounded(c, m.hv, minHv)
+		}
+	}
+	return nil
+}
+
+// miniSkyline computes the skyline of the promotion candidates (ascending
+// sequence order) with the same duplicate tie-break as the full algorithms:
+// the earliest of identical points wins.
+func miniSkyline(cands []Item) []Item {
+	var keep []Item
+	for _, x := range cands {
+		excluded := false
+		for _, y := range keep {
+			if geom.Dominates(y.Point, x.Point) || geom.Equal(y.Point, x.Point) {
+				excluded = true
+				break
+			}
+		}
+		if excluded {
+			continue
+		}
+		out := keep[:0]
+		for _, y := range keep {
+			if !geom.Dominates(x.Point, y.Point) {
+				out = append(out, y)
+			}
+		}
+		keep = append(out, x)
+	}
+	return keep
+}
+
+// removeItems drops the elements at the given ascending positions,
+// compacting in place (the freed tail is cleared so evicted items are
+// released).
+func removeItems(s []Item, at []int) []Item {
+	w, r := at[0], 0
+	for c := at[0]; c < len(s); c++ {
+		if r < len(at) && at[r] == c {
+			r++
+			continue
+		}
+		s[w] = s[c]
+		w++
+	}
+	for i := w; i < len(s); i++ {
+		s[i] = Item{}
+	}
+	return s[:w]
+}
+
+// removeFloat64s is removeItems for the score vector.
+func removeFloat64s(s []float64, at []int) []float64 {
+	w, r := at[0], 0
+	for c := at[0]; c < len(s); c++ {
+		if r < len(at) && at[r] == c {
+			r++
+			continue
+		}
+		s[w] = s[c]
+		w++
+	}
+	return s[:w]
 }

@@ -55,12 +55,55 @@ func poisonTestMonitor(t *testing.T) *Monitor {
 	return m
 }
 
-// TestFailedRecomputeNeverPoisons cancels a window recomputation at every one
-// of its cancellation points in turn and checks, after each failure, that the
+// TestFailedRecomputeNeverPoisons cancels a window recomputation at each of
+// its cancellation points in turn and checks, after each failure, that the
 // very next query recomputes cleanly — a failed query must leave the cache
-// unpopulated, never cache its own error or a half-built answer.
+// unpopulated, never cache its own error or a half-built answer. The allow
+// budget grows until the recompute first succeeds, so every cancellation
+// point of the actual (incremental) refresh path is exercised, not a count
+// taken from the wholesale path.
 func TestFailedRecomputeNeverPoisons(t *testing.T) {
 	m := poisonTestMonitor(t)
+	want, err := m.Diverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCancel := 0
+	for allow := 0; ; allow++ {
+		// A fresh point invalidates the cache, forcing a recompute.
+		if _, err := m.Add([]float64{0.5, 0.5, 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		ctx := &countdownCtx{Context: context.Background(), allow: allow}
+		if _, err := m.DiverseCtx(ctx); err == nil {
+			break // budget outlasted every cancellation point
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("allow=%d: err = %v, want context.Canceled", allow, err)
+		}
+		sawCancel++
+		// The failed attempt must not be cached: the next query succeeds.
+		picks, err := m.Diverse()
+		if err != nil {
+			t.Fatalf("allow=%d: recompute after failure: %v", allow, err)
+		}
+		if len(picks) != len(want) {
+			t.Fatalf("allow=%d: %d picks after failed attempt, want %d", allow, len(picks), len(want))
+		}
+		if allow > 1<<20 {
+			t.Fatal("cancellation budget never exhausted the refresh path")
+		}
+	}
+	if sawCancel < 2 {
+		t.Fatalf("exercised only %d cancellation points", sawCancel)
+	}
+}
+
+// TestFailedWholesaleRecomputeNeverPoisons is the same sweep pinned to the
+// from-scratch rebuild path (the recovery path after invalidation), which
+// has its own, larger set of cancellation points.
+func TestFailedWholesaleRecomputeNeverPoisons(t *testing.T) {
+	m := poisonTestMonitor(t)
+	m.wholesaleOnly = true
 	counter := &countingCtx{Context: context.Background()}
 	want, err := m.DiverseCtx(counter)
 	if err != nil {
@@ -70,7 +113,6 @@ func TestFailedRecomputeNeverPoisons(t *testing.T) {
 		t.Fatalf("recompute passed only %d cancellation points", counter.calls)
 	}
 	for allow := 0; allow < counter.calls; allow++ {
-		// A fresh point invalidates the cache, forcing a full recompute.
 		if _, err := m.Add([]float64{0.5, 0.5, 0.5}); err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +120,6 @@ func TestFailedRecomputeNeverPoisons(t *testing.T) {
 		if _, err := m.DiverseCtx(ctx); !errors.Is(err, context.Canceled) {
 			t.Fatalf("allow=%d: err = %v, want context.Canceled", allow, err)
 		}
-		// The failed attempt must not be cached: the next query succeeds.
 		picks, err := m.Diverse()
 		if err != nil {
 			t.Fatalf("allow=%d: recompute after failure: %v", allow, err)

@@ -385,6 +385,97 @@ func (m *Matrix) RefreshBounds() {
 	}
 }
 
+// Clone returns a deep copy of the matrix: the incremental-maintenance path
+// patches a private copy of a cached signature matrix (copy-on-write), so the
+// original — shared by pointer with every query that already holds it — is
+// never mutated.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{t: m.t, cols: m.cols, groups: m.groups}
+	c.sig = append([]uint32(nil), m.sig...)
+	c.colMax = append([]uint32(nil), m.colMax...)
+	c.groupMax = append([]uint32(nil), m.groupMax...)
+	return c
+}
+
+// ResetColumn empties column c: all slots and its screen bounds return to the
+// ∞ sentinel, as if no row had ever been folded into it. The incremental
+// delete path resets a column before re-folding its surviving rows.
+func (m *Matrix) ResetColumn(c int) {
+	col := m.sig[c*m.t : (c+1)*m.t]
+	for i := range col {
+		col[i] = emptySlot
+	}
+	gmax := m.groupMax[c*m.groups : (c+1)*m.groups]
+	for i := range gmax {
+		gmax[i] = emptySlot
+	}
+	m.colMax[c] = emptySlot
+}
+
+// InsertColumn grows the matrix by one empty column at position at (existing
+// columns at and beyond shift right). The incremental skyline-maintenance
+// path uses it when a point joins the skyline: columns track skyline order,
+// so a promotion splices its signature into place.
+func (m *Matrix) InsertColumn(at int) {
+	if at < 0 || at > m.cols {
+		panic("minhash: InsertColumn position out of range")
+	}
+	t, g := m.t, m.groups
+	m.sig = append(m.sig, make([]uint32, t)...)
+	copy(m.sig[(at+1)*t:], m.sig[at*t:m.cols*t])
+	m.colMax = append(m.colMax, 0)
+	copy(m.colMax[at+1:], m.colMax[at:m.cols])
+	m.groupMax = append(m.groupMax, make([]uint32, g)...)
+	copy(m.groupMax[(at+1)*g:], m.groupMax[at*g:m.cols*g])
+	m.cols++
+	m.ResetColumn(at)
+}
+
+// RemoveColumns drops the columns at the given positions (which must be
+// sorted ascending and in range), compacting the survivors left. The
+// incremental path uses it when skyline members are demoted by an insert or
+// evicted by a delete.
+func (m *Matrix) RemoveColumns(at []int) {
+	if len(at) == 0 {
+		return
+	}
+	t, g := m.t, m.groups
+	w, r := at[0], 0 // write cursor in columns; read cursor in at
+	for c := at[0]; c < m.cols; c++ {
+		if r < len(at) && at[r] == c {
+			r++
+			continue
+		}
+		copy(m.sig[w*t:(w+1)*t], m.sig[c*t:(c+1)*t])
+		m.colMax[w] = m.colMax[c]
+		copy(m.groupMax[w*g:(w+1)*g], m.groupMax[c*g:(c+1)*g])
+		w++
+	}
+	if r != len(at) {
+		panic("minhash: RemoveColumns positions not sorted ascending in range")
+	}
+	m.cols = w
+	m.sig = m.sig[:w*t]
+	m.colMax = m.colMax[:w]
+	m.groupMax = m.groupMax[:w*g]
+}
+
+// ColumnMatchesAny reports whether any slot of column c currently equals the
+// corresponding value in hv. When a row is removed from a column's set, its
+// hash values can only have mattered where they achieved the slot minimum;
+// a false answer proves the column's slots are unchanged by the removal, so
+// the incremental delete path skips the recompute. (True is conservative:
+// another row may have tied the slot.)
+func (m *Matrix) ColumnMatchesAny(c int, hv []uint32) bool {
+	col := m.sig[c*m.t : (c+1)*m.t]
+	for i, v := range hv {
+		if v == col[i] {
+			return true
+		}
+	}
+	return false
+}
+
 // slotBlock is the number of signature slots the batched estimator streams
 // per pass: one block of the probe column stays cache-hot while it is
 // compared against every candidate column, so a long signature (t in the

@@ -7,19 +7,22 @@ import (
 	"skydiver/internal/pager"
 )
 
-// nodeCache is a process-wide, sharded, read-mostly cache of decoded nodes,
-// keyed by page id. It decouples the *physical* cost of decoding a page from
-// the *simulated* I/O accounting: the page store is immutable once a tree is
-// built, so every per-query Session that cold-misses the same page used to
+// nodeCache is a per-Tree, sharded, read-mostly cache of decoded nodes,
+// keyed by page id (each Tree owns one instance; it is not shared across
+// trees or datasets). It decouples the *physical* cost of decoding a page
+// from the *simulated* I/O accounting: between mutations the page store is
+// stable, so every per-query Session that cold-misses the same page used to
 // re-read and re-decode identical bytes. With the cache, each page is decoded
-// exactly once per process and later misses are served by pointer, while the
+// once per tree (per write) and later misses are served by pointer, while the
 // buffer pools in front of it keep charging reads/hits/faults/retries exactly
 // as before — the paper's per-query cache simulation is untouched.
 //
 // The cache is unbounded: it converges to one decoded copy of every tree
 // node, which is the same order of memory as the raw pages the store already
-// holds. Mutations (Insert, Delete, bulk loading) refresh entries through
-// writeNode, under the tree's documented build-first-then-serve discipline.
+// holds. Mutations (Insert, Delete, bulk loading) refresh the written pages'
+// entries through writeNode, so readers that run after a mutation — callers
+// synchronize mutations against reads, see the Tree doc — always decode the
+// new bytes; no build-first-then-serve restriction applies.
 type nodeCache struct {
 	shards [nodeCacheShards]nodeCacheShard
 

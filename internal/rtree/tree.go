@@ -19,8 +19,12 @@ import (
 // per-query cache simulation and I/O counters — over the shared page store.
 // The tree's own default pool is also safe to share (it locks internally),
 // but interleaved queries then mix their cache state and counters.
-// Mutations (Insert, Delete, bulk loading, Reopen) are not safe to run
-// concurrently with anything else; build first, then serve.
+// Mutations (Insert, Delete, bulk loading, Reopen) are not internally
+// synchronized: callers must order them against reads externally — e.g. the
+// public Dataset holds a reader/writer lock whose write side covers each
+// mutation, so queries and mutations interleave safely without a rebuild.
+// writeNode refreshes the decoded-node cache for every written page, so
+// reads that are properly ordered after a mutation see its effects.
 type Tree struct {
 	store *pager.PageStore
 	pool  atomic.Pointer[pager.BufferPool]

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -90,6 +91,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /datasets", s.handleOpenDataset)
 	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleEvictDataset)
+	s.mux.HandleFunc("POST /datasets/{name}/points", s.handleInsertPoint)
+	s.mux.HandleFunc("DELETE /datasets/{name}/points/{row}", s.handleDeletePoint)
 	if cfg.Chaos {
 		s.mux.HandleFunc("POST /datasets/{name}/faults", s.handleFaults)
 		s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
@@ -145,7 +148,10 @@ type QueryResponse struct {
 	Reason            string      `json:"reason,omitempty"`
 	Indexes           []int       `json:"indexes"`
 	Points            [][]float64 `json:"points,omitempty"`
-	Objective         float64     `json:"objective"`
+	// Objective is omitted when it is not finite (a one-element selection has
+	// an infinite min pairwise distance, and encoding/json refuses ±Inf —
+	// previously that turned the whole k=1 response into an empty 200).
+	Objective *float64 `json:"objective,omitempty"`
 	CPUSeconds        float64     `json:"cpu_seconds"`
 	IOSeconds         float64     `json:"io_seconds"`
 	PageFaults        int64       `json:"page_faults"`
@@ -266,11 +272,13 @@ func buildResponse(name string, opts skydiver.Options, res *skydiver.Result, cla
 		Degraded:          res.Degraded,
 		Reason:            reason,
 		Indexes:           res.Indexes,
-		Objective:         res.ObjectiveValue,
 		CPUSeconds:        res.CPUTime.Seconds(),
 		IOSeconds:         res.IOTime.Seconds(),
 		PageFaults:        res.PageFaults,
 		FingerprintCached: res.FingerprintCached,
+	}
+	if v := res.ObjectiveValue; !math.IsInf(v, 0) && !math.IsNaN(v) {
+		out.Objective = &v
 	}
 	if res.Degraded && reason == "" {
 		out.Reason = res.DegradedReason
@@ -389,6 +397,7 @@ type datasetStats struct {
 	BreakerState     string                         `json:"breaker_state,omitempty"`
 	FingerprintCache skydiver.FingerprintCacheStats `json:"fingerprint_cache"`
 	DecodeCache      skydiver.DecodeCacheStats      `json:"decode_cache"`
+	Mutations        skydiver.MutationStats         `json:"mutations"`
 	FaultsInjected   int64                          `json:"faults_injected"`
 	FaultRetries     int64                          `json:"fault_retries"`
 }
@@ -410,6 +419,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			}
 			st.FingerprintCache = ds.FingerprintCacheStats()
 			st.DecodeCache = ds.DecodeCacheStats()
+			st.Mutations = ds.MutationStats()
 			st.FaultsInjected, st.FaultRetries = ds.FaultStats()
 			h.Release()
 		}
@@ -542,6 +552,80 @@ func (s *Server) handleEvictDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("dataset %q evicted", name)
 	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+}
+
+// handleInsertPoint serves POST /datasets/{name}/points?p=v1,v2,...: insert
+// one point (given in the dataset's original orientation) and return its row
+// id plus the dataset's new epoch. The library maintains the skyline, the
+// index and resident fingerprints incrementally, so the next /query is warm.
+func (s *Server) handleInsertPoint(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.enter() {
+		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
+		return
+	}
+	defer s.gate.exit()
+	name := r.PathValue("name")
+	h, err := s.reg.Acquire(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer h.Release()
+	raw := r.URL.Query().Get("p")
+	if raw == "" {
+		s.writeError(w, fmt.Errorf("%w: missing p=v1,v2,... point parameter", skydiver.ErrInvalidOptions))
+		return
+	}
+	parts := strings.Split(raw, ",")
+	p := make([]float64, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("%w: p[%d]=%q, want a float", skydiver.ErrInvalidOptions, i, part))
+			return
+		}
+		p[i] = v
+	}
+	row, err := h.Dataset().Insert(p)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ms := h.Dataset().MutationStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "row": row, "epoch": ms.Epoch, "live": ms.Live,
+	})
+}
+
+// handleDeletePoint serves DELETE /datasets/{name}/points/{row}: tombstone
+// the row (404 when it does not exist or was already deleted). Remaining row
+// ids are unchanged.
+func (s *Server) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.enter() {
+		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
+		return
+	}
+	defer s.gate.exit()
+	name := r.PathValue("name")
+	row, err := strconv.Atoi(r.PathValue("row"))
+	if err != nil {
+		s.writeError(w, fmt.Errorf("%w: row %q, want an integer", skydiver.ErrInvalidOptions, r.PathValue("row")))
+		return
+	}
+	h, err := s.reg.Acquire(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer h.Release()
+	if err := h.Dataset().Delete(row); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ms := h.Dataset().MutationStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "deleted": row, "epoch": ms.Epoch, "live": ms.Live,
+	})
 }
 
 // handleFaults serves POST /datasets/{name}/faults (chaos builds only):

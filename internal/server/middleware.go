@@ -52,7 +52,7 @@ func classify(err error) (status int, class string) {
 	switch {
 	case errors.Is(err, skydiver.ErrOverloaded):
 		return http.StatusTooManyRequests, ClassShed
-	case errors.Is(err, ErrUnknownDataset):
+	case errors.Is(err, ErrUnknownDataset), errors.Is(err, skydiver.ErrNoSuchPoint):
 		return http.StatusNotFound, ClassNotFound
 	case errors.Is(err, ErrDatasetExists):
 		return http.StatusConflict, ClassConflict

@@ -80,6 +80,18 @@ func TestServerQueryTaxonomy(t *testing.T) {
 		t.Errorf("second identical query not served from fingerprint cache")
 	}
 
+	// k=1: a one-element selection has an infinite min pairwise distance,
+	// which encoding/json refuses to marshal — the objective field must be
+	// omitted, not the whole body (this used to be an empty 200 response).
+	var one QueryResponse
+	resp = get(t, c, ts.URL+"/query?k=1&t=32&seed=1", &one)
+	if resp.StatusCode != http.StatusOK || one.Status != ClassFull || len(one.Indexes) != 1 {
+		t.Fatalf("k=1 query: status=%d body=%+v", resp.StatusCode, one)
+	}
+	if one.Objective != nil {
+		t.Errorf("k=1 objective = %v, want omitted (non-finite)", *one.Objective)
+	}
+
 	// 400: malformed k, bad algo, bad timeout, K beyond the skyline.
 	for _, u := range []string{
 		"/query?k=zero", "/query?k=-1", "/query?algo=quantum",
@@ -448,5 +460,120 @@ func TestServerReadyzBreakerOpen(t *testing.T) {
 	}
 	if resp := get(t, c, ts.URL+"/readyz", nil); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("readyz with open breaker: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServerMutationEndpoints exercises POST /datasets/{name}/points and
+// DELETE /datasets/{name}/points/{row}: queries keep working across
+// mutations, the fingerprint cache keeps serving (migrated, not rebuilt),
+// the epoch advances, and /stats reports the mutation counters.
+func TestServerMutationEndpoints(t *testing.T) {
+	_, ts, ds := newTestServer(t, Config{}, 2000)
+	c := ts.Client()
+
+	// Warm the skyline and the fingerprint cache.
+	var warm QueryResponse
+	if resp := get(t, c, ts.URL+"/query?k=3&t=32&seed=1", &warm); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query: status %d", resp.StatusCode)
+	}
+
+	// Insert a point that dominates everything: it must become the skyline.
+	var ins struct {
+		Row   int    `json:"row"`
+		Epoch uint64 `json:"epoch"`
+		Live  int    `json:"live"`
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/datasets/default/points?p=0,0,0", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ins); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ins.Row != 2000 || ins.Epoch != 1 || ins.Live != 2001 {
+		t.Fatalf("insert: status=%d body=%+v", resp.StatusCode, ins)
+	}
+	sky, err := ds.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sky) != 1 || sky[0] != ins.Row {
+		t.Fatalf("post-insert skyline %v, want [%d]", sky, ins.Row)
+	}
+
+	// Delete it again: the old skyline points must come back, and a cached
+	// query must still be served (the fingerprint was migrated twice).
+	req, _ = http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/datasets/default/points/%d", ts.URL, ins.Row), nil)
+	resp, err = c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	var after QueryResponse
+	if resp := get(t, c, ts.URL+"/query?k=3&t=32&seed=1", &after); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-delete query: status %d", resp.StatusCode)
+	}
+	if !after.FingerprintCached {
+		t.Error("post-delete query was not served from the migrated fingerprint")
+	}
+	if len(after.Indexes) != len(warm.Indexes) {
+		t.Fatalf("post-delete selection %v, want %v", after.Indexes, warm.Indexes)
+	}
+	for i := range warm.Indexes {
+		if after.Indexes[i] != warm.Indexes[i] {
+			t.Fatalf("post-delete selection %v, want %v", after.Indexes, warm.Indexes)
+		}
+	}
+
+	// Errors: double delete and unknown row are 404s, malformed input 400s,
+	// unknown dataset 404.
+	for _, tc := range []struct {
+		method, url string
+		status      int
+		class       string
+	}{
+		{http.MethodDelete, "/datasets/default/points/2000", http.StatusNotFound, ClassNotFound},
+		{http.MethodDelete, "/datasets/default/points/99999", http.StatusNotFound, ClassNotFound},
+		{http.MethodDelete, "/datasets/default/points/zero", http.StatusBadRequest, ClassBadRequest},
+		{http.MethodDelete, "/datasets/ghost/points/0", http.StatusNotFound, ClassNotFound},
+		{http.MethodPost, "/datasets/default/points", http.StatusBadRequest, ClassBadRequest},
+		{http.MethodPost, "/datasets/default/points?p=1,2", http.StatusBadRequest, ClassBadRequest},
+		{http.MethodPost, "/datasets/default/points?p=a,b,c", http.StatusBadRequest, ClassBadRequest},
+		{http.MethodPost, "/datasets/ghost/points?p=1,2,3", http.StatusNotFound, ClassNotFound},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.url, nil)
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.url, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status || eb.Class != tc.class {
+			t.Errorf("%s %s: status=%d class=%q, want %d %s", tc.method, tc.url, resp.StatusCode, eb.Class, tc.status, tc.class)
+		}
+	}
+
+	// /stats reports the mutation counters.
+	var stats struct {
+		Datasets []struct {
+			Name      string                 `json:"name"`
+			Mutations skydiver.MutationStats `json:"mutations"`
+		} `json:"datasets"`
+	}
+	get(t, c, ts.URL+"/stats", &stats)
+	if len(stats.Datasets) != 1 {
+		t.Fatalf("stats datasets: %+v", stats.Datasets)
+	}
+	ms := stats.Datasets[0].Mutations
+	if ms.Inserts != 1 || ms.Deletes != 1 || ms.Epoch != 2 || ms.Live != 2000 {
+		t.Errorf("mutation stats = %+v, want 1 insert, 1 delete, epoch 2, 2000 live", ms)
 	}
 }

@@ -18,9 +18,11 @@ const dcCutoff = 64
 // dominated by points of the worse half, so the merge is one-directional.
 func ComputeDC(ds *data.Dataset) []int {
 	n := ds.Len()
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !ds.Deleted(i) {
+			idx = append(idx, i)
+		}
 	}
 	out := dcSkyline(ds, idx)
 	sort.Ints(out)

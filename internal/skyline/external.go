@@ -38,10 +38,13 @@ func ComputeBNLExternal(ds *data.Dataset, windowCap int) *ExternalResult {
 	}
 	res := &ExternalResult{}
 	counter := pager.NewSequentialCounter(8*ds.Dims() + 4)
-	// input holds dataset indexes still unresolved; starts as the full file.
-	input := make([]int, ds.Len())
-	for i := range input {
-		input[i] = i
+	// input holds dataset indexes still unresolved; starts as the live rows
+	// of the file (tombstoned rows are resolved by definition).
+	input := make([]int, 0, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		if !ds.Deleted(i) {
+			input = append(input, i)
+		}
 	}
 	type winEntry struct {
 		idx int

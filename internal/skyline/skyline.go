@@ -76,10 +76,13 @@ func ComputeNaive(ds *data.Dataset) []int {
 	n := ds.Len()
 	var out []int
 	for i := 0; i < n; i++ {
+		if ds.Deleted(i) {
+			continue
+		}
 		p := ds.Point(i)
 		dominated := false
 		for j := 0; j < n && !dominated; j++ {
-			if j == i {
+			if j == i || ds.Deleted(j) {
 				continue
 			}
 			q := ds.Point(j)
@@ -106,6 +109,9 @@ func ComputeBNL(ds *data.Dataset) []int {
 	window := make([]int, 0, 64)
 next:
 	for i := 0; i < n; i++ {
+		if ds.Deleted(i) {
+			continue
+		}
 		p := ds.Point(i)
 		for _, w := range window {
 			q := ds.Point(w)
@@ -134,9 +140,11 @@ next:
 // exact.
 func ComputeSFS(ds *data.Dataset) []int {
 	n := ds.Len()
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !ds.Deleted(i) {
+			order = append(order, i)
+		}
 	}
 	sort.Slice(order, func(a, b int) bool {
 		la, lb := geom.L1(ds.Point(order[a])), geom.L1(ds.Point(order[b]))
@@ -175,8 +183,27 @@ type bbsItem struct {
 
 type bbsHeap []bbsItem
 
-func (h bbsHeap) Len() int           { return len(h) }
-func (h bbsHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h bbsHeap) Len() int { return len(h) }
+
+// Less orders by L1 mindist; ties open intermediate entries before accepting
+// points and then prefer the smallest row id. With duplicate points this
+// makes the oldest equal twin the skyline representative — the same
+// tie-break as the scan-order algorithms (Naive, BNL, SFS, DC) and the one
+// the incremental maintenance in internal/core relies on: a container whose
+// corner ties a point's key may hold an equal twin, so it is expanded first,
+// after which every resident twin competes by row id. An entry strictly
+// dominated by a point always has a strictly larger key, so the node-first
+// tie-break never expands an entry that point ordering would have pruned
+// (corner ties aside, which only duplicates produce).
+func (h bbsHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	if (h[i].child >= 0) != (h[j].child >= 0) {
+		return h[i].child >= 0
+	}
+	return h[i].rowID < h[j].rowID
+}
 func (h bbsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *bbsHeap) Push(x any)        { *h = append(*h, x.(bbsItem)) }
 func (h *bbsHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }

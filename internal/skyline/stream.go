@@ -66,7 +66,7 @@ func ComputeStreamRAND(ds *data.Dataset, window, maxPasses int, seed int64) *Str
 		seen := 0
 		for i := 0; i < n; i++ {
 			counter.Touch(i)
-			if coveredBy(ds.Point(i)) {
+			if ds.Deleted(i) || coveredBy(ds.Point(i)) {
 				continue
 			}
 			seen++
@@ -87,6 +87,9 @@ func ComputeStreamRAND(ds *data.Dataset, window, maxPasses int, seed int64) *Str
 		res.Passes++
 		for i := 0; i < n; i++ {
 			counter.Touch(i)
+			if ds.Deleted(i) {
+				continue
+			}
 			p := ds.Point(i)
 			for c := range cand {
 				if geom.Dominates(p, ds.Point(cand[c])) {
@@ -106,6 +109,9 @@ func ComputeStreamRAND(ds *data.Dataset, window, maxPasses int, seed int64) *Str
 		}
 		for i := 0; i < n; i++ {
 			counter.Touch(i)
+			if ds.Deleted(i) {
+				continue
+			}
 			p := ds.Point(i)
 			for c := range cand {
 				if !alive[c] {

@@ -1,0 +1,169 @@
+// mutate.go is the public mutation surface: Insert and Delete maintain the
+// skyline, the aggregate R*-tree and every resident fingerprint
+// incrementally (internal/core's maintenance pass) under the dataset's
+// query/mutation lock, and stamp the dataset with a new epoch so that no
+// stale signature can ever be served against the changed skyline.
+package skydiver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"skydiver/internal/core"
+	"skydiver/internal/pager"
+	"skydiver/internal/rtree"
+)
+
+// ErrNoSuchPoint is returned by Delete (and wrapped by the serving layer as
+// a 404) when the addressed row does not exist or was already deleted.
+var ErrNoSuchPoint = errors.New("skydiver: no such point")
+
+// MutationStats summarizes what the mutation surface has done so far.
+type MutationStats struct {
+	// Inserts and Deletes count applied mutation calls (failed attempts are
+	// not counted, though they still bump the epoch to invalidate caches).
+	Inserts uint64
+	Deletes uint64
+	// Epoch is the current dataset epoch: the number of mutation attempts,
+	// successful or not, since the dataset was created. Every fingerprint
+	// cache entry is keyed on it.
+	Epoch uint64
+	// Live is the number of live (not tombstoned) points.
+	Live int
+}
+
+// Epoch returns the dataset's current mutation epoch. It starts at zero and
+// increases with every Insert/Delete attempt; fingerprints are only ever
+// served for the epoch they were built (or patched) against.
+func (d *Dataset) Epoch() uint64 {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	return d.epoch
+}
+
+// MutationStats returns the mutation counters. Safe to call concurrently
+// with queries and mutations.
+func (d *Dataset) MutationStats() MutationStats {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	return MutationStats{
+		Inserts: d.inserts,
+		Deletes: d.deletes,
+		Epoch:   d.epoch,
+		Live:    d.original.LiveLen(),
+	}
+}
+
+// Insert adds a point (given in the dataset's original orientation) and
+// returns its row index. The skyline, the R*-tree and resident index-free
+// fingerprints are maintained incrementally: a point dominated by the
+// current skyline only touches the signature columns of its dominators,
+// and a point that joins the skyline gets a fresh column while the members
+// it dominates are demoted — no wholesale recomputation, no cold cache.
+//
+// Insert blocks until in-flight queries drain (and vice versa), so a query
+// never observes a half-applied mutation. On error the dataset remains
+// consistent: the row, if it became visible at all, is tombstoned, caches
+// are dropped, and the next query recomputes what it needs.
+func (d *Dataset) Insert(p []float64) (int, error) {
+	if len(p) != d.original.Dims() {
+		return 0, fmt.Errorf("%w: point has %d dimensions, dataset has %d",
+			ErrInvalidOptions, len(p), d.original.Dims())
+	}
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	if err := d.checkClosed(); err != nil {
+		return 0, err
+	}
+	tr, sky, err := d.mutationState()
+	if err != nil {
+		return 0, err
+	}
+	// Append the user's orientation first (it cannot fail past the dims
+	// check above), then hand the canonicalized copy to the maintenance
+	// pass, which appends the aligned canon row.
+	orig := append([]float64(nil), p...)
+	cp := d.prefs.Canonicalize(append([]float64(nil), p...))
+	if _, err := d.original.Append(orig); err != nil {
+		return 0, err
+	}
+	newSky, row, err := core.ApplyInsert(d.canon, tr, sky, d.fpCache, d.epoch, d.epoch+1, cp)
+	d.epoch++
+	if err != nil {
+		// The maintenance pass left canon consistent — the appended row was
+		// either retired (tombstoned and removed from the tree) or kept live
+		// when the tree could not give it back. Mirror the tombstone in the
+		// original orientation and invalidate the skyline so the next query
+		// rebuilds wholesale.
+		if row >= 0 && d.canon.Deleted(row) {
+			d.original.MarkDeleted(row)
+		}
+		d.setSky(nil)
+		return 0, err
+	}
+	d.inserts++
+	d.setSky(newSky)
+	return row, nil
+}
+
+// Delete tombstones the row with the given index and maintains the skyline,
+// the R*-tree and resident fingerprints incrementally: deleting a
+// non-skyline point only adjusts the signature columns of its dominators,
+// while deleting a skyline point promotes the newly exposed points found by
+// a bounded dominance range query on the tree. Row indexes of the remaining
+// points are unchanged. Deleting a missing or already-deleted row returns
+// ErrNoSuchPoint.
+func (d *Dataset) Delete(index int) error {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	if err := d.checkClosed(); err != nil {
+		return err
+	}
+	if index < 0 || index >= d.canon.Len() || d.canon.Deleted(index) {
+		return fmt.Errorf("%w: row %d", ErrNoSuchPoint, index)
+	}
+	tr, sky, err := d.mutationState()
+	if err != nil {
+		return err
+	}
+	newSky, err := core.ApplyDelete(d.canon, tr, sky, d.fpCache, d.epoch, d.epoch+1, index)
+	d.epoch++
+	if err != nil {
+		// Mirror whatever the maintenance pass did to canon: if the
+		// tombstone applied before the failure, apply it to the original
+		// orientation too; either way the skyline must be rebuilt.
+		if d.canon.Deleted(index) {
+			d.original.MarkDeleted(index)
+		}
+		d.setSky(nil)
+		return err
+	}
+	d.deletes++
+	d.original.MarkDeleted(index)
+	d.setSky(newSky)
+	return nil
+}
+
+// mutationState readies the structures a mutation patches: the index and
+// the current skyline (built now if no query has needed them yet). Callers
+// hold qmu's write side.
+func (d *Dataset) mutationState() (*rtree.Tree, []int, error) {
+	tr, err := d.ensureIndex()
+	if err != nil {
+		return nil, nil, err
+	}
+	sky, err := d.skylineWith(context.Background(), tr.NewSession(pager.DefaultCacheFraction))
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, sky, nil
+}
+
+// setSky replaces the cached skyline under the dataset mutex (nil forces
+// the next query to recompute).
+func (d *Dataset) setSky(sky []int) {
+	d.mu.Lock()
+	d.sky = sky
+	d.mu.Unlock()
+}

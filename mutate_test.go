@@ -1,0 +1,405 @@
+package skydiver
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// liveRows returns the live points of d in row order plus the mapping from
+// "fresh" indexes (a rebuild from scratch) back to d's row ids.
+func liveRows(d *Dataset) (rows [][]float64, toOld []int) {
+	for i := 0; i < d.Len(); i++ {
+		if d.original.Deleted(i) {
+			continue
+		}
+		rows = append(rows, append([]float64(nil), d.Point(i)...))
+		toOld = append(toOld, i)
+	}
+	return rows, toOld
+}
+
+// TestMutationsMatchRebuild drives a random insert/delete sequence through
+// the public API (with a mixed Min/Max orientation, so canonicalization is
+// exercised) and checks after every step that (a) the incrementally
+// maintained skyline equals the skyline of a dataset rebuilt from scratch
+// out of the live rows, and (b) a cached Diversify — served by the patched,
+// epoch-migrated fingerprint — is identical to an uncached one that runs
+// SigGen wholesale against the mutated state.
+func TestMutationsMatchRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const dims, levels, start, steps = 3, 5, 120, 60
+	prefs := []Pref{Min, Max, Min}
+	randPoint := func() []float64 {
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = float64(r.Intn(levels)) / float64(levels)
+		}
+		return p
+	}
+	rows := make([][]float64, start)
+	for i := range rows {
+		rows[i] = randPoint()
+	}
+	d, err := NewDataset("mut", rows, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []int
+	for i := 0; i < start; i++ {
+		live = append(live, i)
+	}
+	for step := 0; step < steps; step++ {
+		if r.Intn(2) == 0 && len(live) > 1 {
+			i := r.Intn(len(live))
+			if err := d.Delete(live[i]); err != nil {
+				t.Fatalf("step %d: delete row %d: %v", step, live[i], err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			row, err := d.Insert(randPoint())
+			if err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			live = append(live, row)
+		}
+
+		fresh, toOld := liveRows(d)
+		ref, err := NewDataset("ref", fresh, prefs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSky, err := ref.Skyline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantSky {
+			wantSky[i] = toOld[wantSky[i]]
+		}
+		gotSky, err := d.Skyline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotSky) != len(wantSky) {
+			t.Fatalf("step %d: skyline %v, want %v", step, gotSky, wantSky)
+		}
+		for i := range wantSky {
+			if gotSky[i] != wantSky[i] {
+				t.Fatalf("step %d: skyline %v, want %v", step, gotSky, wantSky)
+			}
+		}
+
+		if step%5 != 0 {
+			continue
+		}
+		k := 3
+		if k > len(gotSky) {
+			k = len(gotSky)
+		}
+		opts := Options{K: k, SignatureSize: 64, Seed: 9}
+		cached, err := d.Diversify(opts)
+		if err != nil {
+			t.Fatalf("step %d: cached diversify: %v", step, err)
+		}
+		opts.NoCache = true
+		cold, err := d.Diversify(opts)
+		if err != nil {
+			t.Fatalf("step %d: cold diversify: %v", step, err)
+		}
+		if len(cached.Indexes) != len(cold.Indexes) {
+			t.Fatalf("step %d: cached %v vs cold %v", step, cached.Indexes, cold.Indexes)
+		}
+		for i := range cold.Indexes {
+			if cached.Indexes[i] != cold.Indexes[i] {
+				t.Fatalf("step %d: cached %v vs cold %v", step, cached.Indexes, cold.Indexes)
+			}
+		}
+		if cached.ObjectiveValue != cold.ObjectiveValue {
+			t.Fatalf("step %d: objective %v vs %v", step, cached.ObjectiveValue, cold.ObjectiveValue)
+		}
+	}
+	if got := d.LiveLen(); got != len(live) {
+		t.Fatalf("LiveLen = %d, want %d", got, len(live))
+	}
+}
+
+// TestMutationEpochAndCache pins the epoch bookkeeping: mutations bump the
+// epoch, the fingerprint built before a mutation keeps serving after it
+// (migrated, not rebuilt), and the counters add up.
+func TestMutationEpochAndCache(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	d, err := NewDataset("epoch", rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", d.Epoch())
+	}
+	opts := Options{K: 3, SignatureSize: 64, Seed: 1}
+	if _, err := d.Diversify(opts); err != nil {
+		t.Fatal(err)
+	}
+	builds := d.FingerprintCacheStats().Builds
+
+	row, err := d.Insert([]float64{0.01, 0.02, 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Diversify(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FingerprintCached {
+		t.Error("post-insert query was not served from the migrated fingerprint")
+	}
+	if got := d.FingerprintCacheStats().Builds; got != builds {
+		t.Errorf("mutation triggered a rebuild: %d builds, want %d", got, builds)
+	}
+	if err := d.Delete(row); err != nil {
+		t.Fatal(err)
+	}
+	res, err = d.Diversify(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FingerprintCached {
+		t.Error("post-delete query was not served from the migrated fingerprint")
+	}
+	ms := d.MutationStats()
+	if ms.Inserts != 1 || ms.Deletes != 1 || ms.Epoch != 2 || ms.Live != 200 {
+		t.Errorf("stats = %+v, want 1 insert, 1 delete, epoch 2, 200 live", ms)
+	}
+}
+
+// TestMutationValidationPublic pins the public error surface.
+func TestMutationValidationPublic(t *testing.T) {
+	d, err := NewDataset("val", [][]float64{{1, 2}, {2, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert([]float64{1, 2, 3}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("wrong-dims insert: %v", err)
+	}
+	if err := d.Delete(7); !errors.Is(err, ErrNoSuchPoint) {
+		t.Errorf("missing-row delete: %v", err)
+	}
+	if err := d.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(0); !errors.Is(err, ErrNoSuchPoint) {
+		t.Errorf("double delete: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert([]float64{0, 0}); !errors.Is(err, ErrDatasetClosed) {
+		t.Errorf("insert after close: %v", err)
+	}
+	if err := d.Delete(1); !errors.Is(err, ErrDatasetClosed) {
+		t.Errorf("delete after close: %v", err)
+	}
+}
+
+// TestMutationOrientation checks that Insert takes points in the original
+// orientation: on a Max-preferred dimension the larger value must win.
+func TestMutationOrientation(t *testing.T) {
+	d, err := NewDataset("orient", [][]float64{{1}, {5}}, []Pref{Max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := d.Insert([]float64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky, err := d.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sky) != 1 || sky[0] != row {
+		t.Fatalf("skyline %v, want [%d]", sky, row)
+	}
+	if p := d.Point(row); p[0] != 9 {
+		t.Fatalf("Point(%d) = %v, want the original orientation", row, p)
+	}
+}
+
+// TestDatasetConcurrentMutationWave races queries against mutations on one
+// shared dataset (run under -race). Writers insert fresh points and delete
+// only rows they inserted themselves, so every operation must succeed; the
+// final state must again equal an in-memory recompute.
+func TestDatasetConcurrentMutationWave(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	rows := make([][]float64, 300)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	d, err := NewDataset("wave", rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Diversify(Options{K: 2, SignatureSize: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, opsPerWriter, queries = 4, 4, 40, 20
+	errc := make(chan error, writers+readers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rw := rand.New(rand.NewSource(int64(100 + w)))
+			var mine []int
+			for op := 0; op < opsPerWriter; op++ {
+				if rw.Intn(3) == 0 && len(mine) > 0 {
+					row := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := d.Delete(row); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				row, err := d.Insert([]float64{rw.Float64(), rw.Float64(), rw.Float64()})
+				if err != nil {
+					errc <- err
+					return
+				}
+				mine = append(mine, row)
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				sky, err := d.Skyline()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(sky) == 0 {
+					errc <- errors.New("empty skyline")
+					return
+				}
+				if _, err := d.Diversify(Options{K: 2, SignatureSize: 32, Seed: 1}); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := d.SkylineSize(); err != nil {
+					errc <- err
+					return
+				}
+				_ = d.LiveLen()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	got, err := d.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.SkylineUsing(SFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("final skyline %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("final skyline %v, want %v", got, want)
+		}
+	}
+}
+
+// FuzzDatasetMutations feeds arbitrary mutation scripts through the public
+// API: each byte either inserts a 2-D point decoded from its nibbles or
+// deletes a previously inserted row. After the script, the incrementally
+// maintained skyline must equal the in-memory SFS recompute of the same
+// (mutated) dataset.
+func FuzzDatasetMutations(f *testing.F) {
+	f.Add([]byte{0x12, 0x21, 0x00})
+	f.Add([]byte{0x11, 0x11, 0x80, 0x81})
+	f.Add([]byte{0xff, 0x0f, 0xf0, 0x84, 0x33})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		d, err := NewDataset("fuzz", [][]float64{{8, 8}, {9, 7}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := []int{0, 1}
+		for _, b := range script {
+			if b&0x80 != 0 && len(live) > 1 {
+				i := int(b&0x7f) % len(live)
+				if err := d.Delete(live[i]); err != nil {
+					t.Fatal(err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			row, err := d.Insert([]float64{float64(b >> 4), float64(b & 0x0f)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, row)
+		}
+		got, err := d.Skyline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := d.SkylineUsing(SFS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("skyline %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("skyline %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+// BenchmarkDatasetInsert measures end-to-end mutation throughput on the
+// public Dataset: each insert runs the incremental skyline test, patches the
+// cached fingerprints forward to the new epoch, and bumps the mutation
+// counters. The dataset is pre-warmed with a query so the fingerprint
+// migration path (not just the skyline test) is on the measured path.
+func BenchmarkDatasetInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	pts := make([][]float64, 20000)
+	for i := range pts {
+		pts[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	d, err := NewDataset("bench", pts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Diversify(Options{K: 5, SignatureSize: 64, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p[0], p[1], p[2] = r.Float64(), r.Float64(), r.Float64()
+		if _, err := d.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

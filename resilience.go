@@ -185,6 +185,8 @@ func (d *Dataset) AdmissionStats() AdmissionStats {
 // half-open probes observe a recovered store. The zero policy removes the
 // breaker.
 func (d *Dataset) SetBreakerPolicy(p BreakerPolicy) error {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
 	tr, err := d.ensureIndex()
 	if err != nil {
 		return err
@@ -267,7 +269,7 @@ func (d *Dataset) diversifyBudgeted(ctx context.Context, opts Options, tracker *
 	if opts.K > len(sky) {
 		return nil, fmt.Errorf("%w: K = %d exceeds skyline size %d", ErrInvalidOptions, opts.K, len(sky))
 	}
-	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache, Fingerprint: fp}
+	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache, Fingerprint: fp, Epoch: d.epoch}
 	cfg := coreConfig(opts)
 	res, err := runPipeline(ctx, opts.Algorithm, in, cfg)
 	if err != nil {
@@ -341,7 +343,10 @@ func (d *Dataset) degrade(ctx context.Context, opts Options, tracker *budget.Tra
 	if t == 0 {
 		t = 100
 	}
-	want := core.FingerprintKey{Mode: mode, T: t, Seed: opts.Seed}
+	// The epoch pins substitution to fingerprints of the current dataset
+	// state: after a mutation, a stale-epoch signature's columns belong to a
+	// different skyline and would be wrong, not merely approximate.
+	want := core.FingerprintKey{Epoch: d.epoch, Mode: mode, T: t, Seed: opts.Seed}
 	if !opts.NoCache {
 		if fp, key, ok := d.fpCache.Substitute(want); ok {
 			sub := opts

@@ -203,17 +203,42 @@ type Result struct {
 // cache behavior and fault accounting never interleave. InjectFaults
 // reconfigures shared state and should be sequenced before (or between)
 // query waves, not raced against them.
+//
+// Mutations are first-class: Insert and Delete maintain the skyline, the
+// R*-tree and every resident fingerprint incrementally (see internal/core's
+// maintenance pass) instead of invalidating them. Queries and mutations may
+// be issued concurrently from any goroutines; each query observes either
+// the state entirely before or entirely after any concurrent mutation,
+// never a torn intermediate — mutations take the write side of a
+// reader/writer lock that every query holds for its whole run. Row indexes
+// are stable: deletions tombstone a row, they never renumber the others.
 type Dataset struct {
-	original *data.Dataset // user orientation
-	canon    *data.Dataset // min-preferred orientation
+	original *data.Dataset    // user orientation
+	canon    *data.Dataset    // min-preferred orientation
+	prefs    geom.Preferences // orientation applied to mutation inputs
 
-	mu   sync.Mutex  // guards lazy construction of tree and sky
-	tree *rtree.Tree // immutable once built
-	sky  []int       // immutable once computed; callers receive copies
+	// qmu orders queries against mutations. Every public query method holds
+	// the read side for its entire run (so in-flight fingerprint passes and
+	// tree traversals never observe a half-applied mutation); Insert and
+	// Delete hold the write side. Acquired before mu, never inside it.
+	qmu sync.RWMutex
 
-	// fpCache memoizes Phase-1 fingerprints across queries (keyed on mode,
-	// signature size and seed) with singleflight builds. Internally locked;
-	// never invalidated — the dataset is immutable.
+	// epoch counts applied mutation attempts. It is carried into every
+	// fingerprint-cache key, so a signature built against an older skyline
+	// can never be served — or substituted — after a mutation. Guarded by
+	// qmu (writers hold the write side; readers either side).
+	epoch   uint64
+	inserts uint64 // Insert calls applied; guarded by qmu
+	deletes uint64 // Delete calls applied; guarded by qmu
+
+	mu   sync.Mutex  // guards lazy construction of tree and sky; inner to qmu
+	tree *rtree.Tree // built once; mutated only under qmu's write side
+	sky  []int       // current skyline; replaced, never mutated in place
+
+	// fpCache memoizes Phase-1 fingerprints across queries (keyed on epoch,
+	// mode, signature size and seed) with singleflight builds. Internally
+	// locked. Mutations patch completed entries forward to the new epoch
+	// where possible and drop the rest.
 	fpCache *core.FingerprintCache
 
 	// limiter, when non-nil, gates DiversifyContext behind admission
@@ -272,7 +297,7 @@ func fromInternal(ds *data.Dataset, prefs []Pref) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{original: ds, canon: canon, fpCache: core.NewFingerprintCache(0)}, nil
+	return &Dataset{original: ds, canon: canon, prefs: prefs, fpCache: core.NewFingerprintCache(0)}, nil
 }
 
 // FingerprintCacheStats snapshots the dataset's fingerprint-cache counters.
@@ -286,10 +311,11 @@ func (d *Dataset) FingerprintCacheStats() FingerprintCacheStats {
 	return d.fpCache.Stats()
 }
 
-// DecodeCacheStats snapshots the process-wide decoded-node cache's counters
-// as observed through this dataset's index: nodes served by pointer (Hits)
-// versus pages actually decoded (Decodes). Both are zero before the index is
-// first built. Safe to call concurrently with running queries.
+// DecodeCacheStats snapshots the counters of the decoded-node cache owned by
+// this dataset's index (each *rtree.Tree keeps its own; the cache is not
+// shared between datasets): nodes served by pointer (Hits) versus pages
+// actually decoded (Decodes). Both are zero before the index is first built.
+// Safe to call concurrently with running queries.
 type DecodeCacheStats = rtree.DecodeCacheStats
 
 // DecodeCacheStats reports the decoded-node cache counters for this
@@ -307,20 +333,38 @@ func (d *Dataset) DecodeCacheStats() DecodeCacheStats {
 // Name returns the dataset name.
 func (d *Dataset) Name() string { return d.original.Name() }
 
-// Len returns the number of points.
-func (d *Dataset) Len() int { return d.original.Len() }
+// Len returns the number of rows ever stored, including tombstoned ones:
+// row indexes always run [0, Len), and deleting a row never renumbers the
+// others. Use LiveLen for the count of live points.
+func (d *Dataset) Len() int {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	return d.original.Len()
+}
+
+// LiveLen returns the number of live (not deleted) points.
+func (d *Dataset) LiveLen() int {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	return d.original.LiveLen()
+}
 
 // Dims returns the dimensionality.
 func (d *Dataset) Dims() int { return d.original.Dims() }
 
 // Point returns the i-th point in the original orientation. The returned
-// slice must not be mutated.
-func (d *Dataset) Point(i int) []float64 { return d.original.Point(i) }
+// slice must not be mutated. Deleted rows keep their coordinates readable.
+func (d *Dataset) Point(i int) []float64 {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	return d.original.Point(i)
+}
 
 // ensureIndex bulk-loads the aggregate R*-tree on first use and opens it
 // with the paper's 20% buffer-pool setting. Concurrent first callers
 // serialize on the dataset mutex; exactly one builds. The returned tree is
-// immutable and safe to read without the lock.
+// written only by Insert/Delete under qmu's write side, so callers holding
+// either side of qmu may read it without the dataset mutex.
 func (d *Dataset) ensureIndex() (*rtree.Tree, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -399,6 +443,8 @@ func (d *Dataset) Skyline() ([]int, error) {
 // copy, so mutating it cannot corrupt the cached skyline that later queries
 // share.
 func (d *Dataset) SkylineContext(ctx context.Context) ([]int, error) {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	sky, _, err := d.skylineSession(ctx)
 	if err != nil {
 		return nil, err
@@ -414,6 +460,8 @@ func (d *Dataset) SkylineContext(ctx context.Context) ([]int, error) {
 // computation. The full skyline is not cached by this method. Each call runs
 // in its own I/O session.
 func (d *Dataset) SkylineProgressive(fn func(index int, point []float64) bool) error {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	sess, err := d.newSession()
 	if err != nil {
 		return err
@@ -425,7 +473,12 @@ func (d *Dataset) SkylineProgressive(fn func(index int, point []float64) bool) e
 
 // SkylineSize returns the skyline cardinality m.
 func (d *Dataset) SkylineSize() (int, error) {
-	sky, err := d.Skyline()
+	// Uses the internal (already read-locked) path rather than Skyline: a
+	// re-entrant RLock would deadlock against a writer queued between the
+	// two acquisitions.
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
+	sky, _, err := d.skylineSession(context.Background())
 	if err != nil {
 		return 0, err
 	}
@@ -456,6 +509,8 @@ func (d *Dataset) SkylineUsing(algo SkylineAlgorithm) ([]int, error) {
 	if err := d.checkClosed(); err != nil {
 		return nil, err
 	}
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	switch algo {
 	case BBS:
 		sess, err := d.newSession()
@@ -497,6 +552,8 @@ func (d *Dataset) SkylineStreaming(window, maxPasses int, seed int64) (*Streamin
 	if maxPasses < 1 {
 		return nil, errors.New("skydiver: maxPasses must be at least 1")
 	}
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	res := skyline.ComputeStreamRAND(d.canon, window, maxPasses, seed)
 	return &StreamingSkyline{Indexes: res.Sky, Complete: res.Complete, Passes: res.Passes}, nil
 }
@@ -509,6 +566,8 @@ func (d *Dataset) SkylineExternal(windowCap int) (indexes []int, passes int, err
 	if err := d.checkClosed(); err != nil {
 		return nil, 0, err
 	}
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	res := skyline.ComputeBNLExternal(d.canon, windowCap)
 	return res.Sky, res.Passes, nil
 }
@@ -518,6 +577,8 @@ func (d *Dataset) SkylineExternal(windowCap int) (indexes []int, passes int, err
 // dominance-based ranking of Yiu & Mamoulis the paper builds its seeding
 // rule on. Unlike the skyline, the result may contain dominated points.
 func (d *Dataset) TopKDominating(k int) (indexes []int, scores []int, err error) {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	sess, err := d.newSession()
 	if err != nil {
 		return nil, nil, err
@@ -562,6 +623,11 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 		}
 		defer lim.Release()
 	}
+	// The read lock spans the whole pipeline (admission is deliberately
+	// outside it: shed queries should not delay mutations), so Phase 1 and
+	// the selection run against one consistent epoch.
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	if opts.Budget.Enabled() || opts.AllowDegraded {
 		return d.diversifyResilient(ctx, opts)
 	}
@@ -575,7 +641,7 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 	if opts.K > len(sky) {
 		return nil, fmt.Errorf("%w: K = %d exceeds skyline size %d", ErrInvalidOptions, opts.K, len(sky))
 	}
-	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache}
+	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache, Epoch: d.epoch}
 	res, err := runPipeline(ctx, opts.Algorithm, in, coreConfig(opts))
 	if err != nil {
 		if res != nil && res.Partial {
@@ -645,6 +711,8 @@ func (d *Dataset) publicResult(res *core.Result) *Result {
 // dataset indexes (which must be skyline points) — the quality metric of the
 // paper's Figures 12 and 13. It issues aggregate range-count queries.
 func (d *Dataset) ExactDiversity(indexes []int) (float64, error) {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	sky, sess, err := d.skylineSession(context.Background())
 	if err != nil {
 		return 0, err
@@ -708,6 +776,8 @@ func ParseFaultPolicy(s string) (FaultPolicy, error) {
 // backoff; permanent faults surface as errors wrapping ErrPermanentFault
 // from whichever operation touched the dead page — never as panics.
 func (d *Dataset) InjectFaults(p FaultPolicy) error {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
 	tr, err := d.ensureIndex()
 	if err != nil {
 		return err
@@ -747,6 +817,8 @@ func (d *Dataset) FaultStats() (injected, retries int64) {
 // DominationScore returns |Γ(p)| for the dataset point with the given index:
 // the number of points it strictly dominates.
 func (d *Dataset) DominationScore(index int) (int, error) {
+	d.qmu.RLock()
+	defer d.qmu.RUnlock()
 	sess, err := d.newSession()
 	if err != nil {
 		return 0, err
