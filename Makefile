@@ -74,6 +74,9 @@ fuzz:
 #                        criterion is a ≥5× gap; in practice it is orders of
 #                        magnitude), and public Dataset.Insert end to end
 #                        (skyline test + signature patch + epoch migration).
+#   BENCH_shards.json  — the shard-scaling ladder (s1/s2/s4/smax): the same
+#                        uncached IND-100K-4D query monolithic vs partitioned
+#                        (the acceptance criterion is s4 ≥ 2× faster than s1).
 #
 # Heavy benchmarks stay single-shot (-benchtime=1x/3x) to keep CI cheap; for
 # publication-grade numbers rerun locally with bench-full.
@@ -91,6 +94,8 @@ bench:
 	  $(GO) test -run '^$$' -bench 'RefreshWholesale100K' -benchmem -benchtime=1x -count=1 ./internal/dynamic ; \
 	  $(GO) test -run '^$$' -bench 'DatasetInsert' -benchmem -benchtime=200x -count=1 . ; } \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_dynamic.json
+	$(GO) test -run '^$$' -bench 'ShardedServing' -benchmem -benchtime=3x -count=1 . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_shards.json
 
 # Regression gate: rerun the benchmark suites into a scratch directory and
 # compare each snapshot against its checked-in baseline with a generous
@@ -103,6 +108,7 @@ benchgate:
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_select.json .bench-fresh/BENCH_select.json
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_serving.json .bench-fresh/BENCH_serving.json
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_dynamic.json .bench-fresh/BENCH_dynamic.json
+	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_shards.json .bench-fresh/BENCH_shards.json
 
 # The full multi-iteration benchmark sweep (slow; local use).
 bench-full:

@@ -1,0 +1,243 @@
+package skydiver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestInsertBatchMatchesSequential drives the same points through
+// InsertBatch on one dataset and one-at-a-time Inserts on its twin, and
+// requires identical rows, skylines and diversification answers — with the
+// batch paying exactly one epoch bump.
+func TestInsertBatchMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	pts := make([][]float64, 25)
+	for i := range pts {
+		pts[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	batch, err := Generate(Independent, 800, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Generate(Independent, 800, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both skylines and fingerprint caches so the batch migration path
+	// (one composed patch pass) is what actually runs.
+	for _, d := range []*Dataset{batch, seq} {
+		if _, err := d.Diversify(Options{K: 4, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := batch.InsertBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantRows []int
+	for _, p := range pts {
+		row, err := seq.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRows = append(wantRows, row)
+	}
+	if fmt.Sprint(rows) != fmt.Sprint(wantRows) {
+		t.Fatalf("batch rows = %v, want %v", rows, wantRows)
+	}
+	if batch.Epoch() != 1 {
+		t.Errorf("batch epoch = %d, want 1", batch.Epoch())
+	}
+	if seq.Epoch() != uint64(len(pts)) {
+		t.Errorf("sequential epoch = %d, want %d", seq.Epoch(), len(pts))
+	}
+	bs, err := batch.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := seq.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(bs) != fmt.Sprint(ss) {
+		t.Errorf("skylines diverged: batch %d points, sequential %d", len(bs), len(ss))
+	}
+	br, err := batch.Diversify(Options{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := seq.Diversify(Options{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(br.Indexes) != fmt.Sprint(sr.Indexes) {
+		t.Errorf("diversify diverged: %v vs %v", br.Indexes, sr.Indexes)
+	}
+	if !br.FingerprintCached {
+		t.Error("batch insert dropped the fingerprint instead of migrating it")
+	}
+	if got := batch.MutationStats(); got.Inserts != uint64(len(pts)) {
+		t.Errorf("Inserts = %d, want %d", got.Inserts, len(pts))
+	}
+}
+
+// TestDeleteBatchMatchesSequential is the delete-side twin, deleting a mix
+// of skyline and interior rows.
+func TestDeleteBatchMatchesSequential(t *testing.T) {
+	batch, err := Generate(Independent, 800, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Generate(Independent, 800, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Dataset{batch, seq} {
+		if _, err := d.Diversify(Options{K: 4, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sky, err := batch.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two skyline members plus a spread of interior rows.
+	victims := []int{sky[0], sky[len(sky)/2], 5, 50, 500, 731}
+	if err := batch.DeleteBatch(victims); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range victims {
+		if err := seq.Delete(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batch.Epoch() != 1 {
+		t.Errorf("batch epoch = %d, want 1", batch.Epoch())
+	}
+	bs, _ := batch.Skyline()
+	ss, _ := seq.Skyline()
+	if fmt.Sprint(bs) != fmt.Sprint(ss) {
+		t.Errorf("skylines diverged")
+	}
+	br, err := batch.Diversify(Options{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := seq.Diversify(Options{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(br.Indexes) != fmt.Sprint(sr.Indexes) {
+		t.Errorf("diversify diverged: %v vs %v", br.Indexes, sr.Indexes)
+	}
+	if !br.FingerprintCached {
+		t.Error("batch delete dropped the fingerprint instead of migrating it")
+	}
+	if got := batch.MutationStats(); got.Deletes != uint64(len(victims)) {
+		t.Errorf("Deletes = %d, want %d", got.Deletes, len(victims))
+	}
+}
+
+// TestBatchValidation pins the all-or-nothing validation: a bad point or
+// index rejects the whole batch before any mutation or epoch bump.
+func TestBatchValidation(t *testing.T) {
+	ds, err := Generate(Independent, 200, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.InsertBatch([][]float64{{0.1, 0.2, 0.3}, {0.4, 0.5}}); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("dims mismatch err = %v, want ErrInvalidOptions", err)
+	}
+	for _, bad := range [][]int{
+		{5, 5},       // duplicate
+		{-1},         // negative
+		{9999},       // out of range
+		{1, 2, 9999}, // one bad among good
+	} {
+		if err := ds.DeleteBatch(bad); !errors.Is(err, ErrNoSuchPoint) {
+			t.Errorf("DeleteBatch(%v) err = %v, want ErrNoSuchPoint", bad, err)
+		}
+	}
+	if ds.Epoch() != 0 {
+		t.Errorf("rejected batches bumped the epoch to %d", ds.Epoch())
+	}
+	if got := ds.MutationStats(); got.Live != 200 {
+		t.Errorf("live = %d, want 200", got.Live)
+	}
+	// Empty batches are no-ops.
+	if rows, err := ds.InsertBatch(nil); err != nil || len(rows) != 0 {
+		t.Errorf("empty InsertBatch = %v, %v", rows, err)
+	}
+	if err := ds.DeleteBatch(nil); err != nil {
+		t.Errorf("empty DeleteBatch = %v", err)
+	}
+	if ds.Epoch() != 0 {
+		t.Errorf("empty batches bumped the epoch to %d", ds.Epoch())
+	}
+}
+
+// TestBatchMatchesRebuild cross-checks a batched mutation sequence against a
+// dataset rebuilt from scratch out of the surviving rows, under a mixed
+// Min/Max orientation so canonicalization is exercised.
+func TestBatchMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	prefs := []Pref{Min, Max, Min}
+	rows := make([][]float64, 150)
+	for i := range rows {
+		rows[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	d, err := NewDataset("batch", rows, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Diversify(Options{K: 3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	ins := make([][]float64, 30)
+	for i := range ins {
+		ins[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	if _, err := d.InsertBatch(ins); err != nil {
+		t.Fatal(err)
+	}
+	var del []int
+	for i := 0; i < 180; i += 11 {
+		del = append(del, i)
+	}
+	if err := d.DeleteBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	fresh, toOld := liveRows(d)
+	ref, err := NewDataset("ref", fresh, prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSky, err := ref.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantSky {
+		wantSky[i] = toOld[wantSky[i]]
+	}
+	gotSky, err := d.Skyline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(gotSky) != fmt.Sprint(wantSky) {
+		t.Fatalf("skyline = %v, want %v", gotSky, wantSky)
+	}
+	// The migrated fingerprint must answer like a wholesale rebuild.
+	cached, err := d.Diversify(Options{K: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := d.Diversify(Options{K: 3, Seed: 5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(cached.Indexes) != fmt.Sprint(cold.Indexes) {
+		t.Errorf("migrated fingerprint answers %v, rebuild answers %v", cached.Indexes, cold.Indexes)
+	}
+}

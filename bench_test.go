@@ -7,6 +7,7 @@ package skydiver
 // end-to-end API benchmarks follows.
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -181,6 +182,53 @@ func benchConcurrentSameQuery(b *testing.B, noCache bool) {
 			}
 		}
 	})
+}
+
+// BenchmarkShardedServing is the shard-scaling ladder: the same end-to-end
+// uncached MinHash query on IND-100K-4D at fixed shard counts, all at max
+// workers. "s1" is the monolithic path (Shards ≤ 1 bypasses partitioned
+// execution entirely), so s4/s1 is the partitioned layer's end-to-end
+// speedup — the plan's cell-level dominance classification replaces the
+// per-point full-skyline scan of the unsharded pass. "smax" follows the
+// wmax convention: a machine-dependent value (GOMAXPROCS, floored at 2 so
+// the sharded path is always exercised) behind a machine-independent name.
+// The shard plan is dataset state like the R*-tree, so each sub-benchmark
+// warms it before the timer; NoCache still forces the full Phase-1
+// signature fold every iteration.
+func BenchmarkShardedServing(b *testing.B) {
+	smax := maxWorkers()
+	if smax < 2 {
+		smax = 2
+	}
+	ladder := []struct {
+		label  string
+		shards int
+	}{
+		{"s1", 1},
+		{"s2", 2},
+		{"s4", 4},
+		{"smax", smax},
+	}
+	ds := benchDataset(b, Independent, 100000, 4)
+	for _, sc := range ladder {
+		b.Run(sc.label, func(b *testing.B) {
+			opts := Options{K: 10, Seed: 7, Shards: sc.shards, Workers: -1, NoCache: true}
+			if _, err := ds.Diversify(opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.Diversify(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// maxWorkers mirrors the Workers<0 resolution of the pipeline.
+func maxWorkers() int {
+	return runtime.GOMAXPROCS(0)
 }
 
 // BenchmarkSkylineANT measures skyline computation (BBS) setup cost on a

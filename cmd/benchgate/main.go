@@ -20,18 +20,20 @@
 //   - baseline name missing from the fresh run       → fail, unless
 //     -allow-missing; a renamed benchmark must rename its baseline entry in
 //     the same PR, otherwise coverage silently evaporates
-//   - fresh-only names are reported but never fail: new benchmarks join the
-//     gate when their baseline lands
+//   - fresh name missing from the baseline           → fail, unless
+//     -allow-new; a PR adding a benchmark commits its baseline in the same
+//     PR, otherwise the new suite silently escapes regression gating
 //
 // Usage:
 //
-//	benchgate [-tol 3.0] [-alloc-tol 2.0] [-alloc-slack 64] [-allow-missing] baseline.json fresh.json
+//	benchgate [-tol 3.0] [-alloc-tol 2.0] [-alloc-slack 64] [-allow-missing] [-allow-new] baseline.json fresh.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -42,23 +44,37 @@ type record struct {
 }
 
 func main() {
-	tol := flag.Float64("tol", 3.0, "fail when fresh ns/op exceeds baseline by this factor")
-	allocTol := flag.Float64("alloc-tol", 2.0, "fail when fresh allocs/op exceed baseline by this factor (plus slack)")
-	allocSlack := flag.Int64("alloc-slack", 64, "absolute allocs/op headroom added on top of alloc-tol")
-	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the fresh run")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] baseline.json fresh.json")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the gate against the given argument list and streams, so
+// tests can drive it end to end. Exit codes: 0 within tolerance, 1
+// regression or unreadable input, 2 bad command line.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tol", 3.0, "fail when fresh ns/op exceeds baseline by this factor")
+	allocTol := fs.Float64("alloc-tol", 2.0, "fail when fresh allocs/op exceed baseline by this factor (plus slack)")
+	allocSlack := fs.Int64("alloc-slack", 64, "absolute allocs/op headroom added on top of alloc-tol")
+	allowMissing := fs.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the fresh run")
+	allowNew := fs.Bool("allow-new", false, "do not fail when a fresh benchmark is absent from the baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchgate [flags] baseline.json fresh.json")
+		return 2
 	}
 
-	base, err := load(flag.Arg(0))
+	base, err := load(fs.Arg(0))
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 1
 	}
-	fresh, err := load(flag.Arg(1))
+	fresh, err := load(fs.Arg(1))
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 1
 	}
 
 	freshBy := make(map[string]record, len(fresh))
@@ -73,10 +89,10 @@ func main() {
 		f, ok := freshBy[b.Name]
 		if !ok {
 			if *allowMissing {
-				fmt.Printf("SKIP  %-50s missing from fresh run\n", b.Name)
+				fmt.Fprintf(stdout, "SKIP  %-50s missing from fresh run\n", b.Name)
 				continue
 			}
-			fmt.Printf("FAIL  %-50s missing from fresh run (renamed? update the baseline)\n", b.Name)
+			fmt.Fprintf(stdout, "FAIL  %-50s missing from fresh run (renamed? update the baseline)\n", b.Name)
 			failures++
 			continue
 		}
@@ -89,28 +105,35 @@ func main() {
 				failures++
 			}
 		}
-		fmt.Printf("%s  %-50s %14.0f → %14.0f ns/op  (%.2fx, tol %.1fx)\n",
+		fmt.Fprintf(stdout, "%s  %-50s %14.0f → %14.0f ns/op  (%.2fx, tol %.1fx)\n",
 			verdict, b.Name, b.NsPerOp, f.NsPerOp, ratio, *tol)
 		if b.AllocsPerOp >= 0 && f.AllocsPerOp >= 0 {
 			limit := int64(float64(b.AllocsPerOp)*(*allocTol)) + *allocSlack
 			if f.AllocsPerOp > limit {
-				fmt.Printf("FAIL  %-50s %14d → %14d allocs/op (limit %d)\n",
+				fmt.Fprintf(stdout, "FAIL  %-50s %14d → %14d allocs/op (limit %d)\n",
 					b.Name, b.AllocsPerOp, f.AllocsPerOp, limit)
 				failures++
 			}
 		}
 	}
 	for _, f := range fresh {
-		if !baseNames[f.Name] {
-			fmt.Printf("new   %-50s %14.0f ns/op (no baseline yet; not gated)\n", f.Name, f.NsPerOp)
+		if baseNames[f.Name] {
+			continue
 		}
+		if *allowNew {
+			fmt.Fprintf(stdout, "new   %-50s %14.0f ns/op (no baseline yet; not gated)\n", f.Name, f.NsPerOp)
+			continue
+		}
+		fmt.Fprintf(stdout, "FAIL  %-50s %14.0f ns/op has no baseline (commit one, or pass -allow-new)\n", f.Name, f.NsPerOp)
+		failures++
 	}
 
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) against %s\n", failures, flag.Arg(0))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchgate: %d regression(s) against %s\n", failures, fs.Arg(0))
+		return 1
 	}
-	fmt.Printf("benchgate: %d benchmarks within tolerance of %s\n", len(base), flag.Arg(0))
+	fmt.Fprintf(stdout, "benchgate: %d benchmarks within tolerance of %s\n", len(base), fs.Arg(0))
+	return 0
 }
 
 func load(path string) ([]record, error) {
@@ -126,9 +149,4 @@ func load(path string) ([]record, error) {
 		return nil, fmt.Errorf("%s: no benchmark records", path)
 	}
 	return recs, nil
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-	os.Exit(1)
 }

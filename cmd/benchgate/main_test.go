@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a benchjson snapshot into the test's temp dir.
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateVerdicts(t *testing.T) {
+	base := `[{"name":"BenchmarkA","ns_per_op":100,"allocs_per_op":10},
+	          {"name":"BenchmarkB","ns_per_op":200,"allocs_per_op":5}]`
+	for _, tc := range []struct {
+		name       string
+		fresh      string
+		args       []string
+		exit       int
+		wantStdout string
+	}{
+		{
+			name:  "within tolerance",
+			fresh: `[{"name":"BenchmarkA","ns_per_op":150,"allocs_per_op":10},{"name":"BenchmarkB","ns_per_op":190,"allocs_per_op":5}]`,
+			exit:  0,
+		},
+		{
+			name:       "ns regression",
+			fresh:      `[{"name":"BenchmarkA","ns_per_op":500,"allocs_per_op":10},{"name":"BenchmarkB","ns_per_op":190,"allocs_per_op":5}]`,
+			exit:       1,
+			wantStdout: "FAIL  BenchmarkA",
+		},
+		{
+			name:       "alloc regression",
+			fresh:      `[{"name":"BenchmarkA","ns_per_op":100,"allocs_per_op":200},{"name":"BenchmarkB","ns_per_op":200,"allocs_per_op":5}]`,
+			args:       []string{"-alloc-slack", "8"},
+			exit:       1,
+			wantStdout: "allocs/op (limit",
+		},
+		{
+			name:       "baseline missing from fresh",
+			fresh:      `[{"name":"BenchmarkA","ns_per_op":100,"allocs_per_op":10}]`,
+			exit:       1,
+			wantStdout: "missing from fresh run",
+		},
+		{
+			name:  "baseline missing allowed",
+			fresh: `[{"name":"BenchmarkA","ns_per_op":100,"allocs_per_op":10}]`,
+			args:  []string{"-allow-missing"},
+			exit:  0,
+		},
+		{
+			name:       "fresh benchmark without baseline fails",
+			fresh:      `[{"name":"BenchmarkA","ns_per_op":100,"allocs_per_op":10},{"name":"BenchmarkB","ns_per_op":200,"allocs_per_op":5},{"name":"BenchmarkNew","ns_per_op":50,"allocs_per_op":1}]`,
+			exit:       1,
+			wantStdout: "has no baseline",
+		},
+		{
+			name:       "fresh benchmark without baseline allowed",
+			fresh:      `[{"name":"BenchmarkA","ns_per_op":100,"allocs_per_op":10},{"name":"BenchmarkB","ns_per_op":200,"allocs_per_op":5},{"name":"BenchmarkNew","ns_per_op":50,"allocs_per_op":1}]`,
+			args:       []string{"-allow-new"},
+			exit:       0,
+			wantStdout: "no baseline yet; not gated",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			bp := write(t, dir, "base.json", base)
+			fp := write(t, dir, "fresh.json", tc.fresh)
+			var stdout, stderr strings.Builder
+			exit := run(append(tc.args, bp, fp), &stdout, &stderr)
+			if exit != tc.exit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", exit, tc.exit, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+		})
+	}
+}
+
+func TestGateBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.json", `[{"name":"BenchmarkA","ns_per_op":1,"allocs_per_op":0}]`)
+	empty := write(t, dir, "empty.json", `[]`)
+	var out, errOut strings.Builder
+	if exit := run([]string{good}, &out, &errOut); exit != 2 {
+		t.Errorf("one arg: exit %d, want 2", exit)
+	}
+	if exit := run([]string{good, filepath.Join(dir, "absent.json")}, &out, &errOut); exit != 1 {
+		t.Errorf("unreadable fresh: exit %d, want 1", exit)
+	}
+	if exit := run([]string{empty, good}, &out, &errOut); exit != 1 {
+		t.Errorf("empty baseline: exit %d, want 1", exit)
+	}
+}

@@ -66,6 +66,7 @@ func main() {
 		tSig     = flag.Int("t", 100, "MinHash signature size")
 		useIdx   = flag.Bool("index", false, "use index-based fingerprinting (SigGen-IB)")
 		workers  = flag.Int("workers", 1, "parallel fingerprinting workers (index-free mode; <0 = all CPUs)")
+		shards   = flag.Int("shards", 0, "partitioned execution: split the dataset into N grid shards, compute per-shard skyline+signatures and merge (0/1 = monolithic; mh/lsh only)")
 		topk     = flag.Int("topk", 0, "also print the top-k dominating points")
 		prefs    = flag.String("prefs", "", "comma-separated min/max per dimension (default all min)")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -158,6 +159,7 @@ func main() {
 		SignatureSize: *tSig,
 		UseIndex:      *useIdx,
 		Workers:       *workers,
+		Shards:        *shards,
 		Seed:          *seed,
 		NoCache:       *noCache,
 		Budget:        queryBudget,

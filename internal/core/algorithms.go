@@ -112,6 +112,14 @@ type Input struct {
 	// query's budget is spent. Its Matrix.T() must match the config's
 	// SignatureSize for pipelines that band signatures (LSH).
 	Fingerprint *Fingerprint
+	// Plan, when non-nil, routes Phase 1 through the partitioned execution
+	// layer: signatures are generated shard-by-shard from the plan's
+	// pre-classified cells and merged. The plan's merged skyline must equal
+	// Sky and its epoch must equal Epoch (the library layer guarantees
+	// both). Sharded signatures hash global row ids — the index-free
+	// universe — so they are cached under IndexFree regardless of the
+	// configured mode, and are bit-identical to an unsharded IF pass.
+	Plan *ShardPlan
 }
 
 // reader returns the index reader the pipeline should query: the per-query
@@ -148,6 +156,9 @@ func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, bool,
 		return nil, false, err
 	}
 	build := func() (*Fingerprint, error) {
+		if in.Plan != nil {
+			return SigGenShardedCtx(ctx, in.Plan, in.Data, fam, cfg.Workers)
+		}
 		if cfg.Mode == IndexBased {
 			if in.Tree == nil {
 				return nil, fmt.Errorf("core: index-based fingerprinting requires a tree")
@@ -167,6 +178,12 @@ func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, bool,
 		return fp, false, err
 	}
 	key := FingerprintKey{Epoch: in.Epoch, Mode: cfg.Mode, T: cfg.SignatureSize, Seed: cfg.Seed}
+	if in.Plan != nil {
+		// Sharded output is IF content (global row ids): key it as such so
+		// it shares cache lines with — and never masquerades as — an
+		// index-based build.
+		key.Mode = IndexFree
+	}
 	fp, cached, err := in.Cache.Get(ctx, key, build)
 	if err != nil {
 		return nil, false, err

@@ -97,28 +97,94 @@ func ApplyInsert(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *Fingerprint
 	if tr == nil {
 		return nil, 0, fmt.Errorf("core: mutation requires the index")
 	}
-	if len(p) != ds.Dims() {
-		return nil, 0, fmt.Errorf("core: point has %d dims, dataset has %d", len(p), ds.Dims())
-	}
-	row, err := ds.Append(p)
-	if err != nil {
-		return nil, -1, err
-	}
-	if err := tr.Insert(ds.Point(row), uint32(row)); err != nil {
-		// The append is already visible; tombstone it so dataset and tree
-		// agree, and drop every resident fingerprint — the caller treats the
-		// failure as "recompute everything lazily".
-		ds.MarkDeleted(row)
+	newSky, ins, row, err := applyInsertStorage(ds, tr, sky, p, nil)
+	if err != nil || sky == nil {
 		if cache != nil {
 			cache.Purge()
 		}
 		return nil, row, err
 	}
+	migrateFingerprints(cache, oldEpoch, newEpoch, func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error {
+		patchInsert(fam, fp, hv, ins)
+		return nil
+	})
+	return newSky, row, nil
+}
+
+// ApplyInsertBatch appends pts in order with one skyline maintenance pass
+// per point but a single fingerprint-cache migration for the whole batch:
+// the per-point patches are composed in order on one clone of each resident
+// fingerprint, which is exactly equivalent to chaining per-point migrations
+// (min-folds commute and every patch transforms the matrix from the state
+// the previous one left). onApplied, when non-nil, runs immediately after
+// each point becomes visible in ds — the library layer uses it to keep the
+// original-orientation dataset appended in lock-step. sky must be the
+// current skyline (the batch path never runs before a first query or
+// mutation materialized it).
+//
+// On a mid-batch failure the successfully applied prefix stays applied, the
+// failing point is retired (tombstoned and removed from the tree) exactly
+// as in ApplyInsert, every resident fingerprint is dropped, and the applied
+// rows so far are returned alongside the error; the caller invalidates its
+// skyline and recomputes lazily.
+func ApplyInsertBatch(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *FingerprintCache, oldEpoch, newEpoch uint64, pts [][]float64, onApplied func(row int)) ([]int, []int, error) {
+	if tr == nil {
+		return nil, nil, fmt.Errorf("core: mutation requires the index")
+	}
 	if sky == nil {
-		if cache != nil {
-			cache.Purge()
+		return nil, nil, fmt.Errorf("core: batch mutation requires the skyline")
+	}
+	cur := sky
+	rows := make([]int, 0, len(pts))
+	patches := make([]skyInsertion, 0, len(pts))
+	for _, p := range pts {
+		next, ins, row, err := applyInsertStorage(ds, tr, cur, p, onApplied)
+		if err != nil {
+			if cache != nil {
+				cache.Purge()
+			}
+			return nil, rows, err
 		}
-		return nil, row, nil
+		cur = next
+		rows = append(rows, row)
+		patches = append(patches, ins)
+	}
+	migrateFingerprints(cache, oldEpoch, newEpoch, func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error {
+		for _, ins := range patches {
+			patchInsert(fam, fp, hv, ins)
+		}
+		return nil
+	})
+	return cur, rows, nil
+}
+
+// applyInsertStorage performs the storage and skyline half of one insert —
+// append, tree insert, incremental skyline update, Γ fold set — and returns
+// the new skyline plus the fingerprint patch describing what happened. It
+// never touches the cache. With sky == nil only the storage mutation
+// happens (the returned skyline is nil and the patch is meaningless; the
+// caller must purge). On failure the dataset is left consistent: the row,
+// if it became visible, is retired again where the tree allows it.
+func applyInsertStorage(ds *data.Dataset, tr *rtree.Tree, sky []int, p []float64, onApplied func(row int)) ([]int, skyInsertion, int, error) {
+	if len(p) != ds.Dims() {
+		return nil, skyInsertion{}, -1, fmt.Errorf("core: point has %d dims, dataset has %d", len(p), ds.Dims())
+	}
+	row, err := ds.Append(p)
+	if err != nil {
+		return nil, skyInsertion{}, -1, err
+	}
+	if onApplied != nil {
+		onApplied(row)
+	}
+	if err := tr.Insert(ds.Point(row), uint32(row)); err != nil {
+		// The append is already visible; tombstone it so dataset and tree
+		// agree — the caller treats the failure as "recompute everything
+		// lazily".
+		ds.MarkDeleted(row)
+		return nil, skyInsertion{}, row, err
+	}
+	if sky == nil {
+		return nil, skyInsertion{}, row, nil
 	}
 	ins := skyInsertion{row: row}
 	pt := ds.Point(row)
@@ -161,20 +227,13 @@ func ApplyInsert(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *Fingerprint
 			if _, derr := tr.Delete(pt, uint32(row)); derr == nil {
 				ds.MarkDeleted(row)
 			}
-			if cache != nil {
-				cache.Purge()
-			}
-			return nil, row, err
+			return nil, skyInsertion{}, row, err
 		}
 		// Γ(row) from the tree includes row itself only if an equal twin
 		// existed, which the join case excludes; strict dominance already
 		// filtered it.
 	}
-	migrateFingerprints(cache, oldEpoch, newEpoch, func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error {
-		patchInsert(fam, fp, hv, ins)
-		return nil
-	})
-	return newSky, row, nil
+	return newSky, ins, row, nil
 }
 
 // ApplyDelete tombstones the row, removes it from the tree, updates the
@@ -186,31 +245,84 @@ func ApplyDelete(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *Fingerprint
 	if tr == nil {
 		return nil, fmt.Errorf("core: mutation requires the index")
 	}
-	if row < 0 || row >= ds.Len() || ds.Deleted(row) {
-		return nil, fmt.Errorf("core: row %d does not exist", row)
-	}
-	pt := append([]float64(nil), ds.Point(row)...)
-	found, err := tr.Delete(ds.Point(row), uint32(row))
-	if err != nil {
-		// The delete did not apply (the row keeps serving); purge resident
-		// fingerprints anyway in case the failed traversal left partially
-		// rewritten pages, and let the caller invalidate its skyline.
+	newSky, del, err := applyDeleteStorage(ds, tr, sky, row)
+	if err != nil || sky == nil {
 		if cache != nil {
 			cache.Purge()
 		}
 		return nil, err
 	}
+	migrateFingerprints(cache, oldEpoch, newEpoch, func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error {
+		return patchDelete(fam, fp, hv, del)
+	})
+	return newSky, nil
+}
+
+// ApplyDeleteBatch tombstones the given rows in order with one skyline
+// maintenance pass per row but a single fingerprint-cache migration for the
+// whole batch, composing the per-row patches exactly as ApplyInsertBatch
+// does. The rows must be distinct and live; sky must be the current
+// skyline. On a mid-batch failure the applied prefix stays applied, every
+// resident fingerprint is dropped and the caller invalidates its skyline.
+func ApplyDeleteBatch(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *FingerprintCache, oldEpoch, newEpoch uint64, rows []int) ([]int, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("core: mutation requires the index")
+	}
+	if sky == nil {
+		return nil, fmt.Errorf("core: batch mutation requires the skyline")
+	}
+	cur := sky
+	patches := make([]*skyDeletion, 0, len(rows))
+	for _, row := range rows {
+		next, del, err := applyDeleteStorage(ds, tr, cur, row)
+		if err != nil {
+			if cache != nil {
+				cache.Purge()
+			}
+			return nil, err
+		}
+		cur = next
+		patches = append(patches, del)
+	}
+	migrateFingerprints(cache, oldEpoch, newEpoch, func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error {
+		for _, del := range patches {
+			if err := patchDelete(fam, fp, hv, del); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return cur, nil
+}
+
+// applyDeleteStorage performs the storage and skyline half of one delete
+// and returns the new skyline plus the fingerprint patch. It never touches
+// the cache. With sky == nil only the storage mutation happens (the
+// returned skyline and patch are nil; the caller must purge). The lazy Γ
+// refolds recorded in the patch run against the tree as it stands at patch
+// time — later deletes in a batch only shrink Γ toward the state a
+// from-scratch rebuild at the new epoch would see, so composing patches
+// stays exact.
+func applyDeleteStorage(ds *data.Dataset, tr *rtree.Tree, sky []int, row int) ([]int, *skyDeletion, error) {
+	if row < 0 || row >= ds.Len() || ds.Deleted(row) {
+		return nil, nil, fmt.Errorf("core: row %d does not exist", row)
+	}
+	pt := append([]float64(nil), ds.Point(row)...)
+	found, err := tr.Delete(ds.Point(row), uint32(row))
+	if err != nil {
+		// The delete did not apply (the row keeps serving); the caller purges
+		// resident fingerprints anyway in case the failed traversal left
+		// partially rewritten pages, and invalidates its skyline.
+		return nil, nil, err
+	}
 	if !found {
-		return nil, fmt.Errorf("core: row %d missing from the index", row)
+		return nil, nil, fmt.Errorf("core: row %d missing from the index", row)
 	}
 	ds.MarkDeleted(row)
 	if sky == nil {
-		if cache != nil {
-			cache.Purge()
-		}
-		return nil, nil
+		return nil, nil, nil
 	}
-	del := skyDeletion{row: row, tr: tr, ds: ds, oldSky: sky, gammas: map[int][]int{}}
+	del := &skyDeletion{row: row, tr: tr, ds: ds, oldSky: sky, gammas: map[int][]int{}}
 	pos := sort.SearchInts(sky, row)
 	del.wasSky = pos < len(sky) && sky[pos] == row
 	newSky := sky
@@ -234,19 +346,13 @@ func ApplyDelete(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *Fingerprint
 			return true
 		})
 		if err != nil {
-			if cache != nil {
-				cache.Purge()
-			}
-			return nil, err
+			return nil, nil, err
 		}
 		sort.Ints(cands)
 		for _, q := range miniSkylineRows(ds, cands) {
 			gamma, err := gammaRows(tr, ds.Point(q))
 			if err != nil {
-				if cache != nil {
-					cache.Purge()
-				}
-				return nil, err
+				return nil, nil, err
 			}
 			at := sort.SearchInts(rest, q)
 			rest = append(rest, 0)
@@ -262,10 +368,7 @@ func ApplyDelete(ds *data.Dataset, tr *rtree.Tree, sky []int, cache *Fingerprint
 			}
 		}
 	}
-	migrateFingerprints(cache, oldEpoch, newEpoch, func(fam *minhash.Family, fp *Fingerprint, hv []uint32) error {
-		return patchDelete(fam, fp, hv, &del)
-	})
-	return newSky, nil
+	return newSky, del, nil
 }
 
 // miniSkylineRows computes the skyline among the promotion candidates

@@ -1,0 +1,20 @@
+package data
+
+import "fmt"
+
+// Subset returns a new dataset holding copies of the given rows, in order.
+// Local row i of the subset is rows[i] in ds — the caller owns that mapping
+// (the sharded execution layer keeps it to rebase shard-local results back
+// to absolute row ids). Tombstones do not carry over: a subset built from
+// live rows is fully live.
+func (ds *Dataset) Subset(name string, rows []int) (*Dataset, error) {
+	d := ds.dims
+	vals := make([]float64, 0, len(rows)*d)
+	for _, r := range rows {
+		if r < 0 || r >= ds.Len() {
+			return nil, fmt.Errorf("data: subset row %d out of range [0, %d)", r, ds.Len())
+		}
+		vals = append(vals, ds.Point(r)...)
+	}
+	return &Dataset{dims: d, vals: vals, name: name}, nil
+}

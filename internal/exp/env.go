@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"skydiver/internal/data"
 	"skydiver/internal/pager"
 	"skydiver/internal/rtree"
+	"skydiver/internal/shard"
 	"skydiver/internal/skyline"
 )
 
@@ -38,6 +40,11 @@ type Env struct {
 	// (m·(m-1)/2 range-query pairs) exceeds the cap; reported as DNF (the
 	// paper's BF runs for k=5 "have not finished yet").
 	BFPairCap int
+	// Shards ≥ 2 runs the MH/LSH pipeline cells through the partitioned
+	// execution layer: Prepare also builds a grid shard plan and the
+	// signature pass folds per shard. BF/SG cells (no signatures) are
+	// unaffected. 0/1 is the monolithic path.
+	Shards int
 	// Verbose emits progress lines through Logf.
 	Logf func(format string, args ...any)
 
@@ -74,16 +81,18 @@ func (e *Env) scaled(paperN int) int {
 }
 
 // Prepared bundles a generated dataset with its aggregate R*-tree and
-// skyline, ready for pipeline runs.
+// skyline, ready for pipeline runs. Plan is non-nil only when Env.Shards
+// requested partitioned execution.
 type Prepared struct {
 	Data *data.Dataset
 	Tree *rtree.Tree
 	Sky  []int
+	Plan *core.ShardPlan
 }
 
 // Input converts to a core.Input.
 func (p *Prepared) Input() core.Input {
-	return core.Input{Data: p.Data, Sky: p.Sky, Tree: p.Tree}
+	return core.Input{Data: p.Data, Sky: p.Sky, Tree: p.Tree, Plan: p.Plan}
 }
 
 // Dataset identifies one of the paper's workloads.
@@ -139,7 +148,7 @@ func (e *Env) generate(kind datasetKind, paperN, dims int) (*data.Dataset, error
 // Prepare generates (or fetches from cache) a dataset, its R*-tree and its
 // skyline.
 func (e *Env) Prepare(kind datasetKind, paperN, dims int) (*Prepared, error) {
-	key := fmt.Sprintf("%v-%d-%d-%d-%f", kind, paperN, dims, e.Seed, e.Scale)
+	key := fmt.Sprintf("%v-%d-%d-%d-%f-%d", kind, paperN, dims, e.Seed, e.Scale, e.Shards)
 	if e.cache == nil {
 		e.cache = make(map[string]*Prepared)
 	}
@@ -160,6 +169,13 @@ func (e *Env) Prepare(kind datasetKind, paperN, dims int) (*Prepared, error) {
 		return nil, err
 	}
 	p := &Prepared{Data: ds, Tree: tr, Sky: sky}
+	if e.Shards >= 2 {
+		plan, err := core.BuildShardPlan(context.Background(), ds, shard.Grid{}, e.Shards, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.Plan = plan
+	}
 	e.cache[key] = p
 	e.logf("prepared %s: n=%d d=%d m=%d pages=%d (%v)",
 		ds.Name(), ds.Len(), ds.Dims(), len(sky), tr.NumPages(), time.Since(start).Round(time.Millisecond))

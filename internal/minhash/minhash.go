@@ -107,6 +107,35 @@ func (f *Family) HashAllGroupMin(dst []uint32, x uint64, gm []uint32) uint32 {
 	return minv
 }
 
+// HashAllGroupMinAccum is HashAllGroupMin that additionally folds each hash
+// value into a running per-slot minimum vector acc. Fusing the fold into
+// the hashing loop spares a second pass over dst per row; the sharded
+// generator leans on it to accumulate range minima while hashing.
+func (f *Family) HashAllGroupMinAccum(dst []uint32, x uint64, gm []uint32, acc []uint32) uint32 {
+	t := len(f.a)
+	g := len(gm)
+	minv := uint32(math.MaxUint32)
+	for k := 0; k < g; k++ {
+		lo, hi := k*t/g, (k+1)*t/g
+		gv := uint32(math.MaxUint32)
+		for i := lo; i < hi; i++ {
+			v := hashOne(f.a[i], f.b[i], x)
+			dst[i] = v
+			if v < gv {
+				gv = v
+			}
+			if v < acc[i] {
+				acc[i] = v
+			}
+		}
+		gm[k] = gv
+		if gv < minv {
+			minv = gv
+		}
+	}
+	return minv
+}
+
 // HashRange evaluates hash functions [lo, hi) on row id x, writing the
 // values into dst[:hi−lo], and returns their minimum (MaxUint32 when the
 // range is empty). The parallel signature generators stripe the hash family

@@ -6,6 +6,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -92,6 +93,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /datasets", s.handleOpenDataset)
 	s.mux.HandleFunc("DELETE /datasets/{name}", s.handleEvictDataset)
 	s.mux.HandleFunc("POST /datasets/{name}/points", s.handleInsertPoint)
+	s.mux.HandleFunc("POST /datasets/{name}/points:batch", s.handleBatchPoints)
 	s.mux.HandleFunc("DELETE /datasets/{name}/points/{row}", s.handleDeletePoint)
 	if cfg.Chaos {
 		s.mux.HandleFunc("POST /datasets/{name}/faults", s.handleFaults)
@@ -139,23 +141,23 @@ func (s *Server) Draining() bool { return s.gate.isDraining() }
 // response class (full / partial / degraded); Reason carries the
 // machine-readable cause for the two non-full classes.
 type QueryResponse struct {
-	Dataset           string      `json:"dataset"`
-	Algorithm         string      `json:"algorithm"`
-	K                 int         `json:"k"`
-	Status            string      `json:"status"`
-	Partial           bool        `json:"partial"`
-	Degraded          bool        `json:"degraded"`
-	Reason            string      `json:"reason,omitempty"`
-	Indexes           []int       `json:"indexes"`
-	Points            [][]float64 `json:"points,omitempty"`
+	Dataset   string      `json:"dataset"`
+	Algorithm string      `json:"algorithm"`
+	K         int         `json:"k"`
+	Status    string      `json:"status"`
+	Partial   bool        `json:"partial"`
+	Degraded  bool        `json:"degraded"`
+	Reason    string      `json:"reason,omitempty"`
+	Indexes   []int       `json:"indexes"`
+	Points    [][]float64 `json:"points,omitempty"`
 	// Objective is omitted when it is not finite (a one-element selection has
 	// an infinite min pairwise distance, and encoding/json refuses ±Inf —
 	// previously that turned the whole k=1 response into an empty 200).
-	Objective *float64 `json:"objective,omitempty"`
-	CPUSeconds        float64     `json:"cpu_seconds"`
-	IOSeconds         float64     `json:"io_seconds"`
-	PageFaults        int64       `json:"page_faults"`
-	FingerprintCached bool        `json:"fingerprint_cached"`
+	Objective         *float64 `json:"objective,omitempty"`
+	CPUSeconds        float64  `json:"cpu_seconds"`
+	IOSeconds         float64  `json:"io_seconds"`
+	PageFaults        int64    `json:"page_faults"`
+	FingerprintCached bool     `json:"fingerprint_cached"`
 }
 
 // handleQuery serves GET /query. Parameters: dataset, k, algo (mh/lsh/sg/bf),
@@ -344,6 +346,13 @@ func parseQueryOptions(q map[string][]string, defaultBudget skydiver.Budget) (sk
 			return opts, bad("workers", raw, "an integer")
 		}
 		opts.Workers = ws
+	}
+	if raw := get("shards"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return opts, bad("shards", raw, "a non-negative integer")
+		}
+		opts.Shards = n
 	}
 	opts.UseIndex = get("index") == "1"
 	opts.NoCache = get("nocache") == "1"
@@ -595,6 +604,64 @@ func (s *Server) handleInsertPoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": name, "row": row, "epoch": ms.Epoch, "live": ms.Live,
 	})
+}
+
+// batchRequest is the JSON body of POST /datasets/{name}/points:batch.
+// Exactly one of the two fields must be present: Insert holds points in the
+// dataset's original orientation, Delete holds row ids to tombstone.
+type batchRequest struct {
+	Insert [][]float64 `json:"insert,omitempty"`
+	Delete []int       `json:"delete,omitempty"`
+}
+
+// handleBatchPoints serves POST /datasets/{name}/points:batch: apply a whole
+// batch of inserts (returning the new row ids) or deletes under one
+// write-lock acquisition, one epoch bump and one fingerprint migration —
+// the amortized form of the single-point endpoints. Validation is
+// all-or-nothing: a malformed point or row id rejects the batch with 400/404
+// and no mutation.
+func (s *Server) handleBatchPoints(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.enter() {
+		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
+		return
+	}
+	defer s.gate.exit()
+	name := r.PathValue("name")
+	h, err := s.reg.Acquire(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer h.Release()
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("%w: body: %v", skydiver.ErrInvalidOptions, err))
+		return
+	}
+	if (len(req.Insert) == 0) == (len(req.Delete) == 0) {
+		s.writeError(w, fmt.Errorf("%w: body must carry exactly one of insert or delete", skydiver.ErrInvalidOptions))
+		return
+	}
+	ds := h.Dataset()
+	resp := map[string]any{"dataset": name}
+	if len(req.Insert) > 0 {
+		rows, err := ds.InsertBatch(req.Insert)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp["rows"] = rows
+	} else {
+		if err := ds.DeleteBatch(req.Delete); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp["deleted"] = len(req.Delete)
+	}
+	ms := ds.MutationStats()
+	resp["epoch"] = ms.Epoch
+	resp["live"] = ms.Live
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleDeletePoint serves DELETE /datasets/{name}/points/{row}: tombstone

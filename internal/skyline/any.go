@@ -1,0 +1,32 @@
+package skyline
+
+import (
+	"context"
+	"errors"
+
+	"skydiver/internal/data"
+	"skydiver/internal/rtree"
+)
+
+// ComputeAnyCtx computes the skyline of ds with any algorithm through one
+// entry point: the index-free algorithms (Naive, BNL, SFS, DC) scan the
+// dataset directly, BBS traverses the supplied reader — typically a
+// per-query or per-shard rtree.Session, so cancellation and fault injection
+// flow through the session's I/O path. The sharded execution layer uses it
+// to run the same algorithm on every shard regardless of kind.
+//
+// The index-free algorithms are not internally cancellable; the context is
+// checked once before they run (they are in-memory and fast on shard-sized
+// inputs). BBS polls the context at page granularity as usual.
+func ComputeAnyCtx(ctx context.Context, ds *data.Dataset, algo Algorithm, tr rtree.Reader) ([]int, error) {
+	if algo == BBS {
+		if tr == nil {
+			return nil, errors.New("skyline: BBS requires an index reader")
+		}
+		return ComputeBBSCtx(ctx, tr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Compute(ds, algo), nil
+}

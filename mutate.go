@@ -145,6 +145,118 @@ func (d *Dataset) Delete(index int) error {
 	return nil
 }
 
+// InsertBatch adds points (in the dataset's original orientation) in order
+// and returns their row indexes. It is Insert amortized: the whole batch
+// runs under one acquisition of the write lock, bumps the epoch once, and
+// migrates every resident fingerprint once — the per-point patches are
+// composed into a single cache pass — so N batched inserts cost one lock
+// handoff and one cache migration instead of N of each, while the resulting
+// dataset, skyline and fingerprints are identical to N sequential Inserts.
+//
+// All points are validated before anything is applied: a dimension mismatch
+// returns ErrInvalidOptions with no mutation and no epoch bump. An empty
+// batch is a no-op. On a storage failure mid-batch the successfully applied
+// prefix stays applied (the dataset remains consistent, row indexes stable)
+// and caches are dropped so the next query recomputes; the error reports
+// the failing point.
+func (d *Dataset) InsertBatch(points [][]float64) ([]int, error) {
+	dims := d.original.Dims()
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("%w: point %d has %d dimensions, dataset has %d",
+				ErrInvalidOptions, i, len(p), dims)
+		}
+	}
+	if len(points) == 0 {
+		return []int{}, nil
+	}
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	if err := d.checkClosed(); err != nil {
+		return nil, err
+	}
+	tr, sky, err := d.mutationState()
+	if err != nil {
+		return nil, err
+	}
+	canonPts := make([][]float64, len(points))
+	for i, p := range points {
+		canonPts[i] = d.prefs.Canonicalize(append([]float64(nil), p...))
+	}
+	// Keep the original orientation appended in lock-step with canon, so
+	// the two datasets agree on row indexes whatever prefix of the batch
+	// ends up applied. The append cannot fail past the dims check above.
+	next := 0
+	base := d.canon.Len()
+	onApplied := func(int) {
+		d.original.Append(append([]float64(nil), points[next]...))
+		next++
+	}
+	newSky, rows, err := core.ApplyInsertBatch(d.canon, tr, sky, d.fpCache, d.epoch, d.epoch+1, canonPts, onApplied)
+	d.epoch++
+	if err != nil {
+		// Mirror any tombstone the maintenance pass left on a retired row.
+		for r := base; r < d.canon.Len(); r++ {
+			if d.canon.Deleted(r) {
+				d.original.MarkDeleted(r)
+			}
+		}
+		d.setSky(nil)
+		return nil, err
+	}
+	d.inserts += uint64(len(rows))
+	d.setSky(newSky)
+	return rows, nil
+}
+
+// DeleteBatch tombstones the rows with the given indexes. It is Delete
+// amortized exactly as InsertBatch amortizes Insert: one write-lock
+// acquisition, one epoch bump, one composed fingerprint migration for the
+// whole batch, with results identical to sequential Deletes. The indexes
+// are validated before anything is applied: a missing, already-deleted or
+// duplicated index returns ErrNoSuchPoint with no mutation and no epoch
+// bump. An empty batch is a no-op. On a storage failure mid-batch the
+// applied prefix stays tombstoned and caches are dropped.
+func (d *Dataset) DeleteBatch(indexes []int) error {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	if err := d.checkClosed(); err != nil {
+		return err
+	}
+	seen := make(map[int]bool, len(indexes))
+	for _, idx := range indexes {
+		if idx < 0 || idx >= d.canon.Len() || d.canon.Deleted(idx) || seen[idx] {
+			return fmt.Errorf("%w: row %d", ErrNoSuchPoint, idx)
+		}
+		seen[idx] = true
+	}
+	if len(indexes) == 0 {
+		return nil
+	}
+	tr, sky, err := d.mutationState()
+	if err != nil {
+		return err
+	}
+	newSky, err := core.ApplyDeleteBatch(d.canon, tr, sky, d.fpCache, d.epoch, d.epoch+1, indexes)
+	d.epoch++
+	if err != nil {
+		// Mirror whatever prefix the maintenance pass tombstoned in canon.
+		for _, idx := range indexes {
+			if d.canon.Deleted(idx) {
+				d.original.MarkDeleted(idx)
+			}
+		}
+		d.setSky(nil)
+		return err
+	}
+	d.deletes += uint64(len(indexes))
+	for _, idx := range indexes {
+		d.original.MarkDeleted(idx)
+	}
+	d.setSky(newSky)
+	return nil
+}
+
 // mutationState readies the structures a mutation patches: the index and
 // the current skyline (built now if no query has needed them yet). Callers
 // hold qmu's write side.
@@ -161,9 +273,11 @@ func (d *Dataset) mutationState() (*rtree.Tree, []int, error) {
 }
 
 // setSky replaces the cached skyline under the dataset mutex (nil forces
-// the next query to recompute).
+// the next query to recompute). Every mutation lands here, so cached shard
+// plans — whose epoch just went stale — are dropped alongside.
 func (d *Dataset) setSky(sky []int) {
 	d.mu.Lock()
 	d.sky = sky
+	d.plans = nil
 	d.mu.Unlock()
 }

@@ -38,6 +38,7 @@ import (
 	"skydiver/internal/geom"
 	"skydiver/internal/pager"
 	"skydiver/internal/rtree"
+	"skydiver/internal/shard"
 	"skydiver/internal/skyline"
 )
 
@@ -151,6 +152,24 @@ type Options struct {
 	// partial prefix. Degraded answers set Result.Degraded and a
 	// machine-readable Result.DegradedReason.
 	AllowDegraded bool
+	// Shards, when at least 2, routes the query through the partitioned
+	// execution layer: the dataset is carved into that many shards by an
+	// equi-depth grid over its widest axes, each shard computes its local
+	// skyline and signature contribution in its own isolated I/O session,
+	// and a merge operator recombines them. Results are bit-identical to
+	// the unsharded path — same skyline, same signatures, same selection —
+	// for any shard count; only the cost profile changes. The partitioned
+	// state (shard indexes, local skylines, cell classifications) is built
+	// once per (shard count, mutation epoch) and cached on the Dataset, so
+	// repeated sharded queries pay only the signature fold and selection.
+	//
+	// 0 or 1 serve unsharded (the single-shard path); negative values are
+	// rejected with ErrInvalidOptions. Sharded signatures live in the
+	// index-free universe (global row ids), so UseIndex does not change
+	// their content; Greedy and Exact keep no signatures and ignore the
+	// setting, as do budgeted and degraded queries (the resilience ladder
+	// stays on the unsharded path).
+	Shards int
 }
 
 // Result reports the chosen diverse skyline points.
@@ -241,6 +260,12 @@ type Dataset struct {
 	// where possible and drop the rest.
 	fpCache *core.FingerprintCache
 
+	// plans caches partitioned-execution state per requested shard count
+	// (Options.Shards), built lazily on the first sharded query. Every
+	// entry is epoch-stamped; mutations drop the map and a lookup whose
+	// epoch is stale rebuilds. Guarded by mu.
+	plans map[int]*core.ShardPlan
+
 	// limiter, when non-nil, gates DiversifyContext behind admission
 	// control (SetAdmissionPolicy). Guarded by mu; internally locked.
 	limiter *admission.Limiter
@@ -266,6 +291,7 @@ func (d *Dataset) Close() error {
 	d.closed = true
 	d.limiter = nil
 	d.fpCache.Purge()
+	d.plans = nil
 	return nil
 }
 
@@ -428,6 +454,57 @@ func (d *Dataset) skylineWith(ctx context.Context, sess *rtree.Session) ([]int, 
 	}
 	d.sky = sky
 	return sky, nil
+}
+
+// ensureShardPlan returns the partitioned-execution plan for n shards at
+// the dataset's current epoch, building and caching it on first use. sky is
+// the unsharded skyline of the same epoch; the freshly merged sharded
+// skyline is cross-checked against it so a partitioning defect can never
+// silently change results. Callers hold qmu's read side (so the epoch is
+// stable for the whole query); the build itself serializes on mu like the
+// other lazy constructions.
+func (d *Dataset) ensureShardPlan(ctx context.Context, n int, sky []int) (*core.ShardPlan, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrDatasetClosed
+	}
+	if p := d.plans[n]; p != nil && p.Epoch == d.epoch {
+		return p, nil
+	}
+	// Shard trees must fault like the main index: hand every freshly built
+	// shard store the injector currently installed (InjectFaults keeps them
+	// in sync afterwards).
+	var configure func(*rtree.Tree)
+	if d.tree != nil {
+		if fi := d.tree.Store().FaultInjector(); fi != nil {
+			configure = func(tr *rtree.Tree) { tr.Store().SetFaultInjector(fi) }
+		}
+	}
+	plan, err := core.BuildShardPlan(ctx, d.canon, shard.Grid{}, n, d.epoch, configure)
+	if err != nil {
+		return nil, err
+	}
+	if !equalInts(plan.Sky, sky) {
+		return nil, fmt.Errorf("skydiver: internal: merged sharded skyline diverged from the unsharded skyline (%d vs %d points)", len(plan.Sky), len(sky))
+	}
+	if d.plans == nil {
+		d.plans = make(map[int]*core.ShardPlan)
+	}
+	d.plans[n] = plan
+	return plan, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Skyline returns the dataset indexes of the skyline points (computed once
@@ -617,6 +694,9 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 	if err := d.checkClosed(); err != nil {
 		return nil, err
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("%w: Options.Shards must be non-negative, got %d", ErrInvalidOptions, opts.Shards)
+	}
 	if lim := d.admissionLimiter(); lim != nil {
 		if err := lim.Acquire(ctx); err != nil {
 			return nil, err
@@ -642,6 +722,13 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 		return nil, fmt.Errorf("%w: K = %d exceeds skyline size %d", ErrInvalidOptions, opts.K, len(sky))
 	}
 	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache, Epoch: d.epoch}
+	if opts.Shards >= 2 && (opts.Algorithm == MinHash || opts.Algorithm == LSH) {
+		plan, err := d.ensureShardPlan(ctx, opts.Shards, sky)
+		if err != nil {
+			return nil, wrapCtxErr(err)
+		}
+		in.Plan = plan
+	}
 	res, err := runPipeline(ctx, opts.Algorithm, in, coreConfig(opts))
 	if err != nil {
 		if res != nil && res.Partial {
@@ -771,10 +858,12 @@ func ParseFaultPolicy(s string) (FaultPolicy, error) {
 }
 
 // InjectFaults installs the fault policy on the dataset's index storage
-// (building the index first if necessary). A zero-rate policy removes the
-// injector. Transient faults are retried transparently with exponential
-// backoff; permanent faults surface as errors wrapping ErrPermanentFault
-// from whichever operation touched the dead page — never as panics.
+// (building the index first if necessary), and on every shard index of the
+// cached partitioned-execution plans, so sharded queries fault like
+// unsharded ones. A zero-rate policy removes the injector everywhere.
+// Transient faults are retried transparently with exponential backoff;
+// permanent faults surface as errors wrapping ErrPermanentFault from
+// whichever operation touched the dead page — never as panics.
 func (d *Dataset) InjectFaults(p FaultPolicy) error {
 	d.qmu.Lock()
 	defer d.qmu.Unlock()
@@ -782,18 +871,36 @@ func (d *Dataset) InjectFaults(p FaultPolicy) error {
 	if err != nil {
 		return err
 	}
-	if p.Rate == 0 {
-		tr.Store().SetFaultInjector(nil)
-		return nil
-	}
-	fi, err := pager.NewFaultInjector(pager.FaultPolicy{
-		Rate: p.Rate, PermanentRate: p.PermanentRate, Latency: p.Latency, Seed: p.Seed,
-	})
-	if err != nil {
-		return err
+	var fi *pager.FaultInjector
+	if p.Rate != 0 {
+		fi, err = pager.NewFaultInjector(pager.FaultPolicy{
+			Rate: p.Rate, PermanentRate: p.PermanentRate, Latency: p.Latency, Seed: p.Seed,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	tr.Store().SetFaultInjector(fi)
+	d.mu.Lock()
+	for _, st := range d.shardTreesLocked() {
+		st.Store().SetFaultInjector(fi)
+	}
+	d.mu.Unlock()
 	return nil
+}
+
+// shardTreesLocked collects the R*-trees of every cached shard plan.
+// Callers hold mu.
+func (d *Dataset) shardTreesLocked() []*rtree.Tree {
+	var trees []*rtree.Tree
+	for _, plan := range d.plans {
+		for i := range plan.Shards {
+			if st := plan.Shards[i].Tree; st != nil {
+				trees = append(trees, st)
+			}
+		}
+	}
+	return trees
 }
 
 // FaultStats reports what fault injection did so far: the number of faults
@@ -804,14 +911,21 @@ func (d *Dataset) InjectFaults(p FaultPolicy) error {
 func (d *Dataset) FaultStats() (injected, retries int64) {
 	d.mu.Lock()
 	tr := d.tree
+	shardTrees := d.shardTreesLocked()
 	d.mu.Unlock()
 	if tr == nil {
 		return 0, 0
 	}
 	if fi := tr.Store().FaultInjector(); fi != nil {
+		// One injector instance is shared by the main store and every shard
+		// store (see InjectFaults), so its count covers sharded reads too.
 		injected = fi.Stats().Injected()
 	}
-	return injected, tr.AggregateStats().Retries
+	retries = tr.AggregateStats().Retries
+	for _, st := range shardTrees {
+		retries += st.AggregateStats().Retries
+	}
+	return injected, retries
 }
 
 // DominationScore returns |Γ(p)| for the dataset point with the given index:
