@@ -10,7 +10,7 @@ BENCH_OUT ?= .
 # paths and accidental O(n²), not scheduler noise.
 BENCH_TOL ?= 3.0
 
-.PHONY: build vet test race concurrency resilience serve serve-smoke stress fuzz verify bench benchgate bench-full
+.PHONY: build vet test race concurrency resilience serve serve-smoke cluster cluster-smoke stress fuzz verify bench benchgate bench-full
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,20 @@ serve:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# The multi-node suite on its own: race-enabled remote-executor ladder tests
+# (retry/hedge/failover/breaker against in-process worker fleets), the shard
+# worker's protocol and fault-injection surface, the sharder contract, and
+# the root-level remote-vs-local bit-identity pins.
+cluster:
+	$(GO) test -race -shuffle=on -run 'Remote|Worker|Angular|GridEdge|Matrix|DatasetSpec|WireFault' . ./internal/cluster ./internal/httpx ./internal/shard
+
+# End-to-end smoke of multi-node shard execution: boot a two-worker skyshardd
+# fleet plus skyserved -shard-workers, replay mixed waves including ?remote=1,
+# SIGKILL one worker mid-wave (failover must keep answers bit-identical),
+# restart it, and assert clean drains everywhere.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # Overload/fault/budget stress harness against an in-process dataset.
 stress:
 	$(GO) run ./cmd/skystress
@@ -77,6 +91,10 @@ fuzz:
 #   BENCH_shards.json  — the shard-scaling ladder (s1/s2/s4/smax): the same
 #                        uncached IND-100K-4D query monolithic vs partitioned
 #                        (the acceptance criterion is s4 ≥ 2× faster than s1).
+#   BENCH_remote.json  — the same uncached 2-shard query in process vs over
+#                        a two-worker HTTP fleet: the wire/framing/verify
+#                        overhead of multi-node execution, gated so it cannot
+#                        silently grow.
 #
 # Heavy benchmarks stay single-shot (-benchtime=1x/3x) to keep CI cheap; for
 # publication-grade numbers rerun locally with bench-full.
@@ -96,6 +114,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_dynamic.json
 	$(GO) test -run '^$$' -bench 'ShardedServing' -benchmem -benchtime=3x -count=1 . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_shards.json
+	$(GO) test -run '^$$' -bench 'RemoteServing' -benchmem -benchtime=3x -count=1 . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_remote.json
 
 # Regression gate: rerun the benchmark suites into a scratch directory and
 # compare each snapshot against its checked-in baseline with a generous
@@ -109,11 +129,13 @@ benchgate:
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_serving.json .bench-fresh/BENCH_serving.json
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_dynamic.json .bench-fresh/BENCH_dynamic.json
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_shards.json .bench-fresh/BENCH_shards.json
+	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_remote.json .bench-fresh/BENCH_remote.json
 
 # The full multi-iteration benchmark sweep (slow; local use).
 bench-full:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Tier-1 verification: static checks, build, the full suite under the race
-# detector, and the concurrent-serving, resilience, and serving-tier suites.
-verify: vet build race concurrency resilience serve
+# detector, and the concurrent-serving, resilience, serving-tier and
+# multi-node suites.
+verify: vet build race concurrency resilience serve cluster

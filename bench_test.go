@@ -7,10 +7,12 @@ package skydiver
 // end-to-end API benchmarks follows.
 
 import (
+	"net/http/httptest"
 	"runtime"
 	"sync/atomic"
 	"testing"
 
+	"skydiver/internal/cluster"
 	"skydiver/internal/exp"
 )
 
@@ -229,6 +231,55 @@ func BenchmarkShardedServing(b *testing.B) {
 // maxWorkers mirrors the Workers<0 resolution of the pipeline.
 func maxWorkers() int {
 	return runtime.GOMAXPROCS(0)
+}
+
+// BenchmarkRemoteServing prices the network hop of multi-node shard
+// execution: the same end-to-end uncached 2-shard MinHash query on
+// IND-100K-4D served by the in-process partitioned path ("local") and by a
+// two-worker in-process HTTP fleet ("remote"). The fleet pays JSON framing,
+// checksummed matrix transfer and the coordinator's skyline cross-check;
+// the gap between the two numbers is that overhead, and the regression
+// gate keeps it from silently growing.
+func BenchmarkRemoteServing(b *testing.B) {
+	ds := benchDataset(b, Independent, 100000, 4)
+	workers := make([]string, 2)
+	for i := range workers {
+		w, err := cluster.NewWorker(cluster.WorkerConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		b.Cleanup(srv.Close)
+		workers[i] = srv.URL
+	}
+	runs := []struct {
+		label string
+		opts  Options
+	}{
+		{"local", Options{K: 10, Seed: 7, Shards: 2, Workers: -1, NoCache: true}},
+		{"remote", Options{K: 10, Seed: 7, Shards: 2, Workers: -1, NoCache: true,
+			Remote: &RemoteOptions{Workers: workers}}},
+	}
+	for _, r := range runs {
+		b.Run(r.label, func(b *testing.B) {
+			// Warm the shard plan (and, remotely, the workers' regenerated
+			// dataset replicas) outside the timer; NoCache still forces the
+			// full Phase-1 fold every iteration.
+			if _, err := ds.Diversify(r.opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ds.Diversify(r.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.opts.Remote != nil && res.Remote.Remote != 2 {
+					b.Fatalf("fleet served %d of 2 shards", res.Remote.Remote)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSkylineANT measures skyline computation (BBS) setup cost on a

@@ -43,11 +43,20 @@ import (
 
 // queryResponse mirrors internal/server.QueryResponse.
 type queryResponse struct {
-	Status   string `json:"status"`
-	Partial  bool   `json:"partial"`
-	Degraded bool   `json:"degraded"`
-	Reason   string `json:"reason"`
-	Indexes  []int  `json:"indexes"`
+	Status   string       `json:"status"`
+	Partial  bool         `json:"partial"`
+	Degraded bool         `json:"degraded"`
+	Reason   string       `json:"reason"`
+	Indexes  []int        `json:"indexes"`
+	Remote   *remoteStats `json:"remote"`
+}
+
+// remoteStats mirrors the shard-serving fields of skydiver.RemoteShardStats.
+type remoteStats struct {
+	Shards  int   `json:"shards"`
+	Remote  int   `json:"remote"`
+	Local   int   `json:"local"`
+	Missing []int `json:"missing"`
 }
 
 // errorBody mirrors internal/server.errorBody.
@@ -57,13 +66,14 @@ type errorBody struct {
 }
 
 type harness struct {
-	base       string
-	dataset    string
-	client     *http.Client
-	k          int
-	baseline   []int
-	tally      sync.Map // class string -> *atomic.Int64
-	violations atomic.Int64
+	base           string
+	dataset        string
+	client         *http.Client
+	k              int
+	baseline       []int
+	remoteBaseline []int    // set only with -remote; the index-free sharded answer
+	tally          sync.Map // class string -> *atomic.Int64
+	violations     atomic.Int64
 }
 
 func (h *harness) count(class string) {
@@ -87,6 +97,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "query seed")
 		faults    = flag.String("faults", "", "fault schedule: <policy>@<dur>[;<policy>@<dur>...], cycled; 'off' clears")
 		boom      = flag.Int("boom", 0, "hit the chaos /boom endpoint this many times (server must survive)")
+		remote    = flag.Bool("remote", false, "add a remote-shard wave (?remote=1); the server must run -shard-workers")
 		wait      = flag.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
 		reconcile = flag.Bool("reconcile", true, "assert /stats response counters match client observations (needs a fresh server)")
 	)
@@ -123,6 +134,26 @@ func main() {
 	h.count("full")
 	fmt.Printf("skyblast: baseline k=%d -> %v\n", *k, h.baseline)
 
+	// The remote wave needs its own baseline: sharded signatures live in the
+	// index-free universe, so the fleet's answer can legitimately differ from
+	// the index=1 baseline above.
+	if *remote {
+		status, body, _, err := h.get("/query?" + core + "&remote=1&nocache=1")
+		if err != nil || status != http.StatusOK {
+			fatal("remote baseline query: status=%d err=%v body=%s", status, err, body)
+		}
+		var remRes queryResponse
+		if err := json.Unmarshal(body, &remRes); err != nil || remRes.Status != "full" {
+			fatal("remote baseline not a full result: %v %s", err, body)
+		}
+		if remRes.Remote == nil || remRes.Remote.Remote != remRes.Remote.Shards {
+			fatal("remote baseline not served by the fleet: %s", body)
+		}
+		h.remoteBaseline = remRes.Indexes
+		h.count("full")
+		fmt.Printf("skyblast: remote baseline k=%d -> %v (%d shards)\n", *k, h.remoteBaseline, remRes.Remote.Shards)
+	}
+
 	// Panic chaos: each /boom must come back as a clean 500 and the server
 	// must still answer /healthz afterwards.
 	for i := 0; i < *boom; i++ {
@@ -155,6 +186,10 @@ func main() {
 		}()
 	}
 
+	classCount := 4
+	if *remote {
+		classCount = 5
+	}
 	var wg sync.WaitGroup
 	var queries atomic.Int64
 	for c := 0; c < *clients; c++ {
@@ -162,7 +197,7 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; time.Now().Before(deadline); i++ {
-				h.fire(core, (c+i)%4)
+				h.fire(core, (c+i)%classCount)
 				queries.Add(1)
 			}
 		}(c)
@@ -201,6 +236,7 @@ func main() {
 // against the taxonomy.
 func (h *harness) fire(core string, class int) {
 	u := "/query?" + core
+	want := h.baseline
 	switch class {
 	case 0: // plain, cache-eligible: must equal the baseline when full
 	case 1: // cold: redoes Phase 1 against the (possibly faulting) store
@@ -209,6 +245,9 @@ func (h *harness) fire(core string, class int) {
 		u += "&nocache=1&budget=pages=64&degraded=1"
 	case 3: // microscopic deadline: exercises anytime partials
 		u += "&nocache=1&timeout=5ms"
+	case 4: // remote shards: the fleet (or its local-fallback rung) must stay exact
+		u += "&remote=1&nocache=1"
+		want = h.remoteBaseline
 	}
 	status, body, hdr, err := h.get(u)
 	if err != nil {
@@ -228,15 +267,18 @@ func (h *harness) fire(core string, class int) {
 			if qr.Partial || qr.Degraded {
 				h.violate("full response carries partial/degraded flags: %s", body)
 			}
-			if class <= 1 && !equal(qr.Indexes, h.baseline) {
-				h.violate("un-budgeted full response diverged from baseline: %v vs %v", qr.Indexes, h.baseline)
+			if (class <= 1 || class == 4) && !equal(qr.Indexes, want) {
+				h.violate("un-budgeted full response diverged from baseline: %v vs %v", qr.Indexes, want)
+			}
+			if class == 4 && qr.Remote == nil {
+				h.violate("remote full response without remote stats: %s", body)
 			}
 		case "partial":
 			if qr.Reason == "" {
 				h.violate("partial response without a reason: %s", body)
 			}
-			if !qr.Degraded && !isPrefix(qr.Indexes, h.baseline) {
-				h.violate("partial result is not a baseline prefix: %v vs %v", qr.Indexes, h.baseline)
+			if !qr.Degraded && !isPrefix(qr.Indexes, want) {
+				h.violate("partial result is not a baseline prefix: %v vs %v", qr.Indexes, want)
 			}
 		case "degraded":
 			if qr.Reason == "" {

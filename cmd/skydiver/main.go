@@ -83,6 +83,9 @@ func main() {
 		budgetSpec  = flag.String("budget", "", "per-query resource budget, e.g. pages=512,wall=50ms,est=1000000; exhaustion yields a partial result (exit code 3) or, with -shed, a degraded one")
 		shed        = flag.Bool("shed", false, "degrade instead of failing when storage is sick or the -budget is spent: serve from a resident fingerprint, fall back to the index-free scan, or return the budget-bounded prefix (exit code 5)")
 		breaker     = flag.Bool("breaker", false, "install the storage circuit breaker: a page store faulting above the trip ratio fails queries fast instead of burning retry backoff")
+
+		remote        = flag.String("remote", "", "comma-separated skyshardd worker base URLs: run Phase 1 on the fleet instead of in process (requires -gen; mh/lsh only)")
+		remoteSharder = flag.String("remote-sharder", "", "partitioning scheme for -remote: grid (default) or angle")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nflags:\n", os.Args[0])
@@ -153,7 +156,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := serve(ctx, ds, skydiver.Options{
+	opts := skydiver.Options{
 		K:             *k,
 		Algorithm:     algorithm,
 		SignatureSize: *tSig,
@@ -164,7 +167,17 @@ func main() {
 		NoCache:       *noCache,
 		Budget:        queryBudget,
 		AllowDegraded: *shed,
-	}, *parallel)
+	}
+	if *remote != "" {
+		var fleet []string
+		for _, w := range strings.Split(*remote, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				fleet = append(fleet, w)
+			}
+		}
+		opts.Remote = &skydiver.RemoteOptions{Workers: fleet, Sharder: *remoteSharder}
+	}
+	res, err := serve(ctx, ds, opts, *parallel)
 	if err != nil && errors.Is(err, skydiver.ErrOverloaded) {
 		if *jsonOut {
 			printJSON(ds, nil, *k, algorithm, err)
@@ -277,6 +290,11 @@ func printText(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skyd
 			fmt.Println("exact diversity: unavailable (storage unreadable)")
 		}
 	}
+	if res.Remote != nil {
+		rs := res.Remote
+		fmt.Printf("remote shards: %d/%d served by the fleet (%d local, %d missing), retries=%d hedges=%d failovers=%d\n",
+			rs.Remote, rs.Shards, rs.Local, len(rs.Missing), rs.Retries, rs.Hedges, rs.Failovers)
+	}
 	if verbose {
 		injected, retries := ds.FaultStats()
 		fmt.Printf("cpu=%v io=%v faults=%d memory=%dB objective=%.4f injected=%d retries=%d\n",
@@ -302,6 +320,8 @@ type jsonResult struct {
 	CPU       float64     `json:"cpu_seconds"`
 	IO        float64     `json:"io_seconds"`
 	Faults    int64       `json:"page_faults"`
+
+	Remote *skydiver.RemoteShardStats `json:"remote,omitempty"`
 }
 
 // printJSON emits the machine-readable result. res may be nil when admission
@@ -324,6 +344,7 @@ func printJSON(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skyd
 		out.CPU = res.CPUTime.Seconds()
 		out.IO = res.IOTime.Seconds()
 		out.Faults = res.PageFaults
+		out.Remote = res.Remote
 	}
 	if runErr != nil && errors.Is(runErr, skydiver.ErrOverloaded) {
 		out.Shed = true

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,6 +56,7 @@ func main() {
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
 		chaos      = flag.Bool("chaos", false, "enable fault-injection endpoints (/boom, /datasets/{name}/faults)")
 		faults     = flag.String("faults", "", "install this fault policy on the seed dataset at startup")
+		shardFleet = flag.String("shard-workers", "", "comma-separated skyshardd base URLs enabling ?remote=1 queries")
 	)
 	flag.Parse()
 
@@ -64,6 +66,7 @@ func main() {
 		tenantInFlight: *tenantInFl, tenantQueue: *tenantQ, tenantWait: *tenantW,
 		budget: *budget, maxTimeout: *maxTimeout, defTimeout: *defTimeout,
 		retryAfter: *retryAfter, drain: *drain, chaos: *chaos, faults: *faults,
+		shardWorkers: *shardFleet,
 	}))
 }
 
@@ -81,6 +84,19 @@ type runConfig struct {
 	retryAfter, drain           time.Duration
 	chaos                       bool
 	faults                      string
+	shardWorkers                string
+}
+
+// splitWorkers turns the -shard-workers flag into a URL list, dropping empty
+// segments so trailing commas are harmless.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 func run(rc runConfig) int {
@@ -152,6 +168,7 @@ func run(rc runConfig) int {
 		DefaultBudget:  defBudget,
 		RetryAfter:     rc.retryAfter,
 		Chaos:          rc.chaos,
+		ShardWorkers:   splitWorkers(rc.shardWorkers),
 	})
 	if err != nil {
 		log.Print(err)

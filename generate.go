@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"skydiver/internal/cluster"
 	"skydiver/internal/data"
 )
 
@@ -98,5 +99,12 @@ func Generate(dist Distribution, n, dims int, seed int64) (*Dataset, error) {
 	default:
 		return nil, fmt.Errorf("skydiver: unknown distribution %d", dist)
 	}
-	return fromInternal(ds, nil)
+	out, err := fromInternal(ds, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Generated datasets are remotable: the spec lets a shard worker
+	// regenerate this exact dataset (same generator, same seed) bit for bit.
+	out.spec = &cluster.DatasetSpec{Gen: dist.String(), N: n, Dims: dims, Seed: seed}
+	return out, nil
 }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"skydiver/internal/retry"
 )
 
 // ErrOverloaded marks a query shed by admission control: the in-flight limit
@@ -75,7 +77,16 @@ type Limiter struct {
 	busy  int
 	queue []*waiter
 	stats Stats
+
+	// timer builds the queue-wait deadline timer; retry.NewTimer in
+	// production. Tests install a hand-fired channel (SetTimerFunc) so
+	// queue-timeout behavior is assertable without real waits.
+	timer retry.TimerFunc
 }
+
+// SetTimerFunc replaces the queue-wait timer constructor — a test hook.
+// Must be called before the limiter is shared.
+func (l *Limiter) SetTimerFunc(fn retry.TimerFunc) { l.timer = fn }
 
 // New creates a limiter for the policy.
 func New(p Policy) (*Limiter, error) {
@@ -131,7 +142,11 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 
 	var timeout <-chan time.Time
 	if wait > 0 {
-		timer := time.NewTimer(wait)
+		newTimer := l.timer
+		if newTimer == nil {
+			newTimer = retry.NewTimer
+		}
+		timer := newTimer(wait)
 		defer timer.Stop()
 		timeout = timer.C
 	}

@@ -1,0 +1,52 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"skydiver/internal/retry"
+)
+
+// TestQueueWaitTimerHook drives the queue-wait deadline by hand: a waiter
+// behind a full limiter is shed the instant the fake timer fires, without
+// any real clock involved.
+func TestQueueWaitTimerHook(t *testing.T) {
+	lim, err := New(Policy{MaxInFlight: 1, MaxQueue: 1, QueueWait: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fire := make(chan time.Time)
+	var asked time.Duration
+	lim.SetTimerFunc(func(d time.Duration) retry.Timer {
+		asked = d
+		return retry.Timer{C: fire, Stop: func() {}}
+	})
+
+	if err := lim.Acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lim.Acquire(context.Background()) }()
+
+	// Wait until the second query is actually queued before firing.
+	deadline := time.Now().Add(5 * time.Second)
+	for lim.Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fire <- time.Time{}
+	if err := <-got; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued acquire after fake timeout = %v, want ErrOverloaded", err)
+	}
+	if asked != time.Hour {
+		t.Fatalf("timer constructed with %v, want QueueWait (1h)", asked)
+	}
+	if s := lim.Stats(); s.ShedTimeout != 1 {
+		t.Fatalf("ShedTimeout = %d, want 1", s.ShedTimeout)
+	}
+	lim.Release()
+}

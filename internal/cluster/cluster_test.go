@@ -1,0 +1,529 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"skydiver/internal/core"
+	"skydiver/internal/data"
+	"skydiver/internal/minhash"
+	"skydiver/internal/pager"
+)
+
+func testSpec() DatasetSpec {
+	return DatasetSpec{Gen: GenAnticorrelated, N: 300, Dims: 3, Seed: 11}
+}
+
+// buildLocal regenerates the coordinator-side dataset and plan the same way
+// production does, so worker-side copies must agree bit for bit.
+func buildLocal(t *testing.T, spec DatasetSpec, sharder string, shards int) (*data.Dataset, *core.ShardPlan) {
+	t.Helper()
+	ds, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := SharderByName(sharder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.BuildShardPlan(context.Background(), ds, sh, shards, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, plan
+}
+
+// startWorkers brings up n in-process workers on httptest servers.
+func startWorkers(t *testing.T, n int) ([]*Worker, []string) {
+	t.Helper()
+	workers := make([]*Worker, n)
+	urls := make([]string, n)
+	for i := range workers {
+		w, err := NewWorker(WorkerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		workers[i] = w
+		urls[i] = srv.URL
+	}
+	return workers, urls
+}
+
+func wantFingerprint(t *testing.T, plan *core.ShardPlan, ds *data.Dataset, q Query) *core.Fingerprint {
+	t.Helper()
+	fam, err := minhash.NewFamily(q.T, q.HashSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.SigGenShardedCtx(context.Background(), plan, ds, fam, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func sameFingerprint(t *testing.T, tag string, got, want *core.Fingerprint) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: nil fingerprint", tag)
+	}
+	if len(got.DomScore) != len(want.DomScore) {
+		t.Fatalf("%s: %d columns, want %d", tag, len(got.DomScore), len(want.DomScore))
+	}
+	for c := range want.DomScore {
+		if got.DomScore[c] != want.DomScore[c] {
+			t.Fatalf("%s: DomScore[%d] = %v, want %v", tag, c, got.DomScore[c], want.DomScore[c])
+		}
+		gc, wc := got.Matrix.Column(c), want.Matrix.Column(c)
+		for s := range wc {
+			if gc[s] != wc[s] {
+				t.Fatalf("%s: col %d slot %d = %d, want %d", tag, c, s, gc[s], wc[s])
+			}
+		}
+	}
+	if got.IO != want.IO {
+		t.Fatalf("%s: IO %+v, want %+v", tag, got.IO, want.IO)
+	}
+}
+
+// TestRemoteFingerprintBitIdentical is the acceptance pin: with a healthy
+// fleet, the remote fold equals the in-process sharded fold — and therefore
+// the monolithic pass — bit for bit, for both sharders and shard counts
+// {1, 2, 4}, including the synthetic scan accounting.
+func TestRemoteFingerprintBitIdentical(t *testing.T) {
+	_, urls := startWorkers(t, 2)
+	spec := testSpec()
+	for _, sharder := range []string{"grid", "angle"} {
+		for _, shards := range []int{1, 2, 4} {
+			ds, plan := buildLocal(t, spec, sharder, shards)
+			ex, err := New(Config{Workers: urls})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := Query{Spec: spec, Sharder: sharder, Shards: shards, T: 32, HashSeed: 7}
+			got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+			if err != nil {
+				t.Fatalf("%s/n=%d: %v", sharder, shards, err)
+			}
+			if out.Remote != shards || out.Local != 0 || len(out.Missing) != 0 {
+				t.Fatalf("%s/n=%d: outcome %+v, want all %d shards remote", sharder, shards, out, shards)
+			}
+			if !out.SkylineVerified {
+				t.Fatalf("%s/n=%d: skyline not verified", sharder, shards)
+			}
+			sameFingerprint(t, fmt.Sprintf("%s/n=%d", sharder, shards), got, wantFingerprint(t, plan, ds, q))
+		}
+	}
+}
+
+// TestRemoteFailoverOnDeadPrimary kills one of two workers outright: every
+// shard it owned fails over to the replica and the answer stays exact.
+func TestRemoteFailoverOnDeadPrimary(t *testing.T) {
+	_, urls := startWorkers(t, 2)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 4)
+	ex, err := New(Config{Workers: []string{dead.URL, urls[1]}, MaxRetries: 1, BaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Sharder: "grid", Shards: 4, T: 32, HashSeed: 7}
+	got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Remote != 4 || len(out.Missing) != 0 {
+		t.Fatalf("outcome %+v, want all 4 shards served remotely via failover", out)
+	}
+	if out.Failovers == 0 {
+		t.Fatalf("outcome %+v, want failovers > 0", out)
+	}
+	sameFingerprint(t, "dead-primary", got, wantFingerprint(t, plan, ds, q))
+}
+
+// TestRemoteWireFaultsStayExact drives the injected-fault envelope: the
+// primary worker corrupts every response byte stream, so every shard it owns
+// burns its retry budget and fails over — and the merged result is still bit
+// identical.
+func TestRemoteWireFaultsStayExact(t *testing.T) {
+	workers, urls := startWorkers(t, 2)
+	workers[0].SetFaults(WireFaultPolicy{Corrupt: 1, Seed: 3})
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 4)
+	ex, err := New(Config{Workers: urls, MaxRetries: 1, BaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Sharder: "grid", Shards: 4, T: 32, HashSeed: 7}
+	got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Remote != 4 || out.Retries == 0 || out.Failovers == 0 {
+		t.Fatalf("outcome %+v, want 4 remote shards with retries and failovers", out)
+	}
+	sameFingerprint(t, "corrupt-primary", got, wantFingerprint(t, plan, ds, q))
+	if st := workers[0].Stats(); st.WireFault.Corrupts == 0 {
+		t.Fatalf("worker 0 injected no corruption: %+v", st.WireFault)
+	}
+}
+
+// TestRemoteDropFaultsFailover: a worker that severs every connection looks
+// like a transport failure; shards fail over and stay exact.
+func TestRemoteDropFaultsFailover(t *testing.T) {
+	workers, urls := startWorkers(t, 2)
+	workers[0].SetFaults(WireFaultPolicy{Drop: 1, Seed: 5})
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 2)
+	ex, err := New(Config{Workers: urls, MaxRetries: 1, BaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Sharder: "grid", Shards: 2, T: 16, HashSeed: 1}
+	got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Remote != 2 || out.Failovers == 0 {
+		t.Fatalf("outcome %+v, want both shards remote via failover", out)
+	}
+	sameFingerprint(t, "drop-primary", got, wantFingerprint(t, plan, ds, q))
+}
+
+// TestRemoteLocalFallbackWhenFleetDead: with every worker unreachable the
+// ladder bottoms out at local recompute — the answer is exact, served
+// entirely by the coordinator, and reported as such.
+func TestRemoteLocalFallbackWhenFleetDead(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 4)
+	ex, err := New(Config{Workers: []string{dead.URL}, MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Sharder: "grid", Shards: 4, T: 32, HashSeed: 7}
+	got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Local != 4 || out.Remote != 0 || len(out.Missing) != 0 {
+		t.Fatalf("outcome %+v, want all 4 shards local", out)
+	}
+	sameFingerprint(t, "fleet-dead", got, wantFingerprint(t, plan, ds, q))
+}
+
+// TestRemoteNoLocalFallbackReportsMissing: with local recompute disabled and
+// the fleet dead, the query surfaces ErrShardUnavailable naming every shard
+// instead of silently recomputing.
+func TestRemoteNoLocalFallbackReportsMissing(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 2)
+	ex, err := New(Config{Workers: []string{dead.URL}, MaxRetries: 0, NoLocalFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Sharder: "grid", Shards: 2, T: 16, HashSeed: 1}
+	_, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+	if len(out.Missing) != 2 || out.MissingList() != "0,1" {
+		t.Fatalf("outcome %+v, want both shards missing", out)
+	}
+}
+
+// TestRemoteNoLocalFallbackFailoverStillExact: NoLocalFallback only removes
+// the coordinator rung; a live replica still makes the answer exact.
+func TestRemoteNoLocalFallbackFailoverStillExact(t *testing.T) {
+	workers, urls := startWorkers(t, 2)
+	workers[0].SetFaults(WireFaultPolicy{Fail: 1, Seed: 9})
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 2)
+	ex, err := New(Config{Workers: urls, MaxRetries: 0, NoLocalFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Sharder: "grid", Shards: 2, T: 16, HashSeed: 1}
+	got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Remote != 2 || len(out.Missing) != 0 || out.Failovers == 0 {
+		t.Fatalf("outcome %+v, want both shards remote via failover", out)
+	}
+	sameFingerprint(t, "nofallback-failover", got, wantFingerprint(t, plan, ds, q))
+}
+
+// TestRemoteEpochSkewServedLocally: a mutated coordinator (epoch > 0) never
+// touches the network — the whole plan is served locally and the workers see
+// no traffic.
+func TestRemoteEpochSkewServedLocally(t *testing.T) {
+	workers, urls := startWorkers(t, 2)
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 4)
+	ex, err := New(Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Epoch: 3, Sharder: "grid", Shards: 4, T: 32, HashSeed: 7}
+	got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Local != 4 || out.Remote != 0 || out.SkylineVerified {
+		t.Fatalf("outcome %+v, want all shards local without skyline verification", out)
+	}
+	sameFingerprint(t, "epoch-skew", got, wantFingerprint(t, plan, ds, q))
+	for i, w := range workers {
+		if st := w.Stats(); st.Skylines != 0 || st.Folds != 0 {
+			t.Fatalf("worker %d served traffic on a skewed epoch: %+v", i, st)
+		}
+	}
+}
+
+// TestRemoteHedging: a slow primary plus a fixed hedge delay races a
+// duplicate on the replica; the fast copy wins and the answer stays exact.
+func TestRemoteHedging(t *testing.T) {
+	workers, urls := startWorkers(t, 2)
+	workers[0].SetFaults(WireFaultPolicy{Delay: 300 * time.Millisecond, DelayRate: 1})
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 2)
+	ex, err := New(Config{Workers: urls, HedgeAfter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Sharder: "grid", Shards: 2, T: 16, HashSeed: 1}
+	got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hedges == 0 {
+		t.Fatalf("outcome %+v, want hedged requests", out)
+	}
+	if out.Remote != 2 || len(out.Missing) != 0 {
+		t.Fatalf("outcome %+v, want both shards remote", out)
+	}
+	sameFingerprint(t, "hedged", got, wantFingerprint(t, plan, ds, q))
+}
+
+// TestRemoteBreakerFastFails: repeated failures trip the per-node breaker;
+// subsequent queries fast-fail into the fallback rungs instead of paying
+// connection timeouts, and the answers stay exact throughout.
+func TestRemoteBreakerFastFails(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	spec := testSpec()
+	ds, plan := buildLocal(t, spec, "grid", 4)
+	ex, err := New(Config{
+		Workers:    []string{dead.URL},
+		MaxRetries: 0,
+		Breaker:    pager.BreakerPolicy{Window: 4, MinSamples: 2, TripRatio: 0.5, Cooldown: time.Minute, Probes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Spec: spec, Sharder: "grid", Shards: 4, T: 16, HashSeed: 1}
+	for round := 0; round < 2; round++ {
+		got, out, err := ex.Fingerprint(context.Background(), q, plan, ds)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if out.Local != 4 {
+			t.Fatalf("round %d: outcome %+v, want all local", round, out)
+		}
+		sameFingerprint(t, fmt.Sprintf("breaker round %d", round), got, wantFingerprint(t, plan, ds, q))
+	}
+	st := ex.Stats()
+	if st.FastFails == 0 {
+		t.Fatalf("stats %+v, want breaker fast-fails after the first round tripped it", st)
+	}
+	if st.Nodes[0].Breaker != "open" {
+		t.Fatalf("node breaker %q, want open", st.Nodes[0].Breaker)
+	}
+}
+
+// TestWorkerRejectsBadRequests pins the worker's client-error surface: bad
+// epoch → 409, malformed addressing → 400, wrong method → 405.
+func TestWorkerRejectsBadRequests(t *testing.T) {
+	_, urls := startWorkers(t, 1)
+	post := func(body any) *http.Response {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(urls[0]+PathSkyline, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	spec := testSpec()
+	if resp := post(ShardRequest{Spec: spec, Epoch: 2, Shards: 2, Shard: 0}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("epoch 2: status %d, want 409", resp.StatusCode)
+	}
+	if resp := post(ShardRequest{Spec: spec, Shards: 2, Shard: 5}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shard index: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(ShardRequest{Spec: DatasetSpec{Gen: "nope", N: 10, Dims: 2}, Shards: 1, Shard: 0}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad generator: status %d, want 400", resp.StatusCode)
+	}
+	huge := spec
+	huge.N = 100_000_000
+	if resp := post(ShardRequest{Spec: huge, Shards: 1, Shard: 0}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized spec: status %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Get(urls[0] + PathSkyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestWorkerFaultsEndpoint sets and clears the wire-fault policy remotely.
+func TestWorkerFaultsEndpoint(t *testing.T) {
+	workers, urls := startWorkers(t, 1)
+	set := func(policy string, wantStatus int) {
+		t.Helper()
+		raw, _ := json.Marshal(map[string]string{"policy": policy})
+		resp, err := http.Post(urls[0]+PathFaults, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("POST /faults %q: status %d, want %d", policy, resp.StatusCode, wantStatus)
+		}
+	}
+	set("drop=0.5,delay=10ms,seed=4", http.StatusOK)
+	if st := workers[0].Stats(); st.WireFault.Policy != "drop=0.5,delay=10ms,seed=4" {
+		t.Fatalf("policy = %q after set", st.WireFault.Policy)
+	}
+	set("", http.StatusOK)
+	if st := workers[0].Stats(); st.WireFault.Policy != "" {
+		t.Fatalf("policy = %q after clear", st.WireFault.Policy)
+	}
+	set("drop=2", http.StatusBadRequest)
+	set("bogus", http.StatusBadRequest)
+}
+
+// TestWorkerDrain: a draining worker sheds shard requests with 503 and
+// reports unhealthy, while /stats stays reachable.
+func TestWorkerDrain(t *testing.T) {
+	workers, urls := startWorkers(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if left := workers[0].Drain(ctx); left != 0 {
+		t.Fatalf("drain left %d in flight", left)
+	}
+	raw, _ := json.Marshal(ShardRequest{Spec: testSpec(), Shards: 1, Shard: 0})
+	resp, err := http.Post(urls[0]+PathSkyline, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining shard request: status %d, want 503", resp.StatusCode)
+	}
+	hr, err := http.Get(urls[0] + PathHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining health: status %d, want 503", hr.StatusCode)
+	}
+}
+
+// TestMatrixWireRoundTrip pins the matrix encoding and its corruption
+// detection.
+func TestMatrixWireRoundTrip(t *testing.T) {
+	m := minhash.NewMatrix(3, 2)
+	m.UpdateColumn(0, []uint32{5, 10, 15})
+	m.UpdateColumn(1, []uint32{1, 2, 3})
+	sig, crc := EncodeMatrix(m)
+	got, err := DecodeMatrix(sig, 3, 2, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		gc, wc := got.Column(c), m.Column(c)
+		for s := range wc {
+			if gc[s] != wc[s] {
+				t.Fatalf("col %d slot %d = %d, want %d", c, s, gc[s], wc[s])
+			}
+		}
+	}
+	if _, err := DecodeMatrix(sig, 3, 2, crc+1); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("bad crc: err = %v, want ErrChecksum", err)
+	}
+	if _, err := DecodeMatrix(sig, 3, 3, crc); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("bad dims: err = %v, want ErrChecksum", err)
+	}
+	if _, err := DecodeMatrix("!!!", 3, 2, crc); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("bad base64: err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestParseWireFaultPolicyRoundTrip pins the policy string format.
+func TestParseWireFaultPolicyRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"drop=0.1",
+		"drop=0.1,fail=0.2,corrupt=0.05,delay=20ms,seed=7",
+		"delay=1s,delayrate=0.5",
+	} {
+		p, err := ParseWireFaultPolicy(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		back, err := ParseWireFaultPolicy(p.String())
+		if err != nil {
+			t.Fatalf("%q → %q: %v", s, p.String(), err)
+		}
+		if back != p {
+			t.Fatalf("%q: round-trip %+v != %+v", s, back, p)
+		}
+	}
+	for _, s := range []string{"drop=2", "nope=1", "drop", "delay=xyz"} {
+		if _, err := ParseWireFaultPolicy(s); err == nil {
+			t.Fatalf("%q: want error", s)
+		}
+	}
+}
+
+// TestDatasetSpecValidate pins spec validation and key stability.
+func TestDatasetSpecValidate(t *testing.T) {
+	if err := (DatasetSpec{Gen: GenIndependent, N: 10, Dims: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []DatasetSpec{
+		{Gen: "XYZ", N: 10, Dims: 2},
+		{Gen: GenIndependent, N: 0, Dims: 2},
+		{Gen: GenIndependent, N: 10, Dims: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%+v: want error", bad)
+		}
+	}
+	if _, err := SharderByName("mystery"); err == nil {
+		t.Fatal("unknown sharder: want error")
+	}
+	if _, err := New(Config{}); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("empty worker list: err = %v, want ErrNoWorkers", err)
+	}
+}

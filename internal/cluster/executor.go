@@ -1,0 +1,701 @@
+// executor.go is the coordinator side: it fans per-shard work out to the
+// worker fleet and folds the replies back into one exact fingerprint. All
+// the resilience lives here, as a ladder per shard:
+//
+//  1. retry the primary node — bounded attempts, full-jitter exponential
+//     backoff, per-attempt deadline derived from the query context;
+//  2. hedge — after the node's observed p90 latency (or a fixed HedgeAfter)
+//     a duplicate request races on the next replica, first success wins;
+//  3. fail over to the alternate replica with its own retry budget;
+//  4. recompute the shard locally from the coordinator's own plan
+//     (disabled by NoLocalFallback);
+//  5. give up on the shard — the query returns ErrShardUnavailable along
+//     with the partial fold, and the caller decides whether a degraded
+//     answer is acceptable.
+//
+// Per-node three-state circuit breakers (the pager's state machine, driven
+// through RecordOutcome) sit in front of every call, so a dead worker costs
+// one fast-fail per shard instead of a full retry budget, and recovers via
+// half-open probes once it returns.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skydiver/internal/core"
+	"skydiver/internal/data"
+	"skydiver/internal/minhash"
+	"skydiver/internal/pager"
+	"skydiver/internal/retry"
+)
+
+// Failure sentinels, classified with errors.Is.
+var (
+	// ErrNoWorkers marks an executor configured with an empty worker list.
+	ErrNoWorkers = errors.New("cluster: no workers configured")
+	// ErrChecksum marks a reply whose payload failed checksum or shape
+	// validation — wire corruption, treated as retryable.
+	ErrChecksum = errors.New("cluster: response checksum mismatch")
+	// ErrSkew marks a worker refusing an epoch it cannot serve; not
+	// retryable across nodes (every worker is equally stale).
+	ErrSkew = errors.New("cluster: epoch skew")
+	// ErrShardUnavailable marks a shard no rung of the failover ladder could
+	// serve. The query result alongside it is the fold of the served shards.
+	ErrShardUnavailable = errors.New("cluster: shard unavailable on every replica")
+)
+
+// Config configures an Executor.
+type Config struct {
+	// Workers are the worker base URLs (e.g. "http://127.0.0.1:7701").
+	// Shard i is primarily owned by Workers[i mod len]; the next distinct
+	// worker is its failover replica and hedge target.
+	Workers []string
+	// MaxRetries bounds re-attempts per node after the first try (default 2).
+	MaxRetries int
+	// BaseDelay and MaxDelay shape the full-jitter backoff between attempts
+	// (defaults 5ms and 250ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// CallTimeout is the per-attempt deadline, intersected with the query
+	// context (default 10s).
+	CallTimeout time.Duration
+	// HedgeAfter, when positive, fixes the hedge delay. Zero derives it per
+	// node from observed latency (p90 of a sliding sample window); hedging
+	// stays off for a node until enough samples exist. Negative disables
+	// hedging.
+	HedgeAfter time.Duration
+	// Breaker configures the per-node circuit breakers (zero = the pager's
+	// default policy).
+	Breaker pager.BreakerPolicy
+	// NoLocalFallback removes rung 4: a shard whose replicas all fail is
+	// reported missing instead of silently recomputed by the coordinator.
+	// The exact-answer guarantee then depends on the fleet.
+	NoLocalFallback bool
+	// Client is the HTTP client (nil = a default with sane pooling).
+	Client *http.Client
+	// Logf receives executor logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.BaseDelay == 0 {
+		c.BaseDelay = 5 * time.Millisecond
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 250 * time.Millisecond
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.Breaker == (pager.BreakerPolicy{}) {
+		c.Breaker = pager.DefaultBreakerPolicy()
+	}
+	return c
+}
+
+// Query identifies one remote fingerprint computation.
+type Query struct {
+	// Spec names the dataset on the wire.
+	Spec DatasetSpec
+	// Epoch is the coordinator's mutation epoch. Non-zero epochs are not
+	// remotable (workers regenerate pristine datasets); the executor then
+	// serves every shard locally and reports it in the outcome.
+	Epoch uint64
+	// Sharder and Shards define the partitioning; they must match the plan.
+	Sharder string
+	Shards  int
+	// T and HashSeed parameterize the MinHash family.
+	T        int
+	HashSeed int64
+}
+
+// Outcome reports how a query's shards were served and what the resilience
+// envelope spent doing it.
+type Outcome struct {
+	// Shards is the total; Remote and Local count how each was served.
+	// Remote+Local+len(Missing) == Shards.
+	Shards int `json:"shards"`
+	Remote int `json:"remote"`
+	Local  int `json:"local"`
+	// Missing lists shard indexes no ladder rung could serve (ascending).
+	Missing []int `json:"missing,omitempty"`
+	// Retries, Hedges, Failovers and FastFails count the envelope's work:
+	// re-attempts after retryable failures, hedged duplicates launched,
+	// shards moved to the alternate replica, and calls rejected by an open
+	// breaker.
+	Retries   int64 `json:"retries"`
+	Hedges    int64 `json:"hedges"`
+	Failovers int64 `json:"failovers"`
+	FastFails int64 `json:"fast_fails"`
+	// SkylineVerified reports that remote local skylines were merged and
+	// checked against the coordinator's plan (false when every shard went
+	// local, e.g. on epoch skew).
+	SkylineVerified bool `json:"skyline_verified"`
+}
+
+// MissingList renders Missing as a comma-separated id list.
+func (o Outcome) MissingList() string {
+	parts := make([]string, len(o.Missing))
+	for i, s := range o.Missing {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// NodeStats snapshots one worker's executor-side state.
+type NodeStats struct {
+	URL       string        `json:"url"`
+	Breaker   string        `json:"breaker"`
+	Trips     int64         `json:"trips"`
+	FastFails int64         `json:"fast_fails"`
+	Calls     int64         `json:"calls"`
+	Faults    int64         `json:"faults"`
+	P90       time.Duration `json:"p90_ns"`
+}
+
+// Stats snapshots the executor's counters.
+type Stats struct {
+	Queries   int64       `json:"queries"`
+	Retries   int64       `json:"retries"`
+	Hedges    int64       `json:"hedges"`
+	Failovers int64       `json:"failovers"`
+	FastFails int64       `json:"fast_fails"`
+	Local     int64       `json:"local_shards"`
+	Remote    int64       `json:"remote_shards"`
+	Missing   int64       `json:"missing_shards"`
+	Nodes     []NodeStats `json:"nodes"`
+}
+
+// node is one worker endpoint with its breaker and latency window.
+type node struct {
+	base string
+	br   *pager.Breaker
+
+	mu     sync.Mutex
+	lat    []time.Duration // ring of recent successful-call latencies
+	latIdx int
+	latN   int
+
+	calls, faults atomic.Int64
+}
+
+const latWindow = 64
+
+// observe records a successful call's latency.
+func (n *node) observe(d time.Duration) {
+	n.mu.Lock()
+	if len(n.lat) < latWindow {
+		n.lat = append(n.lat, d)
+	} else {
+		n.lat[n.latIdx] = d
+		n.latIdx = (n.latIdx + 1) % latWindow
+	}
+	n.latN++
+	n.mu.Unlock()
+}
+
+// p90 returns the 90th-percentile observed latency, or 0 with fewer than 8
+// samples (not enough signal to hedge on).
+func (n *node) p90() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.lat) < 8 {
+		return 0
+	}
+	s := append([]time.Duration(nil), n.lat...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[(len(s)*9)/10]
+}
+
+// Executor coordinates remote shard execution. Safe for concurrent use; keep
+// one per worker fleet so breaker and latency state persist across queries.
+type Executor struct {
+	cfg    Config
+	client *http.Client
+	nodes  []*node
+
+	queries, retries, hedges, failovers, fastFails atomic.Int64
+	localShards, remoteShards, missingShards       atomic.Int64
+}
+
+// New creates an executor for the fleet.
+func New(cfg Config) (*Executor, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+	e := &Executor{cfg: cfg, client: cfg.Client}
+	if e.client == nil {
+		e.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	for _, w := range cfg.Workers {
+		br, err := pager.NewBreaker(cfg.Breaker)
+		if err != nil {
+			return nil, err
+		}
+		e.nodes = append(e.nodes, &node{base: strings.TrimRight(w, "/"), br: br})
+	}
+	return e, nil
+}
+
+func (e *Executor) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// Stats snapshots the executor's counters and per-node state.
+func (e *Executor) Stats() Stats {
+	s := Stats{
+		Queries:   e.queries.Load(),
+		Retries:   e.retries.Load(),
+		Hedges:    e.hedges.Load(),
+		Failovers: e.failovers.Load(),
+		FastFails: e.fastFails.Load(),
+		Local:     e.localShards.Load(),
+		Remote:    e.remoteShards.Load(),
+		Missing:   e.missingShards.Load(),
+	}
+	for _, n := range e.nodes {
+		bs := n.br.Stats()
+		s.Nodes = append(s.Nodes, NodeStats{
+			URL:       n.base,
+			Breaker:   bs.State.String(),
+			Trips:     bs.Trips,
+			FastFails: bs.FastFails,
+			Calls:     n.calls.Load(),
+			Faults:    n.faults.Load(),
+			P90:       n.p90(),
+		})
+	}
+	return s
+}
+
+// primary and replica pick a shard's owner and its failover target. With a
+// single worker there is no distinct replica.
+func (e *Executor) primary(shard int) *node { return e.nodes[shard%len(e.nodes)] }
+func (e *Executor) replica(shard int) *node {
+	if len(e.nodes) < 2 {
+		return nil
+	}
+	return e.nodes[(shard+1)%len(e.nodes)]
+}
+
+// Fingerprint executes the query against the fleet: every shard's local
+// skyline is fetched and merge-verified against the coordinator's plan, then
+// every shard's signature fold is fetched and merged. plan and ds are the
+// coordinator's own shard plan and canonical dataset — the source of the
+// failover ladder's local rung and the merge cross-check.
+//
+// On success the returned fingerprint is bit-identical to the in-process
+// sharded fold (and so to the unsharded pass): same slots, same scores, same
+// synthetic I/O accounting. When some shards could not be served at all, the
+// partial fold is returned together with ErrShardUnavailable and the missing
+// ids in the outcome; the caller chooses whether to degrade.
+func (e *Executor) Fingerprint(ctx context.Context, q Query, plan *core.ShardPlan, ds *data.Dataset) (*core.Fingerprint, Outcome, error) {
+	e.queries.Add(1)
+	out := Outcome{Shards: len(plan.Shards)}
+	fam, err := minhash.NewFamily(q.T, q.HashSeed)
+	if err != nil {
+		return nil, out, err
+	}
+	if q.Epoch != 0 {
+		// Workers regenerate pristine datasets; a mutated coordinator copy
+		// cannot be served remotely. Serve the whole plan locally.
+		e.logf("epoch %d: serving all %d shards locally (%v)", q.Epoch, out.Shards, ErrSkew)
+		fp, err := core.SigGenShardedCtx(ctx, plan, ds, fam, 0)
+		if err != nil {
+			return nil, out, err
+		}
+		out.Local = out.Shards
+		e.localShards.Add(int64(out.Shards))
+		return fp, out, nil
+	}
+
+	type skyRes struct {
+		rows  []int
+		local bool // served by the coordinator's plan, not a worker
+		miss  bool
+	}
+	skies := make([]skyRes, out.Shards)
+	var wg sync.WaitGroup
+	for i := range plan.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := ShardRequest{Spec: q.Spec, Epoch: q.Epoch, Sharder: q.Sharder, Shards: q.Shards, Shard: i}
+			var resp SkylineResponse
+			err := e.callShard(ctx, i, PathSkyline, req, &resp, &out)
+			switch {
+			case err == nil:
+				skies[i] = skyRes{rows: resp.Rows}
+			case e.cfg.NoLocalFallback:
+				skies[i] = skyRes{miss: true}
+			default:
+				skies[i] = skyRes{rows: plan.Shards[i].Sky, local: true}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, out, err
+	}
+
+	// Merge-verify: the remote local skylines must recombine to exactly the
+	// coordinator's merged skyline. A mismatch means a worker computed
+	// against different data — abort rather than fold bogus signatures.
+	// Shards whose skyline is missing are excluded from the check (their
+	// fold is already lost) but the merge still uses the coordinator's copy
+	// so the global skyline — and the signature columns — stay complete.
+	locals := make([][]int, out.Shards)
+	remoteSkies := 0
+	for i, sr := range skies {
+		if sr.miss {
+			locals[i] = plan.Shards[i].Sky
+			continue
+		}
+		if !sr.local {
+			remoteSkies++
+		}
+		locals[i] = sr.rows
+	}
+	merged := core.MergeShardSkylines(ds, locals)
+	if !equalRows(merged, plan.Sky) {
+		return nil, out, fmt.Errorf("cluster: merged remote skyline diverged from plan (%d vs %d points)", len(merged), len(plan.Sky))
+	}
+	out.SkylineVerified = remoteSkies > 0
+
+	// Phase 2: per-shard signature folds against the merged skyline.
+	type foldRes struct {
+		fp      *core.Fingerprint
+		scanned int
+		local   bool
+		miss    bool
+	}
+	folds := make([]foldRes, out.Shards)
+	for i := range plan.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := ShardRequest{
+				Spec: q.Spec, Epoch: q.Epoch, Sharder: q.Sharder, Shards: q.Shards, Shard: i,
+				T: q.T, HashSeed: q.HashSeed, Sky: plan.Sky,
+			}
+			var resp FoldResponse
+			if err := e.callShard(ctx, i, PathSigFold, req, &resp, &out); err == nil {
+				if m, derr := DecodeMatrix(resp.Sig, q.T, len(plan.Sky), resp.Checksum); derr == nil &&
+					len(resp.DomScore) == len(plan.Sky) {
+					folds[i] = foldRes{fp: &core.Fingerprint{Matrix: m, DomScore: resp.DomScore}, scanned: resp.Scanned}
+					return
+				}
+				// A decode failure past callShard's own verification means a
+				// malformed-but-uncorrupted reply; treat like a failed shard.
+			}
+			if e.cfg.NoLocalFallback {
+				folds[i] = foldRes{miss: true}
+				return
+			}
+			fp, err := plan.ShardFingerprint(ctx, i, fam)
+			if err != nil {
+				folds[i] = foldRes{miss: true}
+				return
+			}
+			folds[i] = foldRes{fp: fp, scanned: plan.ShardScanned(i), local: true}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, out, err
+	}
+
+	m := len(plan.Sky)
+	fp := &core.Fingerprint{Matrix: minhash.NewMatrix(q.T, m), DomScore: make([]float64, m)}
+	scanned := 0
+	for i, fr := range folds {
+		switch {
+		case fr.miss:
+			out.Missing = append(out.Missing, i)
+		case fr.local:
+			out.Local++
+		default:
+			out.Remote++
+		}
+		if fr.fp == nil {
+			continue
+		}
+		for c := 0; c < m; c++ {
+			fp.Matrix.UpdateColumn(c, fr.fp.Matrix.Column(c))
+			fp.DomScore[c] += fr.fp.DomScore[c]
+		}
+		scanned += fr.scanned
+	}
+	fp.IO = core.SyntheticScanStats(ds.Dims(), scanned)
+	e.remoteShards.Add(int64(out.Remote))
+	e.localShards.Add(int64(out.Local))
+	e.missingShards.Add(int64(len(out.Missing)))
+	if len(out.Missing) > 0 {
+		sort.Ints(out.Missing)
+		return fp, out, fmt.Errorf("%w: shards [%s]", ErrShardUnavailable, out.MissingList())
+	}
+	return fp, out, nil
+}
+
+// callShard walks rungs 1–3 of the ladder for one RPC: retries with backoff
+// on the primary (hedging attempt 0), then the same on the alternate
+// replica. It returns nil with resp decoded on success; the caller applies
+// rungs 4–5. Outcome counters are updated atomically.
+func (e *Executor) callShard(ctx context.Context, shard int, path string, req ShardRequest, resp any, out *Outcome) error {
+	prim, alt := e.primary(shard), e.replica(shard)
+	err := e.callNode(ctx, prim, alt, path, req, resp, out)
+	if err == nil || alt == nil || !retryableErr(err) {
+		return err
+	}
+	atomic.AddInt64(&out.Failovers, 1)
+	e.failovers.Add(1)
+	e.logf("shard %d %s: failing over to %s after: %v", shard, path, alt.base, err)
+	return e.callNode(ctx, alt, nil, path, req, resp, out)
+}
+
+// callNode runs the bounded retry loop against one node. hedge, when
+// non-nil, is raced as a duplicate on the first attempt after the hedge
+// delay.
+func (e *Executor) callNode(ctx context.Context, n, hedge *node, path string, req ShardRequest, resp any, out *Outcome) error {
+	pol := retry.Policy{
+		MaxRetries: e.cfg.MaxRetries,
+		BaseDelay:  e.cfg.BaseDelay,
+		MaxDelay:   e.cfg.MaxDelay,
+		FullJitter: true,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt == 0 && hedge != nil {
+			lastErr = e.doHedged(ctx, n, hedge, path, body, resp, out)
+		} else {
+			lastErr = e.doOnce(ctx, n, path, body, resp, out)
+		}
+		if lastErr == nil || !retryableErr(lastErr) {
+			return lastErr
+		}
+		if attempt < e.cfg.MaxRetries {
+			atomic.AddInt64(&out.Retries, 1)
+			e.retries.Add(1)
+			if err := pol.Wait(ctx, attempt); err != nil {
+				return err
+			}
+		}
+	}
+	return lastErr
+}
+
+// doOnce issues one breaker-screened attempt against one node.
+func (e *Executor) doOnce(ctx context.Context, n *node, path string, body []byte, resp any, out *Outcome) error {
+	if err := n.br.Allow(); err != nil {
+		atomic.AddInt64(&out.FastFails, 1)
+		e.fastFails.Add(1)
+		return fmt.Errorf("%s: %w", n.base, err)
+	}
+	err := e.roundTrip(ctx, n, path, body, resp)
+	n.br.RecordOutcome(err != nil && retryableErr(err))
+	return err
+}
+
+// doHedged races the primary attempt against a delayed duplicate on the
+// hedge node: the first success wins and the loser is cancelled. With no
+// usable hedge delay (hedging disabled, or not enough latency samples yet)
+// it degenerates to a plain attempt.
+func (e *Executor) doHedged(ctx context.Context, n, hedge *node, path string, body []byte, resp any, out *Outcome) error {
+	delay := e.cfg.HedgeAfter
+	if delay == 0 {
+		delay = n.p90()
+	}
+	if delay <= 0 {
+		return e.doOnce(ctx, n, path, body, resp, out)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		err     error
+		decoded any
+		hedged  bool
+	}
+	results := make(chan res, 2)
+	launch := func(target *node, hedged bool) {
+		// Each racer decodes into a private value: both may complete, and
+		// the winner's copy must not be torn by the loser.
+		dst := newLike(resp)
+		err := e.doOnce(hctx, target, path, body, dst, out)
+		results <- res{err: err, decoded: dst, hedged: hedged}
+	}
+	go launch(n, false)
+	timer := retry.NewTimer(delay)
+	defer timer.Stop()
+	launched := 1
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				atomic.AddInt64(&out.Hedges, 1)
+				e.hedges.Add(1)
+				go launch(hedge, true)
+			}
+		case r := <-results:
+			if r.err == nil {
+				copyInto(resp, r.decoded)
+				cancel()
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			launched--
+			if launched == 0 {
+				return firstErr
+			}
+			if launched == 1 && r.hedged {
+				// The hedge failed first; keep waiting for the primary.
+				continue
+			}
+			// The primary failed; if the hedge is not up yet, fire it now
+			// rather than waiting out the timer.
+			if launched == 1 && !r.hedged {
+				continue
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// newLike allocates a fresh value of resp's pointed-to type.
+func newLike(resp any) any {
+	switch resp.(type) {
+	case *SkylineResponse:
+		return &SkylineResponse{}
+	case *FoldResponse:
+		return &FoldResponse{}
+	default:
+		panic(fmt.Sprintf("cluster: unsupported response type %T", resp))
+	}
+}
+
+// copyInto copies a racer's decoded reply into the caller's destination.
+func copyInto(dst, src any) {
+	switch d := dst.(type) {
+	case *SkylineResponse:
+		*d = *src.(*SkylineResponse)
+	case *FoldResponse:
+		*d = *src.(*FoldResponse)
+	}
+}
+
+// roundTrip performs one HTTP exchange with the per-attempt deadline and
+// full reply validation (status mapping, JSON decode, checksum).
+func (e *Executor) roundTrip(ctx context.Context, n *node, path string, body []byte, resp any) error {
+	cctx, cancel := context.WithTimeout(ctx, e.cfg.CallTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(cctx, http.MethodPost, n.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	n.calls.Add(1)
+	start := time.Now()
+	hresp, err := e.client.Do(hreq)
+	if err != nil {
+		n.faults.Add(1)
+		// Transport-level failure: connection refused, reset, injected drop.
+		return fmt.Errorf("%s%s: %w", n.base, path, err)
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		n.faults.Add(1)
+		return fmt.Errorf("%s%s: reading reply: %w", n.base, path, err)
+	}
+	switch {
+	case hresp.StatusCode == http.StatusOK:
+	case hresp.StatusCode == http.StatusConflict:
+		return fmt.Errorf("%s%s: %w: %s", n.base, path, ErrSkew, strings.TrimSpace(string(raw)))
+	case hresp.StatusCode == http.StatusTooManyRequests,
+		hresp.StatusCode >= http.StatusInternalServerError:
+		n.faults.Add(1)
+		return &statusErr{status: hresp.StatusCode, msg: fmt.Sprintf("%s%s: %s", n.base, path, strings.TrimSpace(string(raw)))}
+	default:
+		// 4xx: the request itself is wrong; retrying cannot help.
+		return fmt.Errorf("%s%s: status %d: %s", n.base, path, hresp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if err := json.Unmarshal(raw, resp); err != nil {
+		n.faults.Add(1)
+		return fmt.Errorf("%s%s: %w: %v", n.base, path, ErrChecksum, err)
+	}
+	if sr, ok := resp.(*SkylineResponse); ok {
+		if got := RowsChecksum(sr.Rows); got != sr.Checksum {
+			n.faults.Add(1)
+			return fmt.Errorf("%s%s: %w: rows crc %08x, want %08x", n.base, path, ErrChecksum, got, sr.Checksum)
+		}
+	}
+	n.observe(time.Since(start))
+	return nil
+}
+
+// statusErr is a retryable HTTP-status failure (429, 5xx).
+type statusErr struct {
+	status int
+	msg    string
+}
+
+func (e *statusErr) Error() string { return fmt.Sprintf("status %d: %s", e.status, e.msg) }
+
+// retryableErr classifies a call failure: transport errors, 429/5xx,
+// checksum mismatches and breaker fast-fails (the alternate replica may be
+// healthy) are retryable; epoch skew, other 4xx and context expiry are not.
+func retryableErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, ErrSkew) {
+		return false
+	}
+	// Note: context.DeadlineExceeded is NOT screened out here — a wrapped
+	// deadline usually means the per-attempt CallTimeout fired, which a
+	// retry (or the replica) may well beat. Outer-context expiry is caught
+	// by the explicit ctx.Err() checks at the top of every retry loop.
+	var se *statusErr
+	if errors.As(err, &se) {
+		return true
+	}
+	if errors.Is(err, ErrChecksum) || errors.Is(err, pager.ErrCircuitOpen) {
+		return true
+	}
+	// Anything carrying a *url.Error is a transport failure (refused,
+	// reset, injected drop, per-attempt deadline on the wire).
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return true
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}

@@ -1,0 +1,162 @@
+// protocol.go defines the wire shapes of the two shard RPCs and the
+// checksum/encoding helpers both sides share. Everything rides JSON; the
+// signature matrix is packed as base64 little-endian uint32 slots (column
+// major) because a 100×m matrix as a JSON number array would dominate the
+// response size. Every payload carries a CRC so wire corruption — injected
+// or real — surfaces as a retryable checksum error instead of silently
+// skewed signatures.
+package cluster
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"skydiver/internal/minhash"
+)
+
+// Wire endpoints served by a Worker.
+const (
+	// PathHealth reports liveness and drain state.
+	PathHealth = "/healthz"
+	// PathStats reports the worker's counters.
+	PathStats = "/stats"
+	// PathSkyline computes one shard's local skyline.
+	PathSkyline = "/shard/skyline"
+	// PathSigFold computes one shard's signature contribution.
+	PathSigFold = "/shard/sigfold"
+	// PathFaults installs or clears the worker's wire-fault policy.
+	PathFaults = "/faults"
+)
+
+// ShardRequest addresses one shard of one dataset version. The same request
+// shape serves both RPCs; the signature fields (T, HashSeed, Sky) matter
+// only for PathSigFold.
+type ShardRequest struct {
+	// Spec names the dataset; the worker regenerates it on first use.
+	Spec DatasetSpec `json:"spec"`
+	// Epoch is the coordinator's mutation epoch. Workers only hold pristine
+	// regenerated datasets (epoch 0); any other value is answered with 409 so
+	// stale signatures can never enter a merge.
+	Epoch uint64 `json:"epoch"`
+	// Sharder names the partitioning scheme ("grid", "angle").
+	Sharder string `json:"sharder"`
+	// Shards is the total shard count; Shard is this request's index.
+	Shards int `json:"shards"`
+	Shard  int `json:"shard"`
+
+	// T is the signature size and HashSeed the MinHash family seed.
+	T        int   `json:"t,omitempty"`
+	HashSeed int64 `json:"hash_seed,omitempty"`
+	// Sky is the merged global skyline (ascending global row ids) the fold
+	// runs against. Carrying the full list — not a hash — lets a worker serve
+	// folds for skylines that differ from its own plan's (the coordinator
+	// never needs that for exact answers, but a reduced skyline is how a
+	// degraded coordinator could still use workers).
+	Sky []int `json:"sky,omitempty"`
+}
+
+// Validate checks the request's shard addressing.
+func (r ShardRequest) Validate() error {
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if r.Shards < 1 {
+		return fmt.Errorf("cluster: non-positive shard count %d", r.Shards)
+	}
+	if r.Shard < 0 || r.Shard >= r.Shards {
+		return fmt.Errorf("cluster: shard index %d out of [0, %d)", r.Shard, r.Shards)
+	}
+	return nil
+}
+
+// SkylineResponse is PathSkyline's reply: the shard's local skyline in
+// ascending global row ids.
+type SkylineResponse struct {
+	Rows []int `json:"rows"`
+	// Checksum is RowsChecksum(Rows); the coordinator verifies it before
+	// merging.
+	Checksum uint32 `json:"crc"`
+}
+
+// FoldResponse is PathSigFold's reply: the shard's signature contribution.
+type FoldResponse struct {
+	// T and Cols are the matrix dimensions, echoed for validation.
+	T    int `json:"t"`
+	Cols int `json:"cols"`
+	// Sig is the packed signature matrix (EncodeMatrix).
+	Sig string `json:"sig"`
+	// DomScore is the shard's domination-score contribution per column.
+	// Scores are integral counts, so the JSON float64 round-trip is exact.
+	DomScore []float64 `json:"dom_score"`
+	// Scanned is how many rows the shard's fold hashed — its share of the
+	// coordinator's synthetic scan accounting.
+	Scanned int `json:"scanned"`
+	// Checksum covers the raw signature bytes (before base64).
+	Checksum uint32 `json:"crc"`
+}
+
+// errorReply is the JSON body of every worker error response.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// RowsChecksum is the CRC-32 (IEEE) of the row ids as little-endian uint64s.
+func RowsChecksum(rows []int) uint32 {
+	buf := make([]byte, 8*len(rows))
+	for i, r := range rows {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(r))
+	}
+	return crc32.ChecksumIEEE(buf)
+}
+
+// matrixBytes packs the matrix column-major as little-endian uint32 slots.
+func matrixBytes(m *minhash.Matrix) []byte {
+	t, cols := m.T(), m.Cols()
+	buf := make([]byte, 4*t*cols)
+	for c := 0; c < cols; c++ {
+		col := m.Column(c)
+		off := c * t * 4
+		for s, v := range col {
+			binary.LittleEndian.PutUint32(buf[off+4*s:], v)
+		}
+	}
+	return buf
+}
+
+// EncodeMatrix packs a signature matrix for the wire, returning the base64
+// payload and the checksum of the raw bytes.
+func EncodeMatrix(m *minhash.Matrix) (sig string, crc uint32) {
+	buf := matrixBytes(m)
+	return base64.StdEncoding.EncodeToString(buf), crc32.ChecksumIEEE(buf)
+}
+
+// DecodeMatrix unpacks a wire matrix, verifying dimensions and checksum. The
+// slots are folded into a fresh matrix with UpdateColumn, which also rebuilds
+// the screening bounds the fold kernels rely on.
+func DecodeMatrix(sig string, t, cols int, crc uint32) (*minhash.Matrix, error) {
+	if t < 1 || cols < 0 {
+		return nil, fmt.Errorf("cluster: bad matrix dimensions %d×%d", t, cols)
+	}
+	buf, err := base64.StdEncoding.DecodeString(sig)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrChecksum, err)
+	}
+	if len(buf) != 4*t*cols {
+		return nil, fmt.Errorf("%w: matrix payload %d bytes, want %d", ErrChecksum, len(buf), 4*t*cols)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != crc {
+		return nil, fmt.Errorf("%w: matrix crc %08x, want %08x", ErrChecksum, got, crc)
+	}
+	m := minhash.NewMatrix(t, cols)
+	col := make([]uint32, t)
+	for c := 0; c < cols; c++ {
+		off := c * t * 4
+		for s := range col {
+			col[s] = binary.LittleEndian.Uint32(buf[off+4*s:])
+		}
+		m.UpdateColumn(c, col)
+	}
+	return m, nil
+}

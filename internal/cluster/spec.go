@@ -1,0 +1,108 @@
+// Package cluster is the multi-node shard execution backend: a coordinator
+// (Executor) dispatches per-shard skyline and signature-fold work to shard
+// worker processes (Worker, served by cmd/skyshardd) over HTTP/JSON and
+// merges the replies with the same exact operators the single-process
+// partitioned path uses — per-slot signature minima, domination-score sums,
+// and the strict-dominance skyline merge — so remote results are
+// bit-identical to in-process execution whenever every shard is served.
+//
+// Workers hold no coordinator state: each request names the dataset by its
+// generator spec (distribution, cardinality, dimensionality, seed) and the
+// worker regenerates it deterministically on first use. Generators emit
+// min-preferred data, so the worker's copy equals the coordinator's
+// canonical orientation value-for-value, and SigGen's global-row-id hashing
+// makes the signature universes line up with no coordinate exchange at all.
+//
+// The resilience envelope — per-shard deadlines, jittered retries, hedged
+// duplicates, per-node circuit breakers, replica failover, local recompute,
+// and (opt-in) degraded partial answers — lives entirely in the Executor;
+// workers stay simple and stateless.
+package cluster
+
+import (
+	"fmt"
+
+	"skydiver/internal/data"
+	"skydiver/internal/geom"
+)
+
+// Generator names accepted in a DatasetSpec, matching the String() forms of
+// the library's Distribution enum.
+const (
+	GenIndependent    = "IND"
+	GenAnticorrelated = "ANT"
+	GenCorrelated     = "CORR"
+	GenForestCover    = "FC"
+	GenRecipes        = "REC"
+)
+
+// DatasetSpec identifies a synthetic dataset by its generation parameters.
+// Workers rebuild the dataset deterministically from the spec, so the
+// coordinator never ships points over the wire. Only generated datasets can
+// be named this way; ad-hoc datasets (NewDataset, LoadDataset) have no spec
+// and cannot be executed remotely.
+type DatasetSpec struct {
+	// Gen is the generator name: IND, ANT, CORR, FC or REC.
+	Gen string `json:"gen"`
+	// N is the cardinality.
+	N int `json:"n"`
+	// Dims is the dimensionality.
+	Dims int `json:"dims"`
+	// Seed drives the generator.
+	Seed int64 `json:"seed"`
+}
+
+// Validate checks the spec's ranges.
+func (s DatasetSpec) Validate() error {
+	switch s.Gen {
+	case GenIndependent, GenAnticorrelated, GenCorrelated, GenForestCover, GenRecipes:
+	default:
+		return fmt.Errorf("cluster: unknown generator %q", s.Gen)
+	}
+	if s.N < 1 {
+		return fmt.Errorf("cluster: non-positive cardinality %d", s.N)
+	}
+	if s.Dims < 1 {
+		return fmt.Errorf("cluster: non-positive dimensionality %d", s.Dims)
+	}
+	return nil
+}
+
+// Key returns the spec's canonical cache key.
+func (s DatasetSpec) Key() string {
+	return fmt.Sprintf("%s/n=%d/d=%d/seed=%d", s.Gen, s.N, s.Dims, s.Seed)
+}
+
+// Build regenerates the dataset in the coordinator's canonical (min-
+// preferred) orientation. The generators already emit min-preferred values,
+// so canonicalization is a value-identity copy and the worker's rows equal
+// the coordinator's bit-for-bit.
+func (s DatasetSpec) Build() (*data.Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var ds *data.Dataset
+	switch s.Gen {
+	case GenIndependent:
+		ds = data.Independent(s.N, s.Dims, s.Seed)
+	case GenAnticorrelated:
+		ds = data.Anticorrelated(s.N, s.Dims, s.Seed)
+	case GenCorrelated:
+		ds = data.Correlated(s.N, s.Dims, s.Seed)
+	case GenForestCover:
+		full := data.SyntheticForestCover(s.N, s.Seed)
+		var err error
+		ds, err = full.Project(s.Dims)
+		if err != nil {
+			return nil, err
+		}
+	case GenRecipes:
+		full := data.SyntheticRecipes(s.N, s.Seed)
+		var err error
+		ds, err = full.Project(s.Dims)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ds.Canonicalize(geom.MinPrefs(ds.Dims()))
+}

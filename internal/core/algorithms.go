@@ -120,6 +120,13 @@ type Input struct {
 	// universe — so they are cached under IndexFree regardless of the
 	// configured mode, and are bit-identical to an unsharded IF pass.
 	Plan *ShardPlan
+	// Builder, when non-nil, replaces the built-in Phase-1 generators: the
+	// cache (when enabled) calls it to build the fingerprint on a miss, so
+	// singleflight and epoch-keying still apply. The cluster executor uses
+	// it to source signatures from remote shard workers. Builder output
+	// must be in the index-free universe (global row ids, like Plan), and
+	// is keyed as such.
+	Builder func(ctx context.Context) (*Fingerprint, error)
 }
 
 // reader returns the index reader the pipeline should query: the per-query
@@ -156,6 +163,9 @@ func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, bool,
 		return nil, false, err
 	}
 	build := func() (*Fingerprint, error) {
+		if in.Builder != nil {
+			return in.Builder(ctx)
+		}
 		if in.Plan != nil {
 			return SigGenShardedCtx(ctx, in.Plan, in.Data, fam, cfg.Workers)
 		}
@@ -178,7 +188,7 @@ func fingerprint(ctx context.Context, in Input, cfg Config) (*Fingerprint, bool,
 		return fp, false, err
 	}
 	key := FingerprintKey{Epoch: in.Epoch, Mode: cfg.Mode, T: cfg.SignatureSize, Seed: cfg.Seed}
-	if in.Plan != nil {
+	if in.Plan != nil || in.Builder != nil {
 		// Sharded output is IF content (global row ids): key it as such so
 		// it shares cache lines with — and never masquerades as — an
 		// index-based build.

@@ -106,6 +106,7 @@ type PlanShard struct {
 	colStore []int32    // flat backing for the nodes' column lists
 	pairs    []planPair // leaf-resolved pairs, ascending by row index
 	depth    int        // tree height, sizes the query's merge buffers
+	scanned  int        // rows this shard's query-time fold actually reads
 }
 
 // ShardPlan is the cached partitioned-execution state of one dataset
@@ -357,7 +358,8 @@ func (plan *ShardPlan) buildTrees(ctx context.Context, ds *data.Dataset) error {
 		}
 		tb := &treeBuilder{plan: plan, s: s, ds: ds, prep: prep, rect: geom.NewRect(d)}
 		tb.build(0, int32(len(s.zrows)), nil, 0)
-		plan.scanned += tb.countScanned(0, false)
+		s.scanned = tb.countScanned(0, false)
+		plan.scanned += s.scanned
 	}
 	return nil
 }
@@ -615,13 +617,99 @@ func SigGenShardedCtx(ctx context.Context, plan *ShardPlan, ds *data.Dataset, fa
 // chargeIO stamps the synthesized sequential-scan accounting of the plan's
 // hashed rows onto the fingerprint.
 func (plan *ShardPlan) chargeIO(ds *data.Dataset, out *Fingerprint) {
-	counter := pager.NewSequentialCounter(8*ds.Dims() + 4)
-	n := plan.scanned
-	out.IO = pager.Stats{
+	out.IO = SyntheticScanStats(ds.Dims(), plan.scanned)
+}
+
+// SyntheticScanStats synthesizes the sequential-scan I/O accounting for
+// reading n fixed-size records of a dims-dimensional dataset — the charge
+// model of the sharded signature fold. The cluster coordinator uses it to
+// stamp merged remote fingerprints with the same accounting the in-process
+// sharded path reports, so remote and local results agree down to the I/O
+// counters.
+func SyntheticScanStats(dims, n int) pager.Stats {
+	counter := pager.NewSequentialCounter(8*dims + 4)
+	return pager.Stats{
 		Reads:  int64(n),
 		Faults: int64(counter.PagesForRecords(n)),
 		Hits:   int64(n - counter.PagesForRecords(n)),
 	}
+}
+
+// ShardFingerprint folds the signature contribution of shard i alone into a
+// fresh fingerprint — the unit of work a remote shard worker serves. The
+// result carries no I/O stats (the coordinator synthesizes accounting from
+// the summed per-shard scan counts, see SyntheticScanStats). Merging the
+// per-shard results by per-slot minima and score sums — exactly what
+// SigGenShardedCtx's parallel path does — reproduces the full sharded
+// fingerprint bit-identically in any merge order.
+func (plan *ShardPlan) ShardFingerprint(ctx context.Context, i int, fam *minhash.Family) (*Fingerprint, error) {
+	m := len(plan.Sky)
+	if m == 0 {
+		return nil, fmt.Errorf("core: empty skyline")
+	}
+	if i < 0 || i >= len(plan.Shards) {
+		return nil, fmt.Errorf("core: shard index %d out of [0, %d)", i, len(plan.Shards))
+	}
+	fp := &Fingerprint{Matrix: minhash.NewMatrix(fam.Size(), m), DomScore: make([]float64, m)}
+	if err := plan.shardFingerprint(ctx, &plan.Shards[i], fam, fp); err != nil {
+		return nil, err
+	}
+	return fp, nil
+}
+
+// ShardScanned reports how many rows shard i's query-time fold reads — the
+// shard's share of the plan's synthetic scan accounting.
+func (plan *ShardPlan) ShardScanned(i int) int { return plan.Shards[i].scanned }
+
+// ShardFingerprintLocal computes one shard's signature contribution
+// directly — SigGen-IF restricted to the shard's row set, without building
+// or consulting a classification tree. It is the coordinator's
+// local-recompute rung for a failed remote shard: given the merged skyline
+// and the shard's global row ids, the output fingerprint and scan count are
+// bit-identical to ShardFingerprint for the same shard, because both fold
+// per-slot minima of the same hashed global row ids and both count exactly
+// the rows dominated by at least one skyline column.
+func ShardFingerprintLocal(ctx context.Context, ds *data.Dataset, sky []int, rows []int, fam *minhash.Family) (*Fingerprint, int, error) {
+	m := len(sky)
+	if m == 0 {
+		return nil, 0, fmt.Errorf("core: empty skyline")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	t := fam.Size()
+	fp := &Fingerprint{Matrix: minhash.NewMatrix(t, m), DomScore: make([]float64, m)}
+	prep := prepareSkyline(ds, sky)
+	inSky := newBitset(ds.Len())
+	for _, s := range sky {
+		inSky.set(s)
+	}
+	sc := getSigScratch(t)
+	defer sc.release()
+	hv := sc.hv
+	scanned := 0
+	for n, r := range rows {
+		if n&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
+		if inSky.get(r) || ds.Deleted(r) {
+			continue
+		}
+		p := ds.Point(r)
+		sc.cols = prep.dominators(sc.cols[:0], p, geom.L1(p))
+		if len(sc.cols) == 0 {
+			continue
+		}
+		scanned++
+		minHv := fam.HashAllGroupMin(hv, uint64(r), sc.gm)
+		for _, c := range sc.cols {
+			fp.Matrix.UpdateColumnGrouped(int(c), hv, sc.gm, minHv)
+			fp.DomScore[c]++
+		}
+	}
+	return fp, scanned, nil
 }
 
 // shardFingerprint folds one shard's classification tree into fp with a

@@ -217,6 +217,15 @@ func (b *Breaker) Record(err error) {
 	if !fault && !success {
 		return
 	}
+	b.RecordOutcome(fault)
+}
+
+// RecordOutcome reports a raw success/failure outcome of an operation that
+// Allow let through, for owners whose failure taxonomy is not the pager's
+// fault sentinels — the cluster executor wraps its per-node RPC breakers
+// around this same state machine, counting any retryable remote failure as
+// a fault.
+func (b *Breaker) RecordOutcome(fault bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {

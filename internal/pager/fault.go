@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"skydiver/internal/retry"
 )
 
 // Fault sentinels. Injected read failures wrap one of these two errors, so
@@ -221,20 +223,10 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxRetries: 4, BaseDelay: 100 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
 }
 
-// Backoff returns the sleep before retry attempt (0-based).
+// Backoff returns the sleep before retry attempt (0-based). The arithmetic
+// lives in internal/retry, shared with the admission queue wait and the
+// cluster RPC envelope; the read path keeps it un-jittered so per-query I/O
+// timing stays deterministic under injected faults.
 func (r RetryPolicy) Backoff(attempt int) time.Duration {
-	if r.BaseDelay <= 0 {
-		return 0
-	}
-	d := r.BaseDelay
-	for i := 0; i < attempt; i++ {
-		d *= 2
-		if r.MaxDelay > 0 && d >= r.MaxDelay {
-			return r.MaxDelay
-		}
-	}
-	if r.MaxDelay > 0 && d > r.MaxDelay {
-		d = r.MaxDelay
-	}
-	return d
+	return retry.Policy{MaxRetries: r.MaxRetries, BaseDelay: r.BaseDelay, MaxDelay: r.MaxDelay}.Backoff(attempt)
 }

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"skydiver/internal/retry"
 )
 
 // PageSize is the fixed page size in bytes (4 KiB, as in the paper).
@@ -378,32 +380,13 @@ func (bp *BufferPool) readPhysical(ctx context.Context, id PageID) ([]byte, erro
 	for attempt := 0; err != nil && errors.Is(err, ErrTransientFault) && attempt < bp.retry.MaxRetries; attempt++ {
 		bp.stats.Retries++
 		if d := bp.retry.Backoff(attempt); d > 0 {
-			if serr := sleepCtx(ctx, d); serr != nil {
+			if serr := retry.Sleep(ctx, d); serr != nil {
 				return nil, serr
 			}
 		}
 		raw, err = read()
 	}
 	return raw, err
-}
-
-// sleepCtx sleeps for d or until ctx expires, whichever comes first.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if ctx.Done() == nil {
-		time.Sleep(d)
-		return nil
-	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-timer.C:
-		return ctx.Err()
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // Put installs a decoded payload for page id (e.g. right after building and

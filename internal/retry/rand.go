@@ -1,0 +1,21 @@
+package retry
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// The package-level jitter source. math/rand's global source would do, but a
+// private one keeps this package's draws from perturbing deterministic
+// sequences elsewhere (fault injectors seed the global conventions).
+var (
+	randMu  sync.Mutex
+	randSrc = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func defaultRand() float64 {
+	randMu.Lock()
+	defer randMu.Unlock()
+	return randSrc.Float64()
+}

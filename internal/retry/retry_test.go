@@ -1,0 +1,110 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffCapExponential(t *testing.T) {
+	p := Policy{MaxRetries: 10, BaseDelay: 100 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
+	want := []time.Duration{
+		100 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond,
+		800 * time.Microsecond, 1600 * time.Microsecond, 3200 * time.Microsecond,
+		5 * time.Millisecond, 5 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffZeroBase(t *testing.T) {
+	p := Policy{BaseDelay: 0}
+	if got := p.Backoff(3); got != 0 {
+		t.Fatalf("Backoff with zero base = %v, want 0", got)
+	}
+}
+
+func TestBackoffUncapped(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond}
+	if got := p.Backoff(4); got != 16*time.Millisecond {
+		t.Fatalf("uncapped Backoff(4) = %v, want 16ms", got)
+	}
+}
+
+func TestDelayFullJitterBounds(t *testing.T) {
+	seq := []float64{0, 0.25, 0.5, 0.999}
+	i := 0
+	p := Policy{
+		BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, FullJitter: true,
+		Rand: func() float64 { v := seq[i%len(seq)]; i++; return v },
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		cap := p.Backoff(attempt)
+		d := p.Delay(attempt)
+		if d < 0 || d >= cap {
+			t.Errorf("Delay(%d) = %v out of [0, %v)", attempt, d, cap)
+		}
+		want := time.Duration(seq[attempt] * float64(cap))
+		if d != want {
+			t.Errorf("Delay(%d) = %v, want %v (r=%v)", attempt, d, want, seq[attempt])
+		}
+	}
+}
+
+func TestDelayWithoutJitterIsDeterministic(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	for attempt := 0; attempt < 5; attempt++ {
+		if p.Delay(attempt) != p.Backoff(attempt) {
+			t.Fatalf("un-jittered Delay(%d) diverged from Backoff", attempt)
+		}
+	}
+}
+
+func TestWaitUsesSleeperHook(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		BaseDelay: time.Second, MaxDelay: 4 * time.Second,
+		Sleeper: func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil },
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := p.Wait(context.Background(), attempt); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second}
+	for i, w := range want {
+		if slept[i] != w {
+			t.Fatalf("sleeper saw %v at attempt %d, want %v", slept[i], i, w)
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// Expired context beats even a zero sleep.
+	if err := Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("zero Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// A short real sleep with a far deadline completes with nil.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if err := Sleep(ctx2, time.Microsecond); err != nil {
+		t.Fatalf("short Sleep: %v", err)
+	}
+}
+
+func TestSleepDeadlineExpires(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	if err := Sleep(ctx, time.Second); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Sleep past deadline = %v, want DeadlineExceeded", err)
+	}
+}

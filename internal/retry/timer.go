@@ -1,0 +1,24 @@
+package retry
+
+import "time"
+
+// Timer is a select-friendly timeout: a channel that fires once after the
+// requested duration, plus a Stop that releases the underlying resources.
+// Waits that cannot use Sleep — they select the timeout against other
+// channels, like the admission queue racing a grant against its deadline —
+// take a TimerFunc so tests can substitute a hand-fired channel for the
+// wall clock.
+type Timer struct {
+	C    <-chan time.Time
+	Stop func()
+}
+
+// TimerFunc constructs a Timer for a duration. NewTimer is the production
+// implementation.
+type TimerFunc func(d time.Duration) Timer
+
+// NewTimer returns a Timer backed by time.NewTimer.
+func NewTimer(d time.Duration) Timer {
+	t := time.NewTimer(d)
+	return Timer{C: t.C, Stop: func() { t.Stop() }}
+}

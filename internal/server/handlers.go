@@ -19,6 +19,7 @@ import (
 
 	"skydiver"
 	"skydiver/internal/admission"
+	"skydiver/internal/httpx"
 )
 
 // Config configures a Server. The zero value of every field is usable.
@@ -43,6 +44,10 @@ type Config struct {
 	// Chaos enables the fault-injection admin endpoints (/boom and
 	// POST /datasets/{name}/faults) used by skyblast and the smoke tests.
 	Chaos bool
+	// ShardWorkers, when non-empty, are the skyshardd worker base URLs
+	// offered to queries that ask for remote shard execution (?remote=1).
+	// Remote queries on a server with no fleet are rejected as invalid.
+	ShardWorkers []string
 	// Logf receives diagnostics (panics, lifecycle events). nil = log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -54,7 +59,7 @@ type Server struct {
 	reg       *Registry
 	mux       *http.ServeMux
 	handler   http.Handler
-	gate      drainGate
+	gate      httpx.DrainGate
 	tenants   *tenantTable
 	responses *counters
 	panics    atomic.Int64
@@ -121,21 +126,21 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // BeginDrain flips the server unready: /readyz starts failing and new
 // queries are refused with 503 while in-flight ones run on. Idempotent.
-func (s *Server) BeginDrain() { s.gate.beginDrain() }
+func (s *Server) BeginDrain() { s.gate.BeginDrain() }
 
 // Drain gracefully stops the server: BeginDrain, then wait until every
 // in-flight query has finished (or ctx expires — the error then reports how
 // many were abandoned), then evict and close every dataset.
 func (s *Server) Drain(ctx context.Context) error {
-	s.gate.beginDrain()
-	if n := s.gate.wait(ctx); n > 0 {
+	s.gate.BeginDrain()
+	if n := s.gate.Wait(ctx); n > 0 {
 		return fmt.Errorf("server: drain deadline passed with %d queries in flight: %w", n, ctx.Err())
 	}
 	return s.reg.CloseAll(ctx)
 }
 
 // Draining reports whether drain has started.
-func (s *Server) Draining() bool { return s.gate.isDraining() }
+func (s *Server) Draining() bool { return s.gate.IsDraining() }
 
 // QueryResponse is the JSON shape of a 200 /query response. Status is the
 // response class (full / partial / degraded); Reason carries the
@@ -158,17 +163,20 @@ type QueryResponse struct {
 	IOSeconds         float64  `json:"io_seconds"`
 	PageFaults        int64    `json:"page_faults"`
 	FingerprintCached bool     `json:"fingerprint_cached"`
+	// Remote reports how a ?remote=1 query's shards were served and what
+	// the failover envelope spent; omitted for local queries.
+	Remote *skydiver.RemoteShardStats `json:"remote,omitempty"`
 }
 
 // handleQuery serves GET /query. Parameters: dataset, k, algo (mh/lsh/sg/bf),
 // t, index, seed, workers, nocache, budget, degraded, timeout, points,
 // tenant (also the X-Tenant header).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if !s.gate.enter() {
+	if !s.gate.Enter() {
 		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
 		return
 	}
-	defer s.gate.exit()
+	defer s.gate.Exit()
 
 	q := r.URL.Query()
 	tenant := r.Header.Get("X-Tenant")
@@ -214,6 +222,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, err)
 		return
+	}
+	if q.Get("remote") == "1" {
+		if len(s.cfg.ShardWorkers) == 0 {
+			s.writeError(w, fmt.Errorf("%w: remote=1 but the server has no shard workers configured", skydiver.ErrInvalidOptions))
+			return
+		}
+		opts.Remote = &skydiver.RemoteOptions{Workers: s.cfg.ShardWorkers, Sharder: q.Get("sharder")}
 	}
 
 	res, qerr := h.Dataset().DiversifyContext(ctx, opts)
@@ -288,6 +303,7 @@ func buildResponse(name string, opts skydiver.Options, res *skydiver.Result, cla
 	if wantPoints {
 		out.Points = res.Points
 	}
+	out.Remote = res.Remote
 	if out.Indexes == nil {
 		out.Indexes = []int{}
 	}
@@ -379,7 +395,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // dataset's storage circuit breaker is open (the store is sick; a load
 // balancer should prefer healthier replicas until probes close it).
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.gate.isDraining() {
+	if s.gate.IsDraining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
 		return
 	}
@@ -436,7 +452,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"server": map[string]any{
-			"draining":       s.gate.isDraining(),
+			"draining":       s.gate.IsDraining(),
 			"uptime_seconds": time.Since(s.started).Seconds(),
 			"panics":         s.panics.Load(),
 			"responses":      s.responses.snapshot(),
@@ -455,11 +471,11 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 // dataset (name, gen, n, d, seed) with optional per-dataset admission
 // (maxinflight, maxqueue, queuewait) and breaker=1.
 func (s *Server) handleOpenDataset(w http.ResponseWriter, r *http.Request) {
-	if !s.gate.enter() {
+	if !s.gate.Enter() {
 		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
 		return
 	}
-	defer s.gate.exit()
+	defer s.gate.Exit()
 	q := r.URL.Query()
 	name := q.Get("name")
 	if name == "" {
@@ -568,11 +584,11 @@ func (s *Server) handleEvictDataset(w http.ResponseWriter, r *http.Request) {
 // id plus the dataset's new epoch. The library maintains the skyline, the
 // index and resident fingerprints incrementally, so the next /query is warm.
 func (s *Server) handleInsertPoint(w http.ResponseWriter, r *http.Request) {
-	if !s.gate.enter() {
+	if !s.gate.Enter() {
 		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
 		return
 	}
-	defer s.gate.exit()
+	defer s.gate.Exit()
 	name := r.PathValue("name")
 	h, err := s.reg.Acquire(name)
 	if err != nil {
@@ -621,11 +637,11 @@ type batchRequest struct {
 // all-or-nothing: a malformed point or row id rejects the batch with 400/404
 // and no mutation.
 func (s *Server) handleBatchPoints(w http.ResponseWriter, r *http.Request) {
-	if !s.gate.enter() {
+	if !s.gate.Enter() {
 		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
 		return
 	}
-	defer s.gate.exit()
+	defer s.gate.Exit()
 	name := r.PathValue("name")
 	h, err := s.reg.Acquire(name)
 	if err != nil {
@@ -668,11 +684,11 @@ func (s *Server) handleBatchPoints(w http.ResponseWriter, r *http.Request) {
 // the row (404 when it does not exist or was already deleted). Remaining row
 // ids are unchanged.
 func (s *Server) handleDeletePoint(w http.ResponseWriter, r *http.Request) {
-	if !s.gate.enter() {
+	if !s.gate.Enter() {
 		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
 		return
 	}
-	defer s.gate.exit()
+	defer s.gate.Exit()
 	name := r.PathValue("name")
 	row, err := strconv.Atoi(r.PathValue("row"))
 	if err != nil {

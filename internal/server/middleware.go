@@ -8,17 +8,16 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
 	"skydiver"
 	"skydiver/internal/admission"
+	"skydiver/internal/httpx"
 )
 
 // Response classes. Every response the server writes is counted under
@@ -60,7 +59,8 @@ func classify(err error) (status int, class string) {
 		errors.Is(err, skydiver.ErrDatasetClosed),
 		errors.Is(err, skydiver.ErrCircuitOpen),
 		errors.Is(err, skydiver.ErrTransientFault),
-		errors.Is(err, skydiver.ErrPermanentFault):
+		errors.Is(err, skydiver.ErrPermanentFault),
+		errors.Is(err, skydiver.ErrRemoteUnavailable):
 		return http.StatusServiceUnavailable, ClassUnavailable
 	case errors.Is(err, skydiver.ErrInvalidOptions):
 		return http.StatusBadRequest, ClassBadRequest
@@ -94,51 +94,20 @@ func (c *counters) snapshot() map[string]int64 {
 	return out
 }
 
-// statusRecorder remembers whether (and with what status) a handler already
-// wrote, so panic recovery knows if a clean 500 is still possible and the
-// response-class accounting can verify a class was assigned.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-	wrote  bool
-}
-
-func (w *statusRecorder) WriteHeader(status int) {
-	if !w.wrote {
-		w.status = status
-		w.wrote = true
-	}
-	w.ResponseWriter.WriteHeader(status)
-}
-
-func (w *statusRecorder) Write(b []byte) (int, error) {
-	if !w.wrote {
-		w.status = http.StatusOK
-		w.wrote = true
-	}
-	return w.ResponseWriter.Write(b)
-}
-
 // recoverPanics converts a handler panic into a 500 response (when the
 // header has not been sent yet) and keeps the process alive. The panic
-// count is surfaced in /stats; the stack goes to the server's logger.
+// count is surfaced in /stats; the stack goes to the server's logger. The
+// mechanics live in httpx.Recover, shared with the cluster shard worker.
 func (s *Server) recoverPanics(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w}
-		defer func() {
-			if p := recover(); p != nil {
-				s.panics.Add(1)
-				s.responses.inc(ClassPanic)
-				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
-				if !rec.wrote {
-					writeJSON(rec, http.StatusInternalServerError, errorBody{
-						Error: fmt.Sprintf("internal error: %v", p),
-						Class: ClassPanic,
-					})
-				}
-			}
-		}()
-		next.ServeHTTP(rec, r)
+	return httpx.Recover(next, httpx.RecoverOptions{
+		Logf: s.logf,
+		OnPanic: func(any) {
+			s.panics.Add(1)
+			s.responses.inc(ClassPanic)
+		},
+		Body: func(p any) any {
+			return errorBody{Error: fmt.Sprintf("internal error: %v", p), Class: ClassPanic}
+		},
 	})
 }
 
@@ -147,23 +116,10 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 // ?timeout= deadline, clamped to the server's MaxTimeout ceiling. The
 // returned cancel must always be called.
 func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
-	ctx := r.Context()
-	d := s.cfg.DefaultTimeout
-	if raw := r.URL.Query().Get("timeout"); raw != "" {
-		parsed, err := time.ParseDuration(raw)
-		if err != nil || parsed <= 0 {
-			return nil, nil, fmt.Errorf("%w: timeout %q, want a positive duration", skydiver.ErrInvalidOptions, raw)
-		}
-		d = parsed
+	ctx, cancel, err := httpx.Timeout(r, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %s", skydiver.ErrInvalidOptions, err)
 	}
-	if max := s.cfg.MaxTimeout; max > 0 && (d == 0 || d > max) {
-		d = max
-	}
-	if d > 0 {
-		ctx, cancel := context.WithTimeout(ctx, d)
-		return ctx, cancel, nil
-	}
-	ctx, cancel := context.WithCancel(ctx)
 	return ctx, cancel, nil
 }
 
@@ -210,84 +166,9 @@ func (t *tenantTable) snapshot() map[string]admission.Stats {
 	return out
 }
 
-// drainGate sheds new requests once draining starts and lets Drain wait for
-// the in-flight ones. A plain sync.WaitGroup would race Add against Wait;
-// the gate serializes admission and drain under one lock.
-type drainGate struct {
-	mu       sync.Mutex
-	n        int
-	draining bool
-	idle     chan struct{} // created on drain, closed when n reaches 0
-}
-
-// enter admits a request (true) or reports that the server is draining
-// (false). Every successful enter must be paired with exit.
-func (g *drainGate) enter() bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.draining {
-		return false
-	}
-	g.n++
-	return true
-}
-
-func (g *drainGate) exit() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.n--
-	if g.draining && g.n == 0 && g.idle != nil {
-		close(g.idle)
-		g.idle = nil
-	}
-}
-
-// beginDrain flips the gate; subsequent enters fail. Idempotent.
-func (g *drainGate) beginDrain() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if !g.draining {
-		g.draining = true
-		if g.n > 0 {
-			g.idle = make(chan struct{})
-		}
-	}
-}
-
-// wait blocks until every in-flight request has exited or ctx expires. It
-// returns the number of requests still in flight (0 on a clean drain).
-func (g *drainGate) wait(ctx context.Context) int {
-	g.mu.Lock()
-	idle := g.idle
-	n := g.n
-	g.mu.Unlock()
-	if n == 0 || idle == nil {
-		return 0
-	}
-	select {
-	case <-idle:
-		return 0
-	case <-ctx.Done():
-		g.mu.Lock()
-		defer g.mu.Unlock()
-		return g.n
-	}
-}
-
-// isDraining reports the gate state.
-func (g *drainGate) isDraining() bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.draining
-}
-
 // writeJSON writes a JSON body with the given status.
 func writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(body)
+	httpx.WriteJSON(w, status, body)
 }
 
 // writeError writes the taxonomy-mapped error response and counts its class.

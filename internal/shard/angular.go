@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"skydiver/internal/data"
+)
+
+// Angular is an angle-based sharder: points are mapped to hyperspherical
+// angular coordinates around the (per-axis) minimum corner and split at
+// equi-depth angle quantiles, one angle axis per recursion level. On
+// anticorrelated data — where every skyline point hugs the antidiagonal and
+// an equi-depth coordinate grid therefore concentrates the whole skyline in
+// a thin band of cells — angular cuts slice *across* the antidiagonal, so
+// each shard receives a proportionate slice of the skyline and the local
+// skylines stay balanced (the observation behind angle-based space
+// partitioning for parallel skyline computation).
+//
+// Like every Sharder, Angular only changes which rows go where: the merged
+// skyline and signatures are bit-identical to any other partitioning.
+type Angular struct{}
+
+// Name returns "angle".
+func (Angular) Name() string { return "angle" }
+
+// Partition implements Sharder.
+func (Angular) Partition(ds *data.Dataset, n int) ([][]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: non-positive shard count %d", n)
+	}
+	live := make([]int, 0, ds.LiveLen())
+	for i := 0; i < ds.Len(); i++ {
+		if !ds.Deleted(i) {
+			live = append(live, i)
+		}
+	}
+	if n == 1 {
+		return [][]int{live}, nil
+	}
+
+	angles := angleCoords(ds, live)
+	axes := len(angles) // d-1 angle axes (1 for 1-D data: the raw coordinate)
+	fanouts := assignFanouts(n, axes)
+
+	// Positions into live, split recursively like Grid but keyed on angles.
+	pos := make([]int, len(live))
+	for i := range pos {
+		pos[i] = i
+	}
+	shards := make([][]int, 0, n)
+	var split func(ps []int, level int)
+	split = func(ps []int, level int) {
+		if level == len(fanouts) {
+			out := make([]int, len(ps))
+			for i, p := range ps {
+				out[i] = live[p]
+			}
+			sort.Ints(out)
+			shards = append(shards, out)
+			return
+		}
+		axis := angles[level%axes]
+		f := fanouts[level]
+		sorted := append([]int(nil), ps...)
+		sort.Slice(sorted, func(a, b int) bool {
+			va, vb := axis[sorted[a]], axis[sorted[b]]
+			if va != vb {
+				return va < vb
+			}
+			return live[sorted[a]] < live[sorted[b]]
+		})
+		for g := 0; g < f; g++ {
+			lo, hi := g*len(sorted)/f, (g+1)*len(sorted)/f
+			split(sorted[lo:hi], level+1)
+		}
+	}
+	split(pos, 0)
+	if len(shards) != n {
+		return nil, fmt.Errorf("shard: angular produced %d shards, want %d", len(shards), n)
+	}
+	return shards, nil
+}
+
+// angleCoords maps every row to hyperspherical angles around the dataset's
+// minimum corner: with q the point shifted to non-negative coordinates,
+// angle j is atan2(‖q[j+1:]‖₂, q[j]) — the standard construction, computed
+// suffix-norm first so each row costs O(d). 1-D data has no angles; the
+// single shifted coordinate is used so the split remains equi-depth.
+// Returned as one slice per angle axis, indexed by position in rows.
+func angleCoords(ds *data.Dataset, rows []int) [][]float64 {
+	d := ds.Dims()
+	lo := make([]float64, d)
+	for j := range lo {
+		lo[j] = math.Inf(1)
+	}
+	for _, r := range rows {
+		p := ds.Point(r)
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+		}
+	}
+	if d == 1 {
+		axis := make([]float64, len(rows))
+		for i, r := range rows {
+			axis[i] = ds.Point(r)[0] - lo[0]
+		}
+		return [][]float64{axis}
+	}
+	angles := make([][]float64, d-1)
+	for j := range angles {
+		angles[j] = make([]float64, len(rows))
+	}
+	q := make([]float64, d)
+	for i, r := range rows {
+		p := ds.Point(r)
+		for j := range q {
+			q[j] = p[j] - lo[j]
+		}
+		// Suffix Euclidean norms: suffix = ‖q[j+1:]‖₂ as j walks down.
+		suffix := 0.0
+		for j := d - 1; j >= 1; j-- {
+			suffix = math.Hypot(suffix, q[j])
+			angles[j-1][i] = math.Atan2(suffix, q[j-1])
+		}
+	}
+	return angles
+}

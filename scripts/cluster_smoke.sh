@@ -1,0 +1,91 @@
+#!/usr/bin/env sh
+# cluster_smoke.sh — end-to-end smoke of multi-node shard execution: build
+# skyshardd, skyserved and skyblast, boot a two-worker shard fleet plus the
+# coordinator front end, replay mixed query waves including the ?remote=1
+# class, SIGKILL one worker mid-wave (the coordinator must fail over and keep
+# every full response bit-identical to the remote baseline), restart it, then
+# drain everything cleanly.
+set -eu
+
+ADDR="${SKYSERVED_ADDR:-127.0.0.1:18070}"
+W1="${SKYSHARDD_ADDR1:-127.0.0.1:18071}"
+W2="${SKYSHARDD_ADDR2:-127.0.0.1:18072}"
+SECONDS_RUN="${SKYBLAST_SECONDS:-10}"
+BIN="$(mktemp -d)"
+SRVLOG="$BIN/skyserved.log"
+W1LOG="$BIN/worker1.log"
+W2LOG="$BIN/worker2.log"
+
+cleanup() {
+    [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "${W1_PID:-}" ] && kill "$W1_PID" 2>/dev/null || true
+    [ -n "${W2_PID:-}" ] && kill "$W2_PID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+echo "cluster-smoke: building binaries"
+go build -o "$BIN/skyshardd" ./cmd/skyshardd
+go build -o "$BIN/skyserved" ./cmd/skyserved
+go build -o "$BIN/skyblast" ./cmd/skyblast
+
+echo "cluster-smoke: starting shard workers on $W1 and $W2"
+"$BIN/skyshardd" -addr "$W1" >"$W1LOG" 2>&1 &
+W1_PID=$!
+"$BIN/skyshardd" -addr "$W2" >"$W2LOG" 2>&1 &
+W2_PID=$!
+
+echo "cluster-smoke: starting skyserved on $ADDR with the shard fleet"
+"$BIN/skyserved" -addr "$ADDR" -n 8000 -chaos -drain 10s \
+    -shard-workers "http://$W1,http://$W2" >"$SRVLOG" 2>&1 &
+SRV_PID=$!
+
+echo "cluster-smoke: blasting for ${SECONDS_RUN}s with the remote wave enabled"
+"$BIN/skyblast" -url "http://$ADDR" -seconds "$SECONDS_RUN" -clients 8 -remote &
+BLAST_PID=$!
+
+# Mid-wave chaos: hard-kill worker 2, let the coordinator fail over to
+# worker 1 (and its local rung) for a while, then bring a fresh worker back
+# on the same address.
+sleep $((SECONDS_RUN / 3))
+echo "cluster-smoke: SIGKILL worker 2 mid-wave"
+kill -9 "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+sleep $((SECONDS_RUN / 3))
+echo "cluster-smoke: restarting worker 2"
+"$BIN/skyshardd" -addr "$W2" >>"$W2LOG" 2>&1 &
+W2_PID=$!
+
+if ! wait "$BLAST_PID"; then
+    echo "cluster-smoke: FAIL — skyblast reported invariant violations" >&2
+    sed -n '1,50p' "$SRVLOG" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: draining the fleet with SIGTERM"
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+    echo "cluster-smoke: FAIL — skyserved did not drain cleanly" >&2
+    tail -20 "$SRVLOG" >&2
+    exit 1
+fi
+SRV_PID=""
+grep -q "drained cleanly" "$SRVLOG" || {
+    echo "cluster-smoke: FAIL — no clean skyserved drain line" >&2
+    tail -20 "$SRVLOG" >&2
+    exit 1
+}
+kill -TERM "$W1_PID"
+if ! wait "$W1_PID"; then
+    echo "cluster-smoke: FAIL — worker 1 did not drain cleanly" >&2
+    tail -20 "$W1LOG" >&2
+    exit 1
+fi
+W1_PID=""
+grep -q "drained cleanly" "$W1LOG" || {
+    echo "cluster-smoke: FAIL — no clean worker drain line" >&2
+    tail -20 "$W1LOG" >&2
+    exit 1
+}
+echo "cluster-smoke: PASS"

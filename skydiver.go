@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"skydiver/internal/admission"
+	"skydiver/internal/cluster"
 	"skydiver/internal/core"
 	"skydiver/internal/data"
 	"skydiver/internal/geom"
@@ -170,6 +171,16 @@ type Options struct {
 	// setting, as do budgeted and degraded queries (the resilience ladder
 	// stays on the unsharded path).
 	Shards int
+	// Remote, when non-nil, dispatches the per-shard skyline and signature
+	// work of MinHash/LSH queries to a worker fleet over HTTP instead of
+	// computing it in-process. Results stay bit-identical to the local
+	// sharded (and unsharded) paths: workers regenerate the dataset from
+	// its generator spec, per-shard replies are checksummed and
+	// merge-verified, and any shard the fleet cannot serve is recomputed
+	// locally (unless NoLocalFallback). Only datasets built by Generate are
+	// remotable. Greedy and Exact ignore the setting; Budget is not
+	// supported on the remote path.
+	Remote *RemoteOptions
 }
 
 // Result reports the chosen diverse skyline points.
@@ -208,6 +219,12 @@ type Result struct {
 	// DegradedReason is the machine-readable rung that produced a Degraded
 	// result: one of the Degraded* constants. Empty when Degraded is false.
 	DegradedReason string
+	// Remote reports how a remote-shard query (Options.Remote) was served:
+	// shards answered by the fleet versus recomputed locally, and the work
+	// the resilience envelope spent (retries, hedges, failovers, breaker
+	// fast-fails). Nil for local queries, and for remote queries whose
+	// Phase 1 was served from the fingerprint cache (no shard work ran).
+	Remote *RemoteShardStats
 }
 
 // Dataset is an indexed multidimensional dataset ready for skyline
@@ -260,11 +277,21 @@ type Dataset struct {
 	// where possible and drop the rest.
 	fpCache *core.FingerprintCache
 
-	// plans caches partitioned-execution state per requested shard count
-	// (Options.Shards), built lazily on the first sharded query. Every
-	// entry is epoch-stamped; mutations drop the map and a lookup whose
-	// epoch is stale rebuilds. Guarded by mu.
-	plans map[int]*core.ShardPlan
+	// plans caches partitioned-execution state per (sharder, shard count),
+	// built lazily on the first sharded query. Every entry is
+	// epoch-stamped; mutations drop the map and a lookup whose epoch is
+	// stale rebuilds. Guarded by mu.
+	plans map[string]*core.ShardPlan
+
+	// spec, when non-nil, names this dataset in the cluster wire format so
+	// remote shard workers can regenerate it bit-for-bit. Set only by
+	// Generate — loaded or hand-built datasets are not remotable.
+	spec *cluster.DatasetSpec
+
+	// remotes caches remote shard executors per fleet configuration, so
+	// breaker state and latency windows persist across queries. Guarded by
+	// mu.
+	remotes map[string]*cluster.Executor
 
 	// limiter, when non-nil, gates DiversifyContext behind admission
 	// control (SetAdmissionPolicy). Guarded by mu; internally locked.
@@ -463,13 +490,14 @@ func (d *Dataset) skylineWith(ctx context.Context, sess *rtree.Session) ([]int, 
 // silently change results. Callers hold qmu's read side (so the epoch is
 // stable for the whole query); the build itself serializes on mu like the
 // other lazy constructions.
-func (d *Dataset) ensureShardPlan(ctx context.Context, n int, sky []int) (*core.ShardPlan, error) {
+func (d *Dataset) ensureShardPlan(ctx context.Context, sh shard.Sharder, n int, sky []int) (*core.ShardPlan, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return nil, ErrDatasetClosed
 	}
-	if p := d.plans[n]; p != nil && p.Epoch == d.epoch {
+	key := fmt.Sprintf("%s/%d", sh.Name(), n)
+	if p := d.plans[key]; p != nil && p.Epoch == d.epoch {
 		return p, nil
 	}
 	// Shard trees must fault like the main index: hand every freshly built
@@ -481,7 +509,7 @@ func (d *Dataset) ensureShardPlan(ctx context.Context, n int, sky []int) (*core.
 			configure = func(tr *rtree.Tree) { tr.Store().SetFaultInjector(fi) }
 		}
 	}
-	plan, err := core.BuildShardPlan(ctx, d.canon, shard.Grid{}, n, d.epoch, configure)
+	plan, err := core.BuildShardPlan(ctx, d.canon, sh, n, d.epoch, configure)
 	if err != nil {
 		return nil, err
 	}
@@ -489,9 +517,9 @@ func (d *Dataset) ensureShardPlan(ctx context.Context, n int, sky []int) (*core.
 		return nil, fmt.Errorf("skydiver: internal: merged sharded skyline diverged from the unsharded skyline (%d vs %d points)", len(plan.Sky), len(sky))
 	}
 	if d.plans == nil {
-		d.plans = make(map[int]*core.ShardPlan)
+		d.plans = make(map[string]*core.ShardPlan)
 	}
-	d.plans[n] = plan
+	d.plans[key] = plan
 	return plan, nil
 }
 
@@ -708,6 +736,9 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 	// the selection run against one consistent epoch.
 	d.qmu.RLock()
 	defer d.qmu.RUnlock()
+	if opts.Remote != nil && (opts.Algorithm == MinHash || opts.Algorithm == LSH) {
+		return d.diversifyRemote(ctx, opts)
+	}
 	if opts.Budget.Enabled() || opts.AllowDegraded {
 		return d.diversifyResilient(ctx, opts)
 	}
@@ -723,7 +754,7 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 	}
 	in := core.Input{Data: d.canon, Sky: sky, Tree: sess.Tree(), Session: sess, Cache: d.fpCache, Epoch: d.epoch}
 	if opts.Shards >= 2 && (opts.Algorithm == MinHash || opts.Algorithm == LSH) {
-		plan, err := d.ensureShardPlan(ctx, opts.Shards, sky)
+		plan, err := d.ensureShardPlan(ctx, shard.Grid{}, opts.Shards, sky)
 		if err != nil {
 			return nil, wrapCtxErr(err)
 		}
