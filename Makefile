@@ -10,7 +10,7 @@ BENCH_OUT ?= .
 # paths and accidental O(n²), not scheduler noise.
 BENCH_TOL ?= 3.0
 
-.PHONY: build vet test race concurrency resilience serve serve-smoke cluster cluster-smoke stress fuzz verify bench benchgate bench-full
+.PHONY: build vet test race concurrency resilience serve serve-smoke cluster cluster-smoke stress fuzz verify bench benchgate bench-full bench-storage storage-smoke
 
 build:
 	$(GO) build ./...
@@ -117,6 +117,19 @@ bench:
 	$(GO) test -run '^$$' -bench 'RemoteServing' -benchmem -benchtime=3x -count=1 . \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_remote.json
 
+# The storage-tier suite (BENCH_storage.json): cold-open vs warm-start
+# time-to-first-result, steady-state query latency, and the bounded-memory
+# streaming pipeline, each against both page-store backends at IND-1M. The
+# suite is env-gated in the bench source (SKYDIVER_BENCH_STORAGE) so a plain
+# `go test -bench .` stays cheap; the IND-10M streaming run additionally
+# wants SKYDIVER_BENCH_STORAGE_10M and is for local use only.
+bench-storage:
+	@mkdir -p $(BENCH_OUT)
+	SKYDIVER_BENCH_STORAGE=1 $(GO) test -run '^$$' \
+		-bench 'Storage(ColdOpen|WarmOpen|SteadyState|Stream)1M' \
+		-benchmem -benchtime=1x -count=1 -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)/BENCH_storage.json
+
 # Regression gate: rerun the benchmark suites into a scratch directory and
 # compare each snapshot against its checked-in baseline with a generous
 # tolerance (see BENCH_TOL above and cmd/benchgate for the exact rules). A
@@ -130,12 +143,22 @@ benchgate:
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_dynamic.json .bench-fresh/BENCH_dynamic.json
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_shards.json .bench-fresh/BENCH_shards.json
 	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_remote.json .bench-fresh/BENCH_remote.json
+	$(MAKE) bench-storage BENCH_OUT=.bench-fresh
+	$(GO) run ./cmd/benchgate -tol $(BENCH_TOL) BENCH_storage.json .bench-fresh/BENCH_storage.json
 
 # The full multi-iteration benchmark sweep (slow; local use).
 bench-full:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
+# End-to-end smoke of the physical storage tier: datagen streams IND-1M to
+# disk, a first skydiver process builds a file-backed index and persists a
+# warm-start snapshot, the process exits (nothing survives but the two
+# files), and a second process reopens from the snapshot — whose first query
+# must be bit-identical to the cold one.
+storage-smoke:
+	sh scripts/storage_smoke.sh
+
 # Tier-1 verification: static checks, build, the full suite under the race
-# detector, and the concurrent-serving, resilience, serving-tier and
-# multi-node suites.
-verify: vet build race concurrency resilience serve cluster
+# detector, the concurrent-serving, resilience, serving-tier and multi-node
+# suites, and the storage-tier persistence smoke.
+verify: vet build race concurrency resilience serve cluster storage-smoke

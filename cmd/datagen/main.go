@@ -1,14 +1,22 @@
 // Command datagen generates the synthetic datasets of the paper's
-// evaluation (Table 4) and writes them in the repository's binary format,
-// for reuse across tool invocations.
+// evaluation (Table 4) and streams them to disk one row at a time, so a
+// 10M-row dataset is generated once and reused across tool invocations
+// without ever residing in memory.
+//
+// The default -format binary emits the repository's .skd format, readable
+// by skydiver -in (materialized or -stream) and by skydiver.OpenDatasetSource.
+// -format json emits one JSON array per row for interop with other tooling.
 //
 // Examples:
 //
-//	datagen -dist ant -n 5000000 -d 4 -out ant-5m-4d.sky
-//	datagen -dist fc -n 0 -out fc.sky   # full 581,012-row Forest Cover stand-in
+//	datagen -dist ant -n 5000000 -d 4 -out ant-5m-4d.skd
+//	datagen -dist fc -n 0 -out fc.skd          # full 581,012-row Forest Cover stand-in
+//	datagen -dist ind -n 1000 -format json -out ind.json
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,12 +33,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dist = fs.String("dist", "ind", "distribution: ind, ant, corr, clust, fc, rec")
-		n    = fs.Int("n", 1000000, "cardinality (fc/rec default to the paper sizes when 0)")
-		d    = fs.Int("d", 4, "dimensionality (ignored by fc/rec, which are 7-dimensional)")
-		k    = fs.Int("clusters", 8, "cluster count for -dist clust")
-		seed = fs.Int64("seed", 1, "random seed")
-		out  = fs.String("out", "", "output file (required)")
+		dist   = fs.String("dist", "ind", "distribution: ind, ant, corr, clust, fc, rec")
+		n      = fs.Int("n", 1000000, "cardinality (fc/rec default to the paper sizes when 0)")
+		d      = fs.Int("d", 4, "dimensionality (ignored by fc/rec, which are 7-dimensional)")
+		k      = fs.Int("clusters", 8, "cluster count for -dist clust")
+		seed   = fs.Int64("seed", 1, "random seed")
+		out    = fs.String("out", "", "output file (required; .skd suffix conventional for binary)")
+		format = fs.String("format", "binary", "output format: binary (.skd, streamed) or json (one row per line)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -39,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "datagen: -out is required")
 		return 2
 	}
-	ds, err := generate(*dist, *n, *d, *k, *seed)
+	src, err := source(*dist, *n, *d, *k, *seed)
 	if err != nil {
 		fmt.Fprintf(stderr, "datagen: %v\n", err)
 		return 2
@@ -49,30 +58,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "datagen: %v\n", err)
 		return 1
 	}
-	defer f.Close()
-	if err := ds.Write(f); err != nil {
+	switch *format {
+	case "binary":
+		err = data.WriteSource(f, src)
+	case "json":
+		err = writeJSON(f, src)
+	default:
+		f.Close()
+		os.Remove(*out)
+		fmt.Fprintf(stderr, "datagen: unknown format %q (want binary or json)\n", *format)
+		return 2
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(*out)
 		fmt.Fprintf(stderr, "datagen: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "wrote %s: n=%d d=%d\n", *out, ds.Len(), ds.Dims())
+	fmt.Fprintf(stdout, "wrote %s: %s n=%d d=%d\n", *out, src.Name(), src.Len(), src.Dims())
 	return 0
 }
 
-func generate(dist string, n, d, k int, seed int64) (*data.Dataset, error) {
+// source builds the streaming generator for a distribution; nothing is
+// materialized, so -n 10000000 costs one row of memory.
+func source(dist string, n, d, k int, seed int64) (data.Source, error) {
 	switch dist {
 	case "ind":
-		return data.Independent(n, d, seed), nil
+		return data.IndependentSource(n, d, seed), nil
 	case "ant":
-		return data.Anticorrelated(n, d, seed), nil
+		return data.AnticorrelatedSource(n, d, seed), nil
 	case "corr":
-		return data.Correlated(n, d, seed), nil
+		return data.CorrelatedSource(n, d, seed), nil
 	case "clust":
-		return data.Clustered(n, d, k, seed), nil
+		return data.ClusteredSource(n, d, k, seed), nil
 	case "fc":
-		return data.SyntheticForestCover(n, seed), nil
+		return data.ForestCoverSource(n, seed), nil
 	case "rec":
-		return data.SyntheticRecipes(n, seed), nil
+		return data.RecipesSource(n, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown distribution %q", dist)
 	}
+}
+
+// writeJSON streams the source as one JSON array per line.
+func writeJSON(w io.Writer, src data.Source) error {
+	if err := src.Reset(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	for {
+		row, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,24 +12,24 @@ import (
 	"skydiver/internal/data"
 )
 
-func TestGenerateAllKinds(t *testing.T) {
+func TestSourceAllKinds(t *testing.T) {
 	for _, kind := range []string{"ind", "ant", "corr", "clust", "fc", "rec"} {
-		ds, err := generate(kind, 200, 3, 4, 1)
+		src, err := source(kind, 200, 3, 4, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
-		if ds.Len() != 200 {
-			t.Errorf("%s: n = %d", kind, ds.Len())
+		if src.Len() != 200 {
+			t.Errorf("%s: n = %d", kind, src.Len())
 		}
 	}
-	if _, err := generate("zipf", 10, 2, 2, 1); err == nil {
+	if _, err := source("zipf", 10, 2, 2, 1); err == nil {
 		t.Error("expected unknown distribution error")
 	}
 }
 
 func TestRunWritesFile(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "out.sky")
+	path := filepath.Join(dir, "out.skd")
 	var out, errBuf bytes.Buffer
 	code := run([]string{"-dist", "ind", "-n", "500", "-d", "2", "-out", path}, &out, &errBuf)
 	if code != 0 {
@@ -50,6 +52,71 @@ func TestRunWritesFile(t *testing.T) {
 	}
 }
 
+// TestRunStreamedMatchesMaterialized pins datagen's streamed output against
+// the in-memory generator: the binary file must decode to the exact rows
+// Independent materializes for the same parameters.
+func TestRunStreamedMatchesMaterialized(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ind.skd")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-dist", "ind", "-n", "300", "-d", "3", "-seed", "9", "-out", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := data.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := data.Independent(300, 3, 9)
+	if got.Name() != want.Name() {
+		t.Errorf("name %q vs %q", got.Name(), want.Name())
+	}
+	for i := 0; i < want.Len(); i++ {
+		gp, wp := got.Point(i), want.Point(i)
+		for j := range wp {
+			if gp[j] != wp[j] {
+				t.Fatalf("row %d dim %d: %v != %v", i, j, gp[j], wp[j])
+			}
+		}
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-dist", "ind", "-n", "50", "-d", "2", "-format", "json", "-out", path}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var row []float64
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("line %d: %v", rows+1, err)
+		}
+		if len(row) != 2 {
+			t.Fatalf("line %d: %d values", rows+1, len(row))
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 50 {
+		t.Errorf("rows = %d, want 50", rows)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"-dist", "ind"}, &out, &errBuf); code != 2 {
@@ -61,5 +128,9 @@ func TestRunValidation(t *testing.T) {
 	}
 	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
 		t.Errorf("bad flag must exit 2, got %d", code)
+	}
+	dir := t.TempDir()
+	if code := run([]string{"-dist", "ind", "-n", "10", "-format", "xml", "-out", filepath.Join(dir, "x")}, &out, &errBuf); code != 2 {
+		t.Errorf("bad format must exit 2, got %d", code)
 	}
 }

@@ -10,6 +10,9 @@
 //	skydiver -in hotels.csv -prefs min,max -k 5 -algo sg
 //	skydiver -gen fc -d 5 -k 10 -algo lsh -verbose
 //	skydiver -gen ant -k 10 -parallel 8 -maxinflight 2 -budget pages=512,wall=50ms -shed
+//	skydiver -gen ind -n 1000000 -k 10 -storage file -save-index ind.snap
+//	skydiver -gen ind -n 1000000 -k 10 -storage file -load-index ind.snap
+//	skydiver -in big.skd -stream -k 10 -window 4096
 //
 // Outcomes are distinguished by exit code (see -h): 0 complete, 1 error,
 // 2 bad command line, 3 partial, 4 shed by admission control, 5 degraded.
@@ -57,7 +60,7 @@ exit codes:
 
 func main() {
 	var (
-		input    = flag.String("in", "", "input file: CSV of numeric rows, or a binary .sky file from datagen (mutually exclusive with -gen)")
+		input    = flag.String("in", "", "input file: CSV of numeric rows, or a binary .skd file from datagen (mutually exclusive with -gen)")
 		gen      = flag.String("gen", "", "synthetic generator: ind, ant, corr, fc, rec")
 		n        = flag.Int("n", 100000, "cardinality for -gen")
 		d        = flag.Int("d", 4, "dimensionality for -gen")
@@ -86,6 +89,12 @@ func main() {
 
 		remote        = flag.String("remote", "", "comma-separated skyshardd worker base URLs: run Phase 1 on the fleet instead of in process (requires -gen; mh/lsh only)")
 		remoteSharder = flag.String("remote-sharder", "", "partitioning scheme for -remote: grid (default) or angle")
+
+		storage = flag.String("storage", "sim", "index page store backend: sim (simulated, default) or file (mmap-backed temp file; identical simulated accounting)")
+		saveIdx = flag.String("save-index", "", "after a successful run, persist the R*-tree plus a warm-start snapshot of its decoded-node cache to this file")
+		loadIdx = flag.String("load-index", "", "open the index from a -save-index snapshot, skipping bulk load and the first-query decode storm")
+		stream  = flag.Bool("stream", false, "bounded-memory streaming mode: never materialize the dataset (requires -gen or a binary -in file; mh/lsh only)")
+		window  = flag.Int("window", 0, "skyline window size in points for -stream's external BNL (0 = default 1024)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n\nflags:\n", os.Args[0])
@@ -105,9 +114,50 @@ func main() {
 		defer cancel()
 	}
 
+	algorithm, err := parseAlgo(*algo)
+	if err != nil {
+		fail(err)
+	}
+
+	if *stream {
+		if *useIdx || *shards > 1 || *remote != "" || *saveIdx != "" || *loadIdx != "" ||
+			*topk > 0 || *faults != "" || *breaker || *maxInFlight > 0 || *parallel > 1 ||
+			*budgetSpec != "" || *shed || strings.ToLower(*storage) == "file" {
+			fail(errors.New("-stream supports only -gen/-in, -algo mh|lsh, -k, -t, -prefs, -seed, -window, -nocache, -timeout, -json and -verbose"))
+		}
+		os.Exit(runStream(ctx, *input, *gen, *n, *d, *prefs, *seed, skydiver.Options{
+			K:             *k,
+			Algorithm:     algorithm,
+			SignatureSize: *tSig,
+			Seed:          *seed,
+			NoCache:       *noCache,
+			StreamWindow:  *window,
+		}, *jsonOut, *verbose))
+	}
+
 	ds, err := loadDataset(*input, *gen, *n, *d, *prefs, *seed)
 	if err != nil {
 		fail(err)
+	}
+	kind, err := parseStorage(*storage)
+	if err != nil {
+		fail(err)
+	}
+	if kind != skydiver.StorageSimulated {
+		if err := ds.SetStorage(kind); err != nil {
+			fail(err)
+		}
+	}
+	if *loadIdx != "" {
+		f, err := os.Open(*loadIdx)
+		if err != nil {
+			fail(err)
+		}
+		lerr := ds.LoadIndex(f)
+		f.Close()
+		if lerr != nil {
+			fail(fmt.Errorf("-load-index %s: %w", *loadIdx, lerr))
+		}
 	}
 	if *faults != "" {
 		policy, err := skydiver.ParseFaultPolicy(*faults)
@@ -152,10 +202,6 @@ func main() {
 		fmt.Printf("dataset %s: n=%d d=%d skyline=%s\n", ds.Name(), ds.Len(), ds.Dims(), skySize)
 	}
 
-	algorithm, err := parseAlgo(*algo)
-	if err != nil {
-		fail(err)
-	}
 	opts := skydiver.Options{
 		K:             *k,
 		Algorithm:     algorithm,
@@ -180,7 +226,7 @@ func main() {
 	res, err := serve(ctx, ds, opts, *parallel)
 	if err != nil && errors.Is(err, skydiver.ErrOverloaded) {
 		if *jsonOut {
-			printJSON(ds, nil, *k, algorithm, err)
+			printJSON(ds.Name(), ds.Len(), ds.Dims(), nil, *k, algorithm, err)
 		} else {
 			fmt.Fprintf(os.Stderr, "skydiver: %v\n", err)
 		}
@@ -195,7 +241,7 @@ func main() {
 	// err != nil with a non-nil res means the deadline or a signal cut the
 	// run short: res holds the valid diverse prefix selected so far.
 	if *jsonOut {
-		printJSON(ds, res, *k, algorithm, err)
+		printJSON(ds.Name(), ds.Len(), ds.Dims(), res, *k, algorithm, err)
 	} else {
 		printText(ds, res, *k, algorithm, *verbose, err)
 	}
@@ -213,8 +259,119 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skydiver: %v\n", err)
 		os.Exit(exitPartial)
 	}
+	if *saveIdx != "" {
+		if werr := writeSnapshot(ds, *saveIdx); werr != nil {
+			fail(fmt.Errorf("-save-index %s: %w", *saveIdx, werr))
+		}
+		if *verbose && !*jsonOut {
+			fmt.Printf("index snapshot written to %s\n", *saveIdx)
+		}
+	}
 	if res.Degraded {
 		os.Exit(exitDegraded)
+	}
+}
+
+// writeSnapshot persists ds's index (building it first if no query has) to
+// path via a temp file and rename, so a crash mid-write never leaves a
+// truncated snapshot behind.
+func writeSnapshot(ds *skydiver.Dataset, path string) error {
+	tmp, err := os.CreateTemp(filepathDir(path), ".skydiver-snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ds.SaveIndex(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// filepathDir is filepath.Dir without importing path/filepath for one call.
+func filepathDir(path string) string {
+	if i := strings.LastIndexByte(path, os.PathSeparator); i > 0 {
+		return path[:i]
+	}
+	return "."
+}
+
+// runStream is the -stream entry point: build a row source from -gen or a
+// binary -in file, run the bounded-memory pipeline, print, and return the
+// process exit code. No Dataset ever exists, so the per-row annotations of
+// the materialized path (domination scores, exact diversity) are absent.
+func runStream(ctx context.Context, input, gen string, n, d int, prefSpec string, seed int64, opts skydiver.Options, jsonOut, verbose bool) int {
+	var src skydiver.RowSource
+	switch {
+	case input != "" && gen != "":
+		fail(errors.New("-in and -gen are mutually exclusive"))
+	case gen != "":
+		dist, err := parseDist(gen)
+		if err != nil {
+			fail(err)
+		}
+		s, err := skydiver.GenerateSource(dist, n, d, seed)
+		if err != nil {
+			fail(err)
+		}
+		src = s
+	case input != "":
+		if !isBinaryDataset(input) {
+			fail(fmt.Errorf("-stream needs a binary dataset: use -gen, or a file written by datagen -out"))
+		}
+		fs, err := skydiver.OpenDatasetSource(input)
+		if err != nil {
+			fail(err)
+		}
+		defer fs.Close()
+		src = fs
+	default:
+		fail(errors.New("either -in or -gen is required"))
+	}
+	prefs, err := parsePrefs(prefSpec, src.Dims())
+	if err != nil {
+		fail(err)
+	}
+	if !jsonOut {
+		fmt.Printf("dataset %s: n=%d d=%d (streamed)\n", src.Name(), src.Len(), src.Dims())
+	}
+	res, runErr := skydiver.DiversifyStreamContext(ctx, src, prefs, opts)
+	if runErr != nil && res == nil {
+		fail(runErr)
+	}
+	if jsonOut {
+		printJSON(src.Name(), src.Len(), src.Dims(), res, opts.K, opts.Algorithm, runErr)
+	} else {
+		if res.Partial {
+			fmt.Printf("PARTIAL result (%d of %d requested) — run interrupted: %v\n", len(res.Indexes), opts.K, runErr)
+		}
+		fmt.Printf("%d most diverse skyline points (%s, streamed):\n", len(res.Indexes), opts.Algorithm)
+		for rank, idx := range res.Indexes {
+			fmt.Printf("  %2d. row %-8d %v\n", rank+1, idx, res.Points[rank])
+		}
+		if verbose {
+			fmt.Printf("cpu=%v io=%v faults=%d memory=%dB objective=%.4f\n",
+				res.CPUTime, res.IOTime, res.PageFaults, res.MemoryBytes, res.ObjectiveValue)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "skydiver: %v\n", runErr)
+		return exitPartial
+	}
+	return exitOK
+}
+
+func parseStorage(s string) (skydiver.StorageKind, error) {
+	switch strings.ToLower(s) {
+	case "", "sim":
+		return skydiver.StorageSimulated, nil
+	case "file":
+		return skydiver.StorageFile, nil
+	default:
+		return 0, fmt.Errorf("unknown storage backend %q (want sim or file)", s)
 	}
 }
 
@@ -326,11 +483,11 @@ type jsonResult struct {
 
 // printJSON emits the machine-readable result. res may be nil when admission
 // control shed the query before any work ran.
-func printJSON(ds *skydiver.Dataset, res *skydiver.Result, k int, algorithm skydiver.Algorithm, runErr error) {
+func printJSON(name string, n, d int, res *skydiver.Result, k int, algorithm skydiver.Algorithm, runErr error) {
 	out := jsonResult{
-		Dataset:   ds.Name(),
-		N:         ds.Len(),
-		D:         ds.Dims(),
+		Dataset:   name,
+		N:         n,
+		D:         d,
 		Algorithm: algorithm.String(),
 		K:         k,
 	}

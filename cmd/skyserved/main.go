@@ -7,6 +7,8 @@
 // Endpoints: GET /query, GET|POST /datasets, DELETE /datasets/{name},
 // POST /datasets/{name}/points (insert one point, maintained incrementally),
 // DELETE /datasets/{name}/points/{row} (tombstone one row),
+// PUT /datasets/{name}/snapshot (with -snapshots: persist the index for
+// warm-started reopens via POST /datasets?snapshot=1),
 // GET /healthz, GET /readyz, GET /stats, and (with -chaos) GET /boom plus
 // POST /datasets/{name}/faults.
 //
@@ -57,6 +59,7 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "enable fault-injection endpoints (/boom, /datasets/{name}/faults)")
 		faults     = flag.String("faults", "", "install this fault policy on the seed dataset at startup")
 		shardFleet = flag.String("shard-workers", "", "comma-separated skyshardd base URLs enabling ?remote=1 queries")
+		snapshots  = flag.String("snapshots", "", "directory for warm-start index snapshots, enabling PUT /datasets/{name}/snapshot and POST /datasets?snapshot=1 (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -66,7 +69,7 @@ func main() {
 		tenantInFlight: *tenantInFl, tenantQueue: *tenantQ, tenantWait: *tenantW,
 		budget: *budget, maxTimeout: *maxTimeout, defTimeout: *defTimeout,
 		retryAfter: *retryAfter, drain: *drain, chaos: *chaos, faults: *faults,
-		shardWorkers: *shardFleet,
+		shardWorkers: *shardFleet, snapshots: *snapshots,
 	}))
 }
 
@@ -85,6 +88,7 @@ type runConfig struct {
 	chaos                       bool
 	faults                      string
 	shardWorkers                string
+	snapshots                   string
 }
 
 // splitWorkers turns the -shard-workers flag into a URL list, dropping empty
@@ -169,6 +173,7 @@ func run(rc runConfig) int {
 		RetryAfter:     rc.retryAfter,
 		Chaos:          rc.chaos,
 		ShardWorkers:   splitWorkers(rc.shardWorkers),
+		SnapshotDir:    rc.snapshots,
 	})
 	if err != nil {
 		log.Print(err)

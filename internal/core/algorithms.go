@@ -62,10 +62,14 @@ type Config struct {
 	NoCache bool
 }
 
+// DefaultSignatureSize is the signature length t used when the config
+// leaves it zero (100, the paper's default after Figure 8/12).
+const DefaultSignatureSize = 100
+
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
 	if c.SignatureSize == 0 {
-		c.SignatureSize = 100
+		c.SignatureSize = DefaultSignatureSize
 	}
 	if c.LSHThreshold == 0 {
 		c.LSHThreshold = 0.2

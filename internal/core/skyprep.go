@@ -40,17 +40,26 @@ type skyOrder struct {
 
 // prepareSkyline sorts and flattens the skyline points of ds named by sky.
 func prepareSkyline(ds *data.Dataset, sky []int) *skyPrep {
-	m := len(sky)
-	d := ds.Dims()
+	return prepareSkylineFrom(ds.Dims(), len(sky), func(j int) []float64 {
+		return ds.Point(sky[j])
+	})
+}
+
+// prepareSkylineFrom builds the prepared skyline from an arbitrary accessor
+// over m d-dimensional skyline points — the hook through which the streaming
+// pipeline, which has no materialized Dataset, preps the skyline points it
+// buffered during the BNL pass. The accessor is called repeatedly per point
+// and must be cheap (an index into resident storage).
+func prepareSkylineFrom(d, m int, point func(j int) []float64) *skyPrep {
 	sp := &skyPrep{d: d, m: m, orders: make([]skyOrder, d+1)}
 	keys := make([]float64, m) // scratch: key of skyline point j under the current order
 	order := make([]int, m)
 	for o := range sp.orders {
-		for j, s := range sky {
+		for j := 0; j < m; j++ {
 			if o == 0 {
-				keys[j] = geom.L1(ds.Point(s))
+				keys[j] = geom.L1(point(j))
 			} else {
-				keys[j] = ds.Point(s)[o-1]
+				keys[j] = point(j)[o-1]
 			}
 		}
 		for j := range order {
@@ -65,7 +74,7 @@ func prepareSkyline(ds *data.Dataset, sky []int) *skyPrep {
 		for e, j := range order {
 			so.key[e] = keys[j]
 			so.col[e] = int32(j)
-			copy(so.pts[e*d:(e+1)*d], ds.Point(sky[j]))
+			copy(so.pts[e*d:(e+1)*d], point(j))
 		}
 		sp.orders[o] = so
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"skydiver/internal/data"
+	"skydiver/internal/minhash"
+	"skydiver/internal/skyline"
+)
+
+// streamFixture computes the skyline of ds with the streaming external BNL
+// so both the ids and the buffered coordinates come from the path the
+// streaming pipeline actually uses.
+func streamFixture(t *testing.T, ds *data.Dataset) ([]int, [][]float64) {
+	t.Helper()
+	res, err := skyline.ComputeBNLExternalSource(context.Background(), ds.Source(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Sky, res.SkyPoints
+}
+
+// TestSigGenIFStreamMatchesInMemory pins the bit-identity contract of the
+// streaming signature pass: on the same rows, SigGenIFStreamCtx must produce
+// the exact signature matrix, domination scores and charged I/O of
+// SigGenIFCtx over the materialized dataset.
+func TestSigGenIFStreamMatchesInMemory(t *testing.T) {
+	cases := []struct {
+		name string
+		ds   *data.Dataset
+	}{
+		{"independent", data.Independent(3000, 3, 4)},
+		{"anticorrelated", data.Anticorrelated(1500, 4, 9)},
+		{"correlated", data.Correlated(2000, 3, 13)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sky, skyPts := streamFixture(t, tc.ds)
+			fam, err := minhash.NewFamily(64, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := SigGenIFCtx(context.Background(), tc.ds, sky, fam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SigGenIFStreamCtx(context.Background(), tc.ds.Source(), sky, skyPts, fam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range sky {
+				a, b := got.Matrix.Column(j), want.Matrix.Column(j)
+				for s := range a {
+					if a[s] != b[s] {
+						t.Fatalf("column %d slot %d: %d != %d", j, s, a[s], b[s])
+					}
+				}
+				if got.DomScore[j] != want.DomScore[j] {
+					t.Fatalf("column %d DomScore %v != %v", j, got.DomScore[j], want.DomScore[j])
+				}
+			}
+			if got.IO != want.IO {
+				t.Fatalf("IO %+v, want %+v", got.IO, want.IO)
+			}
+		})
+	}
+}
+
+// TestSigGenIFStreamGeneratorSource runs the streaming pass straight off a
+// generator source — the IND-10M shape, scaled down — and checks it against
+// the in-memory pass on the equivalent materialized dataset.
+func TestSigGenIFStreamGeneratorSource(t *testing.T) {
+	ds := data.Independent(4000, 3, 21)
+	sky, skyPts := streamFixture(t, ds)
+	fam, _ := minhash.NewFamily(128, 3)
+	want, err := SigGenIFCtx(context.Background(), ds, sky, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SigGenIFStreamCtx(context.Background(), data.IndependentSource(4000, 3, 21), sky, skyPts, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range sky {
+		a, b := got.Matrix.Column(j), want.Matrix.Column(j)
+		for s := range a {
+			if a[s] != b[s] {
+				t.Fatalf("column %d slot %d differs", j, s)
+			}
+		}
+	}
+	if got.IO != want.IO {
+		t.Fatalf("IO %+v, want %+v", got.IO, want.IO)
+	}
+}
+
+// TestSigGenIFStreamValidation covers the argument screens: empty skyline,
+// mismatched point rows, non-ascending ids, canceled context.
+func TestSigGenIFStreamValidation(t *testing.T) {
+	ds := data.Independent(200, 2, 1)
+	sky, skyPts := streamFixture(t, ds)
+	fam, _ := minhash.NewFamily(16, 1)
+	ctx := context.Background()
+	if _, err := SigGenIFStreamCtx(ctx, ds.Source(), nil, nil, fam); err == nil {
+		t.Error("accepted empty skyline")
+	}
+	if _, err := SigGenIFStreamCtx(ctx, ds.Source(), sky, skyPts[:len(skyPts)-1], fam); err == nil {
+		t.Error("accepted mismatched point rows")
+	}
+	bad := append([]int(nil), sky...)
+	if len(bad) >= 2 {
+		bad[0], bad[1] = bad[1], bad[0]
+		if _, err := SigGenIFStreamCtx(ctx, ds.Source(), bad, skyPts, fam); err == nil {
+			t.Error("accepted non-ascending skyline ids")
+		}
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := SigGenIFStreamCtx(canceled, ds.Source(), sky, skyPts, fam); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

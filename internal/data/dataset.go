@@ -214,30 +214,9 @@ func (ds *Dataset) Write(w io.Writer) error {
 // Read deserializes a dataset written by Write.
 func Read(r io.Reader) (*Dataset, error) {
 	br := bufio.NewReader(r)
-	hdr := make([]byte, 4+4+4+8+4)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("data: read header: %w", err)
-	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
-		return nil, errors.New("data: bad magic (not a skydiver dataset file)")
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
-		return nil, fmt.Errorf("data: unsupported file version %d", v)
-	}
-	dims := int(binary.LittleEndian.Uint32(hdr[8:]))
-	n := int(binary.LittleEndian.Uint64(hdr[12:]))
-	nameLen := int(binary.LittleEndian.Uint32(hdr[20:]))
-	if dims <= 0 || dims > 1<<16 || n < 0 || nameLen < 0 || nameLen > 1<<16 {
-		return nil, errors.New("data: corrupt header")
-	}
-	// Reject cardinalities whose value count would overflow or be absurd
-	// (2^53 values = 64 PiB of float64s) before any arithmetic on n*dims.
-	if n > (1<<53)/dims {
-		return nil, errors.New("data: corrupt header (implausible cardinality)")
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("data: read name: %w", err)
+	name, dims, n, err := readFileHeader(br)
+	if err != nil {
+		return nil, err
 	}
 	// Grow the value slice as bytes actually arrive instead of trusting the
 	// header's cardinality, so a corrupt or hostile header cannot force a
@@ -255,5 +234,5 @@ func Read(r io.Reader) (*Dataset, error) {
 		}
 		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
 	}
-	return New(string(name), dims, vals)
+	return New(name, dims, vals)
 }

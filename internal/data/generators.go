@@ -10,33 +10,51 @@ import (
 // Stocker ("The Skyline Operator", ICDE 2001), which the paper adopts for its
 // IND and ANT datasets (Section 5.1). All generators are deterministic for a
 // given seed.
+//
+// Each distribution is defined once, as a per-row closure factory feeding a
+// streaming Source; the materializing constructors (Independent, Correlated,
+// ...) drain that source into a Dataset. Because both paths consume the same
+// seeded rand stream in the same row-major order, a streamed pass and a
+// materialized dataset are bit-identical — which the golden tests pin.
 
 // Independent generates n points whose coordinates are drawn independently
 // and uniformly from [0, 1). Skyline cardinality grows as O((ln n)^(d-1)).
 func Independent(n, dims int, seed int64) *Dataset {
-	r := rand.New(rand.NewSource(seed))
-	vals := make([]float64, n*dims)
-	for i := range vals {
-		vals[i] = r.Float64()
-	}
-	ds, _ := New(fmt.Sprintf("IND-%s-%dD", humanCount(n), dims), dims, vals)
+	ds, _ := materialize(IndependentSource(n, dims, seed))
 	return ds
+}
+
+// IndependentSource is the streaming form of Independent.
+func IndependentSource(n, dims int, seed int64) Source {
+	return newGenSource(fmt.Sprintf("IND-%s-%dD", humanCount(n), dims), n, dims, func() func([]float64) {
+		r := rand.New(rand.NewSource(seed))
+		return func(dst []float64) {
+			for j := range dst {
+				dst[j] = r.Float64()
+			}
+		}
+	})
 }
 
 // Correlated generates points whose coordinates cluster around the main
 // diagonal: points good in one dimension tend to be good in all, yielding
 // tiny skylines.
 func Correlated(n, dims int, seed int64) *Dataset {
-	r := rand.New(rand.NewSource(seed))
-	vals := make([]float64, n*dims)
-	for i := 0; i < n; i++ {
-		base := clamp01(r.NormFloat64()*0.18 + 0.5)
-		for j := 0; j < dims; j++ {
-			vals[i*dims+j] = clamp01(base + r.NormFloat64()*0.05)
-		}
-	}
-	ds, _ := New(fmt.Sprintf("CORR-%s-%dD", humanCount(n), dims), dims, vals)
+	ds, _ := materialize(CorrelatedSource(n, dims, seed))
 	return ds
+}
+
+// CorrelatedSource is the streaming form of Correlated.
+func CorrelatedSource(n, dims int, seed int64) Source {
+	return newGenSource(fmt.Sprintf("CORR-%s-%dD", humanCount(n), dims), n, dims, func() func([]float64) {
+		r := rand.New(rand.NewSource(seed))
+		return func(dst []float64) {
+			base := clamp01(r.NormFloat64()*0.18 + 0.5)
+			for j := range dst {
+				dst[j] = clamp01(base + r.NormFloat64()*0.05)
+			}
+		}
+	})
 }
 
 // Anticorrelated generates points near the antidiagonal hyperplane
@@ -45,23 +63,28 @@ func Correlated(n, dims int, seed int64) *Dataset {
 // drawn from a normal distribution, the budget is split over the dimensions
 // by a uniform Dirichlet sample, and a small jitter is added.
 func Anticorrelated(n, dims int, seed int64) *Dataset {
-	r := rand.New(rand.NewSource(seed))
-	vals := make([]float64, n*dims)
-	split := make([]float64, dims)
-	for i := 0; i < n; i++ {
-		budget := clamp(r.NormFloat64()*0.06+0.5, 0.05, 0.95) * float64(dims)
-		// Uniform point on the simplex via normalized exponentials.
-		sum := 0.0
-		for j := range split {
-			split[j] = r.ExpFloat64()
-			sum += split[j]
-		}
-		for j := 0; j < dims; j++ {
-			vals[i*dims+j] = clamp01(budget*split[j]/sum + r.NormFloat64()*0.02)
-		}
-	}
-	ds, _ := New(fmt.Sprintf("ANT-%s-%dD", humanCount(n), dims), dims, vals)
+	ds, _ := materialize(AnticorrelatedSource(n, dims, seed))
 	return ds
+}
+
+// AnticorrelatedSource is the streaming form of Anticorrelated.
+func AnticorrelatedSource(n, dims int, seed int64) Source {
+	return newGenSource(fmt.Sprintf("ANT-%s-%dD", humanCount(n), dims), n, dims, func() func([]float64) {
+		r := rand.New(rand.NewSource(seed))
+		split := make([]float64, dims)
+		return func(dst []float64) {
+			budget := clamp(r.NormFloat64()*0.06+0.5, 0.05, 0.95) * float64(dims)
+			// Uniform point on the simplex via normalized exponentials.
+			sum := 0.0
+			for j := range split {
+				split[j] = r.ExpFloat64()
+				sum += split[j]
+			}
+			for j := range dst {
+				dst[j] = clamp01(budget*split[j]/sum + r.NormFloat64()*0.02)
+			}
+		}
+	})
 }
 
 // forestCoverRows is the cardinality of the UCI Forest Cover dataset the
@@ -86,6 +109,12 @@ type fcAttr struct {
 // 4-component mixture of terrain types. See DESIGN.md for the substitution
 // rationale. Pass rows <= 0 for the full paper cardinality.
 func SyntheticForestCover(rows int, seed int64) *Dataset {
+	ds, _ := materialize(ForestCoverSource(rows, seed))
+	return ds
+}
+
+// ForestCoverSource is the streaming form of SyntheticForestCover.
+func ForestCoverSource(rows int, seed int64) Source {
 	if rows <= 0 {
 		rows = forestCoverRows
 	}
@@ -108,19 +137,18 @@ func SyntheticForestCover(rows int, seed int64) *Dataset {
 		{1.4, -0.5, -1.0, 0.9, 1.3, 1.2, 0.1},
 	}
 	weights := []float64{0.2, 0.4, 0.3, 0.1}
-	r := rand.New(rand.NewSource(seed))
-	vals := make([]float64, rows*dims)
-	for i := 0; i < rows; i++ {
-		c := comps[pickWeighted(r, weights)]
-		// A shared latent factor adds further within-row correlation.
-		latent := r.NormFloat64() * 0.35
-		for j, a := range attrs {
-			v := a.mean + a.std*(c[j]*0.8+latent+r.NormFloat64()*0.7)
-			vals[i*dims+j] = math.Round(clamp(v, a.lo, a.hi))
+	return newGenSource(fmt.Sprintf("FC-%s", humanCount(rows)), rows, dims, func() func([]float64) {
+		r := rand.New(rand.NewSource(seed))
+		return func(dst []float64) {
+			c := comps[pickWeighted(r, weights)]
+			// A shared latent factor adds further within-row correlation.
+			latent := r.NormFloat64() * 0.35
+			for j, a := range attrs {
+				v := a.mean + a.std*(c[j]*0.8+latent+r.NormFloat64()*0.7)
+				dst[j] = math.Round(clamp(v, a.lo, a.hi))
+			}
 		}
-	}
-	ds, _ := New(fmt.Sprintf("FC-%s", humanCount(rows)), dims, vals)
-	return ds
+	})
 }
 
 // SyntheticRecipes generates the Recipes (REC) stand-in: ~364 000 rows with 7
@@ -131,6 +159,12 @@ func SyntheticForestCover(rows int, seed int64) *Dataset {
 // REC skylines poorly coverable (Table 1). Pass rows <= 0 for the paper
 // cardinality.
 func SyntheticRecipes(rows int, seed int64) *Dataset {
+	ds, _ := materialize(RecipesSource(rows, seed))
+	return ds
+}
+
+// RecipesSource is the streaming form of SyntheticRecipes.
+func RecipesSource(rows int, seed int64) Source {
 	if rows <= 0 {
 		rows = recipesRows
 	}
@@ -156,45 +190,52 @@ func SyntheticRecipes(rows int, seed int64) *Dataset {
 		{-1.0, -1.5, 0.2, -1.2, 0.1, -0.9, -2}, // drink
 	}
 	weights := []float64{0.3, 0.4, 0.2, 0.1}
-	r := rand.New(rand.NewSource(seed))
-	vals := make([]float64, rows*dims)
-	for i := 0; i < rows; i++ {
-		c := comps[pickWeighted(r, weights)]
-		serving := r.NormFloat64() * 0.4 // latent serving-size factor
-		for j, nu := range nutrients {
-			if r.Float64() < nu.pZero {
-				vals[i*dims+j] = 0
-				continue
+	return newGenSource(fmt.Sprintf("REC-%s", humanCount(rows)), rows, dims, func() func([]float64) {
+		r := rand.New(rand.NewSource(seed))
+		return func(dst []float64) {
+			c := comps[pickWeighted(r, weights)]
+			serving := r.NormFloat64() * 0.4 // latent serving-size factor
+			for j, nu := range nutrients {
+				if r.Float64() < nu.pZero {
+					dst[j] = 0
+					continue
+				}
+				v := math.Exp(nu.mu + c[j]*0.6 + serving + nu.sigma*r.NormFloat64())
+				// Quantize to one decimal as nutrition databases do.
+				dst[j] = math.Round(v*10) / 10 * nu.scale
 			}
-			v := math.Exp(nu.mu + c[j]*0.6 + serving + nu.sigma*r.NormFloat64())
-			// Quantize to one decimal as nutrition databases do.
-			vals[i*dims+j] = math.Round(v*10) / 10 * nu.scale
 		}
-	}
-	ds, _ := New(fmt.Sprintf("REC-%s", humanCount(rows)), dims, vals)
-	return ds
+	})
 }
 
 // Clustered generates n points grouped into k Gaussian clusters in [0,1)^d,
 // useful for R-tree and buffer-pool tests where locality matters.
 func Clustered(n, dims, k int, seed int64) *Dataset {
-	r := rand.New(rand.NewSource(seed))
-	centers := make([][]float64, k)
-	for i := range centers {
-		centers[i] = make([]float64, dims)
-		for j := range centers[i] {
-			centers[i][j] = r.Float64()
-		}
-	}
-	vals := make([]float64, n*dims)
-	for i := 0; i < n; i++ {
-		c := centers[r.Intn(k)]
-		for j := 0; j < dims; j++ {
-			vals[i*dims+j] = clamp01(c[j] + r.NormFloat64()*0.05)
-		}
-	}
-	ds, _ := New(fmt.Sprintf("CLUST-%s-%dD", humanCount(n), dims), dims, vals)
+	ds, _ := materialize(ClusteredSource(n, dims, k, seed))
 	return ds
+}
+
+// ClusteredSource is the streaming form of Clustered. The cluster centers
+// are drawn eagerly (on construction and on every Reset) so that the row
+// stream consumes the seeded rand exactly as the materializing generator
+// always has.
+func ClusteredSource(n, dims, k int, seed int64) Source {
+	return newGenSource(fmt.Sprintf("CLUST-%s-%dD", humanCount(n), dims), n, dims, func() func([]float64) {
+		r := rand.New(rand.NewSource(seed))
+		centers := make([][]float64, k)
+		for i := range centers {
+			centers[i] = make([]float64, dims)
+			for j := range centers[i] {
+				centers[i][j] = r.Float64()
+			}
+		}
+		return func(dst []float64) {
+			c := centers[r.Intn(k)]
+			for j := range dst {
+				dst[j] = clamp01(c[j] + r.NormFloat64()*0.05)
+			}
+		}
+	})
 }
 
 func pickWeighted(r *rand.Rand, w []float64) int {

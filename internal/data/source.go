@@ -1,0 +1,268 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Source streams the rows of a dataset in row-id order without requiring
+// them to be resident in memory. It is the bounded-memory counterpart of
+// *Dataset: the generators, the binary file reader and the dataset itself
+// all expose one, so scan-shaped consumers (BNL's external mode, SigGen-IF,
+// datagen) process IND-10M-class inputs at O(1) row memory.
+//
+// The slice returned by Next is reused between calls: consumers that retain
+// a row must copy it. Reset rewinds to the first row; for generator sources
+// it replays the identical pseudo-random stream, so two passes over one
+// source — or a pass over the source and one over its materialized Dataset
+// — see bit-identical values.
+type Source interface {
+	// Name returns the dataset's human-readable name (e.g. "IND-1M-4D").
+	Name() string
+	// Dims returns the dimensionality.
+	Dims() int
+	// Len returns the total number of rows the source yields per pass.
+	Len() int
+	// Next returns the next row, or io.EOF after the last one. The returned
+	// slice is only valid until the following Next or Reset call.
+	Next() ([]float64, error)
+	// Reset rewinds the source to its first row.
+	Reset() error
+}
+
+// genSource adapts a per-row generator closure to the Source interface. The
+// factory recreates the closure (and with it the seeded rand stream) on
+// every Reset, making passes repeatable.
+type genSource struct {
+	name    string
+	n, dims int
+	factory func() func(dst []float64)
+	next    func(dst []float64)
+	i       int
+	row     []float64
+}
+
+func newGenSource(name string, n, dims int, factory func() func(dst []float64)) *genSource {
+	g := &genSource{name: name, n: n, dims: dims, factory: factory, row: make([]float64, dims)}
+	g.next = factory()
+	return g
+}
+
+func (g *genSource) Name() string { return g.name }
+func (g *genSource) Dims() int    { return g.dims }
+func (g *genSource) Len() int     { return g.n }
+
+func (g *genSource) Reset() error {
+	g.next = g.factory()
+	g.i = 0
+	return nil
+}
+
+func (g *genSource) Next() ([]float64, error) {
+	if g.i >= g.n {
+		return nil, io.EOF
+	}
+	g.next(g.row)
+	g.i++
+	return g.row, nil
+}
+
+// Source returns a streaming view of the dataset's rows, tombstoned rows
+// included (row ids are positions; consumers that must skip deletions check
+// Deleted on the owning dataset). The view aliases the dataset's storage.
+func (ds *Dataset) Source() Source {
+	return &datasetSource{ds: ds}
+}
+
+type datasetSource struct {
+	ds *Dataset
+	i  int
+}
+
+func (s *datasetSource) Name() string { return s.ds.Name() }
+func (s *datasetSource) Dims() int    { return s.ds.Dims() }
+func (s *datasetSource) Len() int     { return s.ds.Len() }
+func (s *datasetSource) Reset() error { s.i = 0; return nil }
+
+func (s *datasetSource) Next() ([]float64, error) {
+	if s.i >= s.ds.Len() {
+		return nil, io.EOF
+	}
+	p := s.ds.Point(s.i)
+	s.i++
+	return p, nil
+}
+
+// materialize drains a source into an in-memory Dataset. The generators'
+// materializing constructors are defined as materialize(...Source(...)), so
+// the streaming and in-memory paths cannot drift apart.
+func materialize(src Source) (*Dataset, error) {
+	vals := make([]float64, 0, src.Len()*src.Dims())
+	for {
+		row, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, row...)
+	}
+	return New(src.Name(), src.Dims(), vals)
+}
+
+// WriteSource streams a source into w in the repository's binary dataset
+// format — the same format (*Dataset).Write emits — holding one row in
+// memory at a time. The source is Reset first, and must yield exactly Len
+// rows.
+func WriteSource(w io.Writer, src Source) error {
+	if err := src.Reset(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	name := src.Name()
+	hdr := make([]byte, fileHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(src.Dims()))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(src.Len()))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(name)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("data: write header: %w", err)
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return fmt.Errorf("data: write name: %w", err)
+	}
+	rowBuf := make([]byte, 8*src.Dims())
+	rows := 0
+	for {
+		row, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for j, v := range row {
+			binary.LittleEndian.PutUint64(rowBuf[8*j:], math.Float64bits(v))
+		}
+		if _, err := bw.Write(rowBuf); err != nil {
+			return fmt.Errorf("data: write row %d: %w", rows, err)
+		}
+		rows++
+	}
+	if rows != src.Len() {
+		return fmt.Errorf("data: source %q yielded %d rows, declared %d", name, rows, src.Len())
+	}
+	return bw.Flush()
+}
+
+// FileSource streams rows from a binary dataset file (the format written by
+// (*Dataset).Write and WriteSource) without loading them: one row buffer,
+// one bufio window. It implements Source; Close releases the file handle.
+type FileSource struct {
+	f       *os.File
+	br      *bufio.Reader
+	name    string
+	dims, n int
+	dataOff int64
+	i       int
+	row     []float64
+	buf     []byte
+}
+
+// OpenFile opens path as a streaming dataset source, validating the header
+// eagerly so malformed files fail at open, not mid-scan.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("data: open dataset: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	name, dims, n, err := readFileHeader(br)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{
+		f:       f,
+		br:      br,
+		name:    name,
+		dims:    dims,
+		n:       n,
+		dataOff: int64(fileHeaderSize + len(name)),
+		row:     make([]float64, dims),
+		buf:     make([]byte, 8*dims),
+	}, nil
+}
+
+func (s *FileSource) Name() string { return s.name }
+func (s *FileSource) Dims() int    { return s.dims }
+func (s *FileSource) Len() int     { return s.n }
+
+// Reset seeks back to the first row.
+func (s *FileSource) Reset() error {
+	if _, err := s.f.Seek(s.dataOff, io.SeekStart); err != nil {
+		return fmt.Errorf("data: rewind dataset: %w", err)
+	}
+	s.br.Reset(s.f)
+	s.i = 0
+	return nil
+}
+
+func (s *FileSource) Next() ([]float64, error) {
+	if s.i >= s.n {
+		return nil, io.EOF
+	}
+	if _, err := io.ReadFull(s.br, s.buf); err != nil {
+		return nil, fmt.Errorf("data: read row %d: %w", s.i, err)
+	}
+	for j := range s.row {
+		s.row[j] = math.Float64frombits(binary.LittleEndian.Uint64(s.buf[8*j:]))
+	}
+	s.i++
+	return s.row, nil
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// fileHeaderSize is the fixed prefix of the binary dataset format:
+// magic | version | dims | n | nameLen.
+const fileHeaderSize = 4 + 4 + 4 + 8 + 4
+
+// readFileHeader reads and validates the fixed header plus the name,
+// leaving br positioned at the first row. Shared by Read and OpenFile.
+func readFileHeader(br *bufio.Reader) (name string, dims, n int, err error) {
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return "", 0, 0, fmt.Errorf("data: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		return "", 0, 0, errors.New("data: bad magic (not a skydiver dataset file)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		return "", 0, 0, fmt.Errorf("data: unsupported file version %d", v)
+	}
+	dims = int(binary.LittleEndian.Uint32(hdr[8:]))
+	n = int(binary.LittleEndian.Uint64(hdr[12:]))
+	nameLen := int(binary.LittleEndian.Uint32(hdr[20:]))
+	if dims <= 0 || dims > 1<<16 || n < 0 || nameLen < 0 || nameLen > 1<<16 {
+		return "", 0, 0, errors.New("data: corrupt header")
+	}
+	// Reject cardinalities whose value count would overflow or be absurd
+	// (2^53 values = 64 PiB of float64s) before any arithmetic on n*dims.
+	if n > (1<<53)/dims {
+		return "", 0, 0, errors.New("data: corrupt header (implausible cardinality)")
+	}
+	rawName := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, rawName); err != nil {
+		return "", 0, 0, fmt.Errorf("data: read name: %w", err)
+	}
+	return string(rawName), dims, n, nil
+}

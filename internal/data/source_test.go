@@ -1,0 +1,189 @@
+package data
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// drain collects every row of a source (copying), asserting the declared
+// length is honored.
+func drain(t *testing.T, src Source) [][]float64 {
+	t.Helper()
+	var rows [][]float64
+	for {
+		row, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		rows = append(rows, append([]float64(nil), row...))
+	}
+	if len(rows) != src.Len() {
+		t.Fatalf("source yielded %d rows, declared %d", len(rows), src.Len())
+	}
+	return rows
+}
+
+// TestSourcesMatchMaterialized pins the tentpole's bit-identity contract:
+// every generator's streaming source must produce exactly the rows of its
+// materializing constructor, and Reset must replay the identical stream.
+func TestSourcesMatchMaterialized(t *testing.T) {
+	cases := []struct {
+		name string
+		src  Source
+		ds   *Dataset
+	}{
+		{"independent", IndependentSource(500, 4, 7), Independent(500, 4, 7)},
+		{"correlated", CorrelatedSource(400, 3, 9), Correlated(400, 3, 9)},
+		{"anticorrelated", AnticorrelatedSource(450, 5, 3), Anticorrelated(450, 5, 3)},
+		{"clustered", ClusteredSource(300, 3, 5, 11), Clustered(300, 3, 5, 11)},
+		{"forestcover", ForestCoverSource(250, 2), SyntheticForestCover(250, 2)},
+		{"recipes", RecipesSource(250, 4), SyntheticRecipes(250, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.src.Name() != tc.ds.Name() {
+				t.Fatalf("name %q vs %q", tc.src.Name(), tc.ds.Name())
+			}
+			check := func(pass string) {
+				i := 0
+				for {
+					row, err := tc.src.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						t.Fatalf("%s: %v", pass, err)
+					}
+					want := tc.ds.Point(i)
+					for j := range row {
+						if row[j] != want[j] {
+							t.Fatalf("%s: row %d dim %d: %v != %v", pass, i, j, row[j], want[j])
+						}
+					}
+					i++
+				}
+				if i != tc.ds.Len() {
+					t.Fatalf("%s: %d rows, want %d", pass, i, tc.ds.Len())
+				}
+			}
+			check("first pass")
+			if err := tc.src.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			check("after reset")
+		})
+	}
+}
+
+// TestWriteSourceRoundTrip: streaming a generator to disk and reading it
+// back — wholesale via Read or streamed via OpenFile — recovers the
+// materialized dataset exactly.
+func TestWriteSourceRoundTrip(t *testing.T) {
+	src := AnticorrelatedSource(800, 4, 21)
+	want := Anticorrelated(800, 4, 21)
+
+	var buf bytes.Buffer
+	if err := WriteSource(&buf, src); err != nil {
+		t.Fatalf("write source: %v", err)
+	}
+
+	// Must be byte-identical to the materializing writer's output.
+	var whole bytes.Buffer
+	if err := want.Write(&whole); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), whole.Bytes()) {
+		t.Fatal("WriteSource bytes differ from (*Dataset).Write")
+	}
+
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if got.Name() != want.Name() || got.Len() != want.Len() || got.Dims() != want.Dims() {
+		t.Fatal("metadata mismatch after round trip")
+	}
+
+	path := filepath.Join(t.TempDir(), "ant.skd")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("open file source: %v", err)
+	}
+	defer fs.Close()
+	for pass := 0; pass < 2; pass++ {
+		rows := drain(t, fs)
+		for i, row := range rows {
+			wantRow := want.Point(i)
+			for j := range row {
+				if row[j] != wantRow[j] {
+					t.Fatalf("pass %d row %d dim %d: %v != %v", pass, i, j, row[j], wantRow[j])
+				}
+			}
+		}
+		if err := fs.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenFileRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.skd")
+	if err := os.WriteFile(bad, []byte("not a dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Error("opened a non-dataset file")
+	}
+	if _, err := OpenFile(filepath.Join(dir, "missing.skd")); err == nil {
+		t.Error("opened a missing file")
+	}
+	// Truncated data section surfaces at Next, not open.
+	src := IndependentSource(50, 3, 1)
+	var buf bytes.Buffer
+	if err := WriteSource(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.skd")
+	if err := os.WriteFile(trunc, buf.Bytes()[:buf.Len()-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(trunc)
+	if err != nil {
+		t.Fatalf("open truncated: %v", err)
+	}
+	defer fs.Close()
+	var lastErr error
+	for {
+		_, err := fs.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == io.EOF {
+		t.Error("truncated file drained without error")
+	}
+}
+
+func TestDatasetSourceView(t *testing.T) {
+	ds := Independent(100, 3, 5)
+	rows := drain(t, ds.Source())
+	for i, row := range rows {
+		want := ds.Point(i)
+		for j := range row {
+			if row[j] != want[j] {
+				t.Fatalf("row %d dim %d mismatch", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !linux && !darwin
+
+package pager
+
+import (
+	"errors"
+	"os"
+)
+
+var errMmapUnsupported = errors.New("pager: mmap not supported on this platform")
+
+// mmapFile always fails here; FileStore falls back to pread per page.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return nil, errMmapUnsupported
+}
+
+// munmapFile is never reached on platforms without mmapFile support.
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build linux || darwin
+
+package pager
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps length bytes of f read-only and shared. MAP_SHARED keeps the
+// mapping coherent with WriteAt on the same file descriptor: both go through
+// the kernel page cache, so pages written during bulk load are visible to
+// mapped readers without any explicit flush.
+func mmapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

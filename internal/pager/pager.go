@@ -1,6 +1,6 @@
-// Package pager provides the simulated disk substrate used throughout the
-// reproduction: fixed-size pages, a page store, an LRU buffer pool and an
-// I/O cost model.
+// Package pager provides the paged storage substrate used throughout the
+// reproduction: fixed-size pages, two page-store backends behind one Store
+// interface, an LRU buffer pool and an I/O cost model.
 //
 // The paper's experimental setup (Section 5.1) stores each dataset in an
 // aggregate R*-tree with a 4 KiB page size, caches 20% of the tree's blocks,
@@ -9,6 +9,11 @@
 // charged (the R*-tree, the sequential data file scan) routes page accesses
 // through a BufferPool, and experiments convert the resulting fault counts
 // into time through CostModel.
+//
+// The counters are charged above the Store interface, so the two backends —
+// the in-memory PageStore (the simulation the golden accounting tests pin)
+// and the mmap-backed FileStore (real capacity for larger-than-memory
+// indexes) — produce bit-identical accounting for the same access sequence.
 package pager
 
 import (
@@ -102,10 +107,12 @@ func (c CostModel) IOTime(s Stats) time.Duration {
 	return time.Duration(s.Faults) * c.FaultTime
 }
 
-// PageStore is an append-only collection of fixed-size pages held in memory,
-// standing in for a disk file. It is safe for concurrent use. An optional
-// FaultInjector makes physical reads fail according to a FaultPolicy, so
-// storage-level robustness is testable without a real flaky disk.
+// PageStore is an append-only collection of fixed-size pages held entirely
+// in memory, standing in for a disk file — nothing here touches a device;
+// FileStore is the backend that does. It is safe for concurrent use. An
+// optional FaultInjector makes physical reads fail according to a
+// FaultPolicy, so storage-level robustness is testable without a real
+// flaky disk.
 type PageStore struct {
 	mu      sync.RWMutex
 	pages   [][]byte
@@ -198,8 +205,10 @@ func (ps *PageStore) WritePage(id PageID, buf []byte) error {
 	return nil
 }
 
-// BufferPool is an LRU cache of decoded page payloads in front of a
-// PageStore. The pool caches arbitrary decoded values (e.g. R-tree nodes) so
+// BufferPool is an LRU cache of decoded page payloads in front of a Store
+// (the simulated PageStore or the disk-backed FileStore — the accounting is
+// identical either way). The pool caches arbitrary decoded values (e.g.
+// R-tree nodes) so
 // that a cache hit skips both the "disk" access and deserialization, just as
 // a real database buffer manager holds frames that index structures pin.
 //
@@ -209,7 +218,7 @@ func (ps *PageStore) WritePage(id PageID, buf []byte) error {
 // simulation and merges the per-query counters, whereas a private pool keeps
 // both faithful to the paper's single-query accounting.
 type BufferPool struct {
-	store    *PageStore
+	store    Store
 	capacity int
 	retry    RetryPolicy
 
@@ -228,7 +237,7 @@ type poolEntry struct {
 
 // NewBufferPool creates a pool over store holding at most capacity pages.
 // A capacity below 1 is raised to 1.
-func NewBufferPool(store *PageStore, capacity int) *BufferPool {
+func NewBufferPool(store Store, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -243,7 +252,7 @@ func NewBufferPool(store *PageStore, capacity int) *BufferPool {
 
 // NewBufferPoolFraction creates a pool sized to the given fraction of the
 // store's current page count (at least one page).
-func NewBufferPoolFraction(store *PageStore, fraction float64) *BufferPool {
+func NewBufferPoolFraction(store Store, fraction float64) *BufferPool {
 	capacity := int(fraction * float64(store.NumPages()))
 	return NewBufferPool(store, capacity)
 }

@@ -6,14 +6,23 @@ import (
 
 	"skydiver/internal/data"
 	"skydiver/internal/geom"
+	"skydiver/internal/pager"
 )
 
 // BulkLoad builds an aggregate R*-tree over the dataset using sort-tile-
-// recursive (STR) packing. Row ids are the dataset indexes. This is the
-// construction path used by the experiment harness; the paper's setup
-// likewise assumes each dataset is pre-indexed before queries run.
+// recursive (STR) packing, on the simulated in-memory page store. Row ids
+// are the dataset indexes. This is the construction path used by the
+// experiment harness; the paper's setup likewise assumes each dataset is
+// pre-indexed before queries run.
 func BulkLoad(ds *data.Dataset) (*Tree, error) {
-	t, err := New(ds.Dims())
+	return BulkLoadStore(ds, pager.NewPageStore())
+}
+
+// BulkLoadStore is BulkLoad over a caller-provided (empty) page store, e.g.
+// a disk-backed pager.FileStore. The packing, page layout and therefore the
+// simulated I/O accounting are bit-identical regardless of the store.
+func BulkLoadStore(ds *data.Dataset, store pager.Store) (*Tree, error) {
+	t, err := NewWithStore(ds.Dims(), store)
 	if err != nil {
 		return nil, err
 	}

@@ -72,6 +72,21 @@ func (c *nodeCache) put(id pager.PageID, n *Node) {
 	s.mu.Unlock()
 }
 
+// pageIDs returns the id of every resident decoded node, in no particular
+// order. Snapshots persist this as the warm set.
+func (c *nodeCache) pageIDs() []pager.PageID {
+	var ids []pager.PageID
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for id := range s.m {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
+	}
+	return ids
+}
+
 // DecodeCacheStats reports the decoded-node cache's physical-work counters.
 type DecodeCacheStats struct {
 	// Hits is the number of buffer-pool misses served by an already-decoded

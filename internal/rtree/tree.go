@@ -26,7 +26,7 @@ import (
 // writeNode refreshes the decoded-node cache for every written page, so
 // reads that are properly ordered after a mutation see its effects.
 type Tree struct {
-	store *pager.PageStore
+	store pager.Store
 	pool  atomic.Pointer[pager.BufferPool]
 
 	// decoded is the shared decoded-node cache: pages are decoded once per
@@ -51,12 +51,23 @@ type Tree struct {
 // minFillRatio is the R*-tree minimum node utilization (40%).
 const minFillRatio = 0.4
 
-// New creates an empty dynamic tree for dims-dimensional points. The buffer
-// pool is sized generously during construction; call Reopen before running
-// measured queries to apply the paper's 20% cache setting.
+// New creates an empty dynamic tree for dims-dimensional points over the
+// simulated in-memory page store. The buffer pool is sized generously during
+// construction; call Reopen before running measured queries to apply the
+// paper's 20% cache setting.
 func New(dims int) (*Tree, error) {
+	return NewWithStore(dims, pager.NewPageStore())
+}
+
+// NewWithStore is New over a caller-provided page store — the hook through
+// which the disk-backed pager.FileStore replaces the simulated substrate.
+// The store must be empty; the tree takes ownership of it (see Close).
+func NewWithStore(dims int, store pager.Store) (*Tree, error) {
 	if dims <= 0 {
 		return nil, fmt.Errorf("rtree: non-positive dimensionality %d", dims)
+	}
+	if store.NumPages() != 0 {
+		return nil, fmt.Errorf("rtree: new tree over non-empty store (%d pages)", store.NumPages())
 	}
 	maxL := LeafCapacity(dims)
 	maxI := InternalCapacity(dims)
@@ -64,7 +75,7 @@ func New(dims int) (*Tree, error) {
 		return nil, fmt.Errorf("rtree: dimensionality %d too large for page size", dims)
 	}
 	t := &Tree{
-		store:       pager.NewPageStore(),
+		store:       store,
 		dims:        dims,
 		maxInternal: maxI,
 		minInternal: max(2, int(minFillRatio*float64(maxI))),
@@ -98,8 +109,21 @@ func (t *Tree) NumPages() int { return t.store.NumPages() }
 // Root returns the root page id, for external traversals (BBS, SigGen-IB).
 func (t *Tree) Root() pager.PageID { return t.root }
 
-// Store exposes the underlying page store (tests and tooling).
-func (t *Tree) Store() *pager.PageStore { return t.store }
+// Store exposes the underlying page store (tests and tooling). It is the
+// pager.Store interface: simulated by default, a FileStore when the tree was
+// built or loaded with one.
+func (t *Tree) Store() pager.Store { return t.store }
+
+// Close releases the underlying store when it holds OS resources (a
+// FileStore's descriptor, mapping and temp spill file); for the simulated
+// in-memory store it is a no-op. Callers must quiesce queries first — the
+// serving registry drains before evicting, and the CLIs close on exit.
+func (t *Tree) Close() error {
+	if c, ok := t.store.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // setPool installs bp as the tree's default pool, mirroring its counters
 // into the tree-wide aggregate.

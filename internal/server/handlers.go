@@ -12,6 +12,8 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -48,6 +50,11 @@ type Config struct {
 	// offered to queries that ask for remote shard execution (?remote=1).
 	// Remote queries on a server with no fleet are rejected as invalid.
 	ShardWorkers []string
+	// SnapshotDir, when non-empty, enables warm-start index snapshots:
+	// PUT /datasets/{name}/snapshot persists {name}.snap there, and
+	// POST /datasets?snapshot=1 opens the new dataset from its snapshot —
+	// no bulk load, no first-query decode storm. Empty disables both.
+	SnapshotDir string
 	// Logf receives diagnostics (panics, lifecycle events). nil = log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -100,6 +107,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /datasets/{name}/points", s.handleInsertPoint)
 	s.mux.HandleFunc("POST /datasets/{name}/points:batch", s.handleBatchPoints)
 	s.mux.HandleFunc("DELETE /datasets/{name}/points/{row}", s.handleDeletePoint)
+	s.mux.HandleFunc("PUT /datasets/{name}/snapshot", s.handleSnapshot)
 	if cfg.Chaos {
 		s.mux.HandleFunc("POST /datasets/{name}/faults", s.handleFaults)
 		s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
@@ -487,12 +495,103 @@ func (s *Server) handleOpenDataset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	warm := false
+	if q.Get("snapshot") == "1" {
+		if err := s.openFromSnapshot(ds, name); err != nil {
+			ds.Close()
+			s.writeError(w, err)
+			return
+		}
+		warm = true
+	}
 	if err := s.reg.Open(name, ds); err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.logf("dataset %q opened: n=%d d=%d", name, ds.Len(), ds.Dims())
+	s.logf("dataset %q opened: n=%d d=%d warm=%v", name, ds.Len(), ds.Dims(), warm)
 	writeJSON(w, http.StatusOK, DatasetInfo{Name: name, Points: ds.Len(), Dims: ds.Dims()})
+}
+
+// snapshotPath validates the dataset name as a safe file stem and returns
+// its snapshot path under the configured directory. Names that could walk
+// the filesystem (separators, "..", empty) are rejected — the name came off
+// the URL.
+func (s *Server) snapshotPath(name string) (string, error) {
+	if s.cfg.SnapshotDir == "" {
+		return "", fmt.Errorf("%w: server has no snapshot directory configured", skydiver.ErrInvalidOptions)
+	}
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") || name != filepath.Base(name) {
+		return "", fmt.Errorf("%w: %q is not a valid snapshot name", skydiver.ErrInvalidOptions, name)
+	}
+	return filepath.Join(s.cfg.SnapshotDir, name+".snap"), nil
+}
+
+// openFromSnapshot loads the named snapshot into a freshly built dataset
+// (no index yet), giving it a warm-start index instead of a bulk load.
+func (s *Server) openFromSnapshot(ds *skydiver.Dataset, name string) error {
+	path, err := s.snapshotPath(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: no snapshot for dataset %q", skydiver.ErrInvalidOptions, name)
+		}
+		return err
+	}
+	defer f.Close()
+	return ds.LoadIndex(f)
+}
+
+// handleSnapshot serves PUT /datasets/{name}/snapshot: persist a warm-start
+// index snapshot (tree pages plus the decoded-node warm set) to the
+// configured snapshot directory, atomically via a rename. A later
+// POST /datasets?snapshot=1 under the same name opens from it.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.Enter() {
+		s.writeError(w, fmt.Errorf("%w: server draining", ErrDatasetDraining))
+		return
+	}
+	defer s.gate.Exit()
+	name := r.PathValue("name")
+	path, err := s.snapshotPath(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	h, err := s.reg.Acquire(name)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer h.Release()
+	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, "."+name+".snap-*")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := h.Dataset().SaveIndex(tmp); err != nil {
+		tmp.Close()
+		s.writeError(w, err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	size := int64(0)
+	if st, err := os.Stat(path); err == nil {
+		size = st.Size()
+	}
+	s.logf("dataset %q snapshot written: %s (%d bytes)", name, path, size)
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "snapshot": path, "bytes": size})
 }
 
 // buildDataset generates a dataset from request parameters and applies
@@ -534,6 +633,15 @@ func buildDataset(q map[string][]string) (*skydiver.Dataset, error) {
 	ds, err := skydiver.Generate(dist, n, d, seed)
 	if err != nil {
 		return nil, err
+	}
+	switch st := strings.ToLower(get("storage", "sim")); st {
+	case "sim":
+	case "file":
+		if err := ds.SetStorage(skydiver.StorageFile); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: storage=%q, want sim or file", skydiver.ErrInvalidOptions, st)
 	}
 	if raw := get("maxinflight", ""); raw != "" {
 		mif, err := strconv.Atoi(raw)

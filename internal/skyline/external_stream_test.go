@@ -1,0 +1,93 @@
+package skyline
+
+import (
+	"context"
+	"testing"
+
+	"skydiver/internal/data"
+)
+
+// TestBNLExternalSourceMatchesInMemory pins the tentpole's counter-identity
+// contract: the streaming external BNL over a dataset's source view must
+// reproduce the in-memory external BNL bit-for-bit — same skyline ids, same
+// pass count, same charged I/O — and carry the correct coordinates.
+func TestBNLExternalSourceMatchesInMemory(t *testing.T) {
+	cases := []struct {
+		name   string
+		ds     *data.Dataset
+		window int
+	}{
+		{"ind-tight-window", data.Independent(4000, 3, 7), 8},
+		{"ind-roomy-window", data.Independent(4000, 3, 7), 512},
+		{"ant-multi-pass", data.Anticorrelated(2500, 4, 11), 16},
+		{"corr-tiny-sky", data.Correlated(3000, 3, 5), 32},
+		{"window-of-one", data.Independent(600, 2, 3), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := ComputeBNLExternal(tc.ds, tc.window)
+			got, err := ComputeBNLExternalSource(context.Background(), tc.ds.Source(), tc.window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Sky) != len(want.Sky) {
+				t.Fatalf("skyline size %d, want %d", len(got.Sky), len(want.Sky))
+			}
+			for i := range want.Sky {
+				if got.Sky[i] != want.Sky[i] {
+					t.Fatalf("sky[%d] = %d, want %d", i, got.Sky[i], want.Sky[i])
+				}
+			}
+			if got.Passes != want.Passes {
+				t.Fatalf("passes %d, want %d", got.Passes, want.Passes)
+			}
+			if got.IO != want.IO {
+				t.Fatalf("IO %+v, want %+v", got.IO, want.IO)
+			}
+			if len(got.SkyPoints) != len(got.Sky) {
+				t.Fatalf("%d points for %d ids", len(got.SkyPoints), len(got.Sky))
+			}
+			for i, id := range got.Sky {
+				p, q := got.SkyPoints[i], tc.ds.Point(id)
+				for j := range q {
+					if p[j] != q[j] {
+						t.Fatalf("point %d dim %d: %v != %v", id, j, p[j], q[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBNLExternalSourceGenerator runs the streaming BNL directly over a
+// generator source (never materialized) and checks the result against the
+// in-memory run on the equivalent materialized dataset.
+func TestBNLExternalSourceGenerator(t *testing.T) {
+	src := data.AnticorrelatedSource(2000, 3, 19)
+	ds := data.Anticorrelated(2000, 3, 19)
+	want := ComputeBNLExternal(ds, 24)
+	got, err := ComputeBNLExternalSource(context.Background(), src, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sky) != len(want.Sky) || got.Passes != want.Passes || got.IO != want.IO {
+		t.Fatalf("stream run diverged: %d pts/%d passes/%+v vs %d/%d/%+v",
+			len(got.Sky), got.Passes, got.IO, len(want.Sky), want.Passes, want.IO)
+	}
+	for i := range want.Sky {
+		if got.Sky[i] != want.Sky[i] {
+			t.Fatalf("sky[%d] = %d, want %d", i, got.Sky[i], want.Sky[i])
+		}
+	}
+}
+
+// TestBNLExternalSourceCancel: a canceled context aborts the run with the
+// context's error instead of finishing the scan.
+func TestBNLExternalSourceCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ComputeBNLExternalSource(ctx, data.IndependentSource(5000, 3, 1), 8)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

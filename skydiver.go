@@ -171,6 +171,17 @@ type Options struct {
 	// setting, as do budgeted and degraded queries (the resilience ladder
 	// stays on the unsharded path).
 	Shards int
+	// Storage selects the physical backend for the dataset's index pages
+	// when this query is the one that builds the index (the lazy first
+	// build): StorageSimulated (the default measurement twin) or
+	// StorageFile (a real, mmap-backed page file). Once the index exists
+	// the option must match the built backend — a conflicting kind is
+	// rejected with ErrIndexBuilt. The zero value always means "keep the
+	// dataset's configured backend". See also Dataset.SetStorage.
+	Storage StorageKind
+	// StreamWindow bounds the BNL window of DiversifyStreamContext's
+	// skyline phase (0 = a 1024-point default). Ignored by DiversifyContext.
+	StreamWindow int
 	// Remote, when non-nil, dispatches the per-shard skyline and signature
 	// work of MinHash/LSH queries to a worker fleet over HTTP instead of
 	// computing it in-process. Results stay bit-identical to the local
@@ -271,6 +282,12 @@ type Dataset struct {
 	tree *rtree.Tree // built once; mutated only under qmu's write side
 	sky  []int       // current skyline; replaced, never mutated in place
 
+	// storage selects the page backend the index is built on (simulated by
+	// default; a real page file with StorageFile). Set by SetStorage or the
+	// first query's Options.Storage, frozen once the tree exists. Guarded
+	// by mu.
+	storage StorageKind
+
 	// fpCache memoizes Phase-1 fingerprints across queries (keyed on epoch,
 	// mode, signature size and seed) with singleflight builds. Internally
 	// locked. Mutations patch completed entries forward to the new epoch
@@ -306,9 +323,11 @@ type Dataset struct {
 // purged and the admission limiter is dropped. Every query method called
 // after Close returns an error wrapping ErrDatasetClosed; Close itself is
 // idempotent. Close does not wait for in-flight queries — they run to
-// completion against the still-resident index. Callers that need quiescence
-// first (a serving registry evicting a dataset) must drain before closing;
-// see internal/server's refcounted registry.
+// completion against the still-resident index — except on a file-backed
+// dataset (StorageFile), whose page file is released here, failing later
+// reads of any still-running query. Callers that need quiescence first (a
+// serving registry evicting a dataset) must drain before closing; see
+// internal/server's refcounted registry.
 func (d *Dataset) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -319,6 +338,11 @@ func (d *Dataset) Close() error {
 	d.limiter = nil
 	d.fpCache.Purge()
 	d.plans = nil
+	if d.tree != nil {
+		// Releases OS resources for file-backed indexes (descriptor,
+		// mapping, temp spill); a no-op for the simulated store.
+		return d.tree.Close()
+	}
 	return nil
 }
 
@@ -427,8 +451,15 @@ func (d *Dataset) ensureIndex() (*rtree.Tree, error) {
 	if d.tree != nil {
 		return d.tree, nil
 	}
-	tr, err := rtree.BulkLoad(d.canon)
+	store, err := d.newStoreLocked()
 	if err != nil {
+		return nil, err
+	}
+	tr, err := rtree.BulkLoadStore(d.canon, store)
+	if err != nil {
+		if c, ok := store.(interface{ Close() error }); ok {
+			c.Close()
+		}
 		return nil, err
 	}
 	tr.Reopen(pager.DefaultCacheFraction)
@@ -724,6 +755,13 @@ func (d *Dataset) DiversifyContext(ctx context.Context, opts Options) (*Result, 
 	}
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("%w: Options.Shards must be non-negative, got %d", ErrInvalidOptions, opts.Shards)
+	}
+	if opts.Storage != StorageSimulated {
+		// Takes effect only if this query builds the index; conflicts with
+		// an already-built backend are rejected before any work runs.
+		if err := d.SetStorage(opts.Storage); err != nil {
+			return nil, err
+		}
 	}
 	if lim := d.admissionLimiter(); lim != nil {
 		if err := lim.Acquire(ctx); err != nil {

@@ -1,0 +1,163 @@
+package skydiver
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// The storage-tier benchmarks are gated behind SKYDIVER_BENCH_STORAGE: they
+// run at the IND-1M scale of the paper's evaluation and would dominate an
+// ordinary `go test -bench` sweep. `make bench-storage` sets the variable;
+// the IND-10M streaming benchmark additionally wants
+// SKYDIVER_BENCH_STORAGE_10M (local runs only — it moves gigabytes).
+const (
+	benchStorageN    = 1_000_000
+	benchStorageD    = 4
+	benchStorageSeed = 7
+)
+
+func benchStorageGate(b *testing.B) {
+	b.Helper()
+	if os.Getenv("SKYDIVER_BENCH_STORAGE") == "" {
+		b.Skip("set SKYDIVER_BENCH_STORAGE=1 (or run `make bench-storage`) to run the storage-tier benchmarks")
+	}
+}
+
+func benchStorageKinds(b *testing.B, fn func(b *testing.B, kind StorageKind)) {
+	for _, kind := range []StorageKind{StorageSimulated, StorageFile} {
+		b.Run(kind.String(), func(b *testing.B) { fn(b, kind) })
+	}
+}
+
+// BenchmarkStorageColdOpen1M is time-to-first-result on a dataset with no
+// index: one bulk load plus the first skyline query. This is the number the
+// warm-start path must beat by ≥5×.
+func BenchmarkStorageColdOpen1M(b *testing.B) {
+	benchStorageGate(b)
+	benchStorageKinds(b, func(b *testing.B, kind StorageKind) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ds, err := Generate(Independent, benchStorageN, benchStorageD, benchStorageSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ds.SetStorage(kind); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := ds.Skyline(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			ds.Close()
+			b.StartTimer()
+		}
+	})
+}
+
+// BenchmarkStorageWarmOpen1M is time-to-first-result from a snapshot: load
+// the persisted tree plus its warm decoded-node set, then run the same first
+// query. No bulk load, no decode storm.
+func BenchmarkStorageWarmOpen1M(b *testing.B) {
+	benchStorageGate(b)
+	src, err := Generate(Independent, benchStorageN, benchStorageD, benchStorageSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := src.SaveIndex(&snap); err != nil {
+		b.Fatal(err)
+	}
+	src.Close()
+	benchStorageKinds(b, func(b *testing.B, kind StorageKind) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ds, err := Generate(Independent, benchStorageN, benchStorageD, benchStorageSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ds.SetStorage(kind); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := ds.LoadIndex(bytes.NewReader(snap.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ds.Skyline(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			ds.Close()
+			b.StartTimer()
+		}
+	})
+}
+
+// BenchmarkStorageSteadyState1M is the per-query latency once the index is
+// built and resident: repeated uncached MinHash diversification.
+func BenchmarkStorageSteadyState1M(b *testing.B) {
+	benchStorageGate(b)
+	benchStorageKinds(b, func(b *testing.B, kind StorageKind) {
+		ds, err := Generate(Independent, benchStorageN, benchStorageD, benchStorageSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		if err := ds.SetStorage(kind); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ds.Skyline(); err != nil { // build outside the timer
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ds.Diversify(Options{K: 10, SignatureSize: 64, Seed: 3, NoCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStorageStream1M runs the bounded-memory pipeline end to end over
+// a generator source — external BNL skyline plus streaming SigGen-IF —
+// without ever materializing the dataset. The reported heap metric is the
+// point: it stays flat as n grows.
+func BenchmarkStorageStream1M(b *testing.B) {
+	benchStorageGate(b)
+	benchStreamN(b, benchStorageN)
+}
+
+// BenchmarkStorageStream10M is the larger-than-memory demonstration: IND-10M
+// through the same streaming pipeline. Local runs only.
+func BenchmarkStorageStream10M(b *testing.B) {
+	benchStorageGate(b)
+	if os.Getenv("SKYDIVER_BENCH_STORAGE_10M") == "" {
+		b.Skip("set SKYDIVER_BENCH_STORAGE_10M=1 to run the IND-10M streaming benchmark")
+	}
+	benchStreamN(b, 10*benchStorageN)
+}
+
+func benchStreamN(b *testing.B, n int) {
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		src, err := GenerateSource(Independent, n, benchStorageD, benchStorageSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := DiversifyStream(src, nil, Options{K: 10, SignatureSize: 64, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Indexes) != 10 {
+			b.Fatalf("selected %d points", len(res.Indexes))
+		}
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.HeapInuse > peak {
+			peak = m.HeapInuse
+		}
+	}
+	b.ReportMetric(float64(peak)/(1<<20), "heapMB")
+}
